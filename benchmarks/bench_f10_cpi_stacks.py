@@ -1,0 +1,18 @@
+"""F10: interval CPI stacks per workload."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.experiments import run_f10
+
+
+def test_f10_cpi_stacks(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f10))
+    by_name = {row[0]: row for row in result.rows}
+    for row in result.rows:
+        _, base, bpred, icache, longd, other, total = row
+        assert base + bpred + icache + longd + other == pytest.approx(total)
+    # the stacks separate the workload classes
+    assert by_name["mcf"][4] > by_name["gzip"][4]  # memory-bound
+    assert by_name["gcc"][3] > by_name["gzip"][3]  # icache-bound
+    assert by_name["twolf"][2] > by_name["eon"][2]  # bpred-bound

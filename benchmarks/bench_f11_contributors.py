@@ -1,0 +1,17 @@
+"""F11: five-contributor attribution of the misprediction penalty."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.experiments import run_f11
+
+
+def test_f11_contributors(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f11))
+    for row in result.rows:
+        _name, refill, ilp, fu, short, residual, total, _gap = row
+        assert refill + ilp + fu + short + residual == pytest.approx(total)
+        assert ilp > 0  # the ILP chain always contributes
+    by_name = {row[0]: row for row in result.rows}
+    # mcf's short-miss contribution dwarfs crafty's
+    assert by_name["mcf"][4] > by_name["crafty"][4]

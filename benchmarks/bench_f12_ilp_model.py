@@ -1,0 +1,11 @@
+"""F12: ILP power-law profile fit per workload."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f12
+
+
+def test_f12_ilp_model(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f12))
+    assert all(r2 > 0.9 for r2 in result.column("R^2"))
+    assert all(0.1 < beta < 1.1 for beta in result.column("beta"))

@@ -1,0 +1,14 @@
+"""F13 (ablation): wrong-path ghost dispatch vs dispatch stop."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.experiments import run_f13
+
+
+def test_f13_wrongpath_ablation(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f13))
+    for row in result.rows:
+        _name, stop_penalty, wp_penalty, _ipc_s, _ipc_w, ghosts = row
+        assert wp_penalty == pytest.approx(stop_penalty, rel=0.25)
+        assert ghosts > 0

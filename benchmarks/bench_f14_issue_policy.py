@@ -1,0 +1,12 @@
+"""F14 (ablation): oldest-first vs random-ready issue selection."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f14
+
+
+def test_f14_issue_policy(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f14))
+    for row in result.rows:
+        _name, _p_old, _p_rand, ipc_oldest, ipc_random = row
+        assert ipc_random <= ipc_oldest * 1.02

@@ -1,0 +1,13 @@
+"""F15 (ablation): sensitivity of segmentation to the event definition."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f15
+
+
+def test_f15_event_definition(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f15))
+    for row in result.rows:
+        _name, paper_rate, ext_rate, paper_gap, ext_gap = row
+        assert ext_rate >= paper_rate
+        assert ext_gap <= paper_gap

@@ -1,0 +1,18 @@
+"""F16 (extension): interval simulation vs cycle-level simulation.
+
+The forward-looking validation: the paper's interval analysis, applied
+as a one-pass simulator, reproduces cycle-level CPI at a large speedup
+— the idea that became interval simulation (Sniper).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f16
+
+
+def test_f16_interval_simulation(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f16))
+    errors = result.column("CPI error %")
+    speedups = result.column("speedup")
+    assert sum(abs(e) for e in errors) / len(errors) < 12.0
+    assert min(speedups) > 3.0

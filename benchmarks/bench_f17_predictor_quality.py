@@ -1,0 +1,17 @@
+"""F17 (extension): predictor quality vs misprediction cost."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f17
+
+
+def test_f17_predictor_quality(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f17))
+    by_name = {row[0]: row for row in result.rows}
+    # better predictors pay the penalty less often
+    assert by_name["tage"][1] < by_name["static-taken"][1]
+    assert by_name["tournament"][1] <= by_name["bimodal"][1]
+    # ...but the penalty PER EVENT is a property of machine + code, not
+    # of the predictor: all predictors sit in one band (paper's point)
+    penalties = [row[2] for row in result.rows if row[2] > 0]
+    assert max(penalties) < 1.6 * min(penalties)

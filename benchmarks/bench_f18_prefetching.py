@@ -1,0 +1,14 @@
+"""F18 (extension): prefetching as miss-event thinning."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f18
+
+
+def test_f18_prefetching(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f18))
+    baseline, prefetched = result.rows
+    assert prefetched[1] < baseline[1]  # L1D miss rate falls
+    assert prefetched[2] < baseline[2]  # fewer miss events
+    assert prefetched[3] > baseline[3]  # longer intervals
+    assert prefetched[4] >= baseline[4]  # IPC does not regress

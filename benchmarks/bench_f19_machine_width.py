@@ -1,0 +1,18 @@
+"""F19 (extension): penalty vs machine width."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f19
+
+
+def test_f19_machine_width(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f19))
+    ipcs = result.column("IPC")
+    penalties = result.column("mean penalty")
+    # IPC scales with width (bounded by the workloads' ILP)...
+    assert ipcs[-1] > 1.5 * ipcs[0]
+    assert ipcs == sorted(ipcs)
+    # ...while the penalty moves much less (chain-bound, not width-bound)
+    spread = max(penalties) / min(penalties)
+    ipc_spread = ipcs[-1] / ipcs[0]
+    assert spread < ipc_spread

@@ -1,0 +1,16 @@
+"""F1: dispatch-rate timeline around a branch misprediction."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f1
+
+
+def test_f1_interval_timeline(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f1))
+    rates_by_phase = {}
+    for _rel, rate, phase in result.rows:
+        rates_by_phase.setdefault(phase, []).append(rate)
+    steady = sum(rates_by_phase["steady"]) / len(rates_by_phase["steady"])
+    refill = sum(rates_by_phase["refill"]) / len(rates_by_phase["refill"])
+    # the interval sawtooth: dispatch collapses during resolve+refill
+    assert refill < steady

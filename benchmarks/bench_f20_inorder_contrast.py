@@ -1,0 +1,18 @@
+"""F20 (extension): out-of-order vs in-order misprediction penalty."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f20
+
+
+def test_f20_inorder_contrast(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f20))
+    for row in result.rows:
+        _, res_ooo, res_ino, pen_ooo, pen_ino, ipc_ooo, ipc_ino = row
+        # the paper's effect is an OoO-window phenomenon
+        assert res_ino < 0.5 * res_ooo
+        assert pen_ino < pen_ooo
+        # folk wisdom nearly true in-order (5-cycle frontend)
+        assert pen_ino < 15.0
+        # and the OoO machine pays for the window with performance won
+        assert ipc_ooo > ipc_ino

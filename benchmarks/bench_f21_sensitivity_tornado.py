@@ -1,0 +1,19 @@
+"""F21 (extension): one-factor sensitivity tornado of the penalty."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f21
+
+
+def test_f21_sensitivity_tornado(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f21))
+    swings = {row[0]: row[3] for row in result.rows}
+    # every contributor knob moves the penalty in the expected direction
+    for label, swing in swings.items():
+        if label.startswith("C2"):
+            # burstiness lowers the mean penalty (cheap clustered events)
+            assert swing < 0, label
+        else:
+            assert swing > 0, label
+    # none is negligible
+    assert all(abs(s) > 1.0 for s in swings.values())

@@ -1,0 +1,14 @@
+"""F2: misprediction penalty vs frontend pipeline length (the headline)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f2
+
+
+def test_f2_penalty_vs_frontend(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f2))
+    ratios = result.column("penalty/frontend")
+    # The paper's headline: penalty substantially exceeds the frontend
+    # pipeline length on every workload.
+    assert all(ratio > 1.5 for ratio in ratios)
+    assert max(ratios) > 5.0

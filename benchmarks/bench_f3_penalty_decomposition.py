@@ -1,0 +1,14 @@
+"""F3: penalty decomposition into resolution time + frontend refill."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.experiments import run_f3
+
+
+def test_f3_penalty_decomposition(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f3))
+    for row in result.rows:
+        _name, _count, resolution, refill, total = row
+        assert total == pytest.approx(resolution + refill)
+        assert resolution > 0

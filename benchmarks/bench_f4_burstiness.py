@@ -1,0 +1,12 @@
+"""F4: resolution time vs instructions since the last miss event (C2)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f4
+
+
+def test_f4_burstiness(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f4))
+    rows = [row for row in result.rows if row[1] > 0]
+    # short gaps (near-empty window) resolve faster than saturated ones
+    assert rows[-1][2] > rows[0][2]

@@ -1,0 +1,14 @@
+"""F5: distribution of inter-miss-event interval lengths."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f5
+
+
+def test_f5_interval_distribution(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f5))
+    for row in result.rows:
+        _name, p25, p50, p75, p90, _cv = row
+        assert p25 <= p50 <= p75 <= p90
+    # skew: median well below the p90 tail on every workload
+    assert all(row[4] >= 2 * row[2] for row in result.rows if row[2] > 0)

@@ -1,0 +1,14 @@
+"""F6: penalty vs inherent program ILP (C3)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f6
+
+
+def test_f6_ilp_sensitivity(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f6))
+    resolutions = result.column("mean resolution")
+    dataflow = result.column("dataflow IPC")
+    # more ILP -> shorter chains -> faster resolution
+    assert dataflow == sorted(dataflow)
+    assert resolutions[0] > resolutions[-1]

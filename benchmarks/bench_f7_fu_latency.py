@@ -1,0 +1,13 @@
+"""F7: penalty vs functional-unit latency (C4)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f7
+
+
+def test_f7_fu_latency(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f7))
+    resolutions = result.column("mean resolution")
+    ipcs = result.column("IPC")
+    assert resolutions == sorted(resolutions)  # monotone in latency scale
+    assert ipcs[0] > ipcs[-1]

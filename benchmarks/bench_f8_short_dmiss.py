@@ -1,0 +1,14 @@
+"""F8: penalty vs short (L1) D-cache miss rate (C5)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f8
+
+
+def test_f8_short_dmiss(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f8))
+    resolutions = result.column("mean resolution")
+    # short misses are not miss events, yet they inflate resolution
+    assert resolutions[-1] > resolutions[0]
+    ipcs = result.column("IPC")
+    assert ipcs[0] > ipcs[-1]

@@ -1,0 +1,13 @@
+"""F9: penalty vs window (ROB) size."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_f9
+
+
+def test_f9_window_size(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_f9))
+    resolutions = result.column("mean resolution")
+    assert resolutions == sorted(resolutions)  # grows with window
+    # sublinear growth: 8x window is far less than 8x resolution
+    assert resolutions[-1] < 8 * resolutions[0]

@@ -1,0 +1,12 @@
+"""T1: baseline processor configuration table."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_t1
+
+
+def test_t1_config(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_t1))
+    rows = dict((name, value) for name, value in result.rows)
+    assert rows["ROB / issue window"] == "128"
+    assert rows["frontend pipeline depth"] == "5 cycles"

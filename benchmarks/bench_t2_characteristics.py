@@ -1,0 +1,14 @@
+"""T2: benchmark characteristics of the SPEC-like suite."""
+
+from conftest import run_once
+
+from repro.harness.experiments import SUITE, run_t2
+
+
+def test_t2_characteristics(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_t2))
+    assert result.column("workload") == SUITE
+    by_name = dict(zip(result.column("workload"), result.column("IPC")))
+    # mcf is the memory-bound outlier; crafty/eon the high-ILP end
+    assert by_name["mcf"] == min(by_name.values())
+    assert by_name["crafty"] > by_name["mcf"]

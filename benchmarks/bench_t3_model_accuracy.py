@@ -1,0 +1,13 @@
+"""T3: first-order interval model vs simulation."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_t3
+
+
+def test_t3_model_accuracy(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_t3))
+    errors = result.column("CPI error %")
+    mean_abs = sum(abs(e) for e in errors) / len(errors)
+    assert mean_abs < 15.0
+    assert max(abs(e) for e in errors) < 35.0

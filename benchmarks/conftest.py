@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs one experiment from DESIGN.md's index, prints the
+reproduced table/figure rows, writes them under ``benchmarks/results/``
+and reports the wall-clock via pytest-benchmark. Baseline simulations
+are cached in-process, so later benchmarks reuse the suite runs of
+earlier ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Print an ExperimentResult and persist it to results/<id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result):
+        rendered = result.render()
+        print()
+        print(rendered)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(
+            rendered + "\n", encoding="utf-8"
+        )
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are deterministic and the
+    interesting output is the table, not the timing distribution)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

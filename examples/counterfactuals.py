@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Counterfactual costing vs interval CPI-stack attribution.
+
+Two independent ways of asking "what do branch mispredictions cost?":
+
+1. the interval CPI stack attributes measured cycles to events;
+2. a *paired counterfactual* reruns the identical trace with the events
+   removed and takes the cycle difference.
+
+The two methods should broadly agree — and where they diverge (they
+overlap-adjust differently), the comparison is itself informative.
+
+Run:  python examples/counterfactuals.py [workload]
+"""
+
+import sys
+
+from repro import CoreConfig, build_cpi_stack, simulate
+from repro.trace.synthetic import generate_trace
+from repro.trace.transforms import (
+    with_perfect_branches,
+    with_perfect_icache,
+    without_short_misses,
+)
+from repro.util.tabulate import format_table
+from repro.workloads import spec_profile
+
+
+def main(workload: str = "twolf") -> None:
+    config = CoreConfig()
+    trace = generate_trace(spec_profile(workload), count=50_000, seed=6)
+    base = simulate(trace, config)
+    stack = build_cpi_stack(base, config.dispatch_width)
+
+    counterfactuals = [
+        ("branch mispredictions", with_perfect_branches(trace), stack.bpred),
+        ("I-cache misses", with_perfect_icache(trace), stack.icache),
+        ("short D-cache misses", without_short_misses(trace), None),
+    ]
+    rows = []
+    for label, modified, stack_cycles in counterfactuals:
+        ideal = simulate(modified, config)
+        saved = base.cycles - ideal.cycles
+        rows.append(
+            [
+                label,
+                saved,
+                100.0 * saved / base.cycles,
+                stack_cycles if stack_cycles is not None else float("nan"),
+            ]
+        )
+    print(f"workload {workload}: {base.cycles} baseline cycles, "
+          f"CPI {base.cpi:.3f}\n")
+    print(
+        format_table(
+            ["events removed", "cycles saved", "% of runtime",
+             "CPI-stack attribution"],
+            rows,
+            float_fmt=".1f",
+            title="Paired counterfactuals vs interval attribution",
+        )
+    )
+    print(
+        "\nTwo observations. (1) The counterfactual saves far fewer "
+        "cycles than the stack attributes to branches: the interval "
+        "stack charges each penalty as if the machine were dispatch-"
+        "bound between events, but on a low-ILP workload the dependence "
+        "chains reclaim most of those slots anyway — event penalties "
+        "overlap with the base bottleneck. (2) Short D-cache misses "
+        "have no stack component of their own (they are not miss "
+        "events), yet their counterfactual saves real cycles — the "
+        "cost the paper identifies as contributor C5."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "twolf")

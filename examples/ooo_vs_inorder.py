@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Why the penalty is an out-of-order phenomenon.
+
+Runs the same traces on the out-of-order core and on a scoreboarded
+in-order core. In-order, the mispredicted branch issues almost as soon
+as it is fetched, so the resolution time collapses and the folk-wisdom
+approximation (penalty ~ frontend depth) is nearly exact. Out-of-order,
+the branch waits behind the window drain — the paper's whole point.
+
+Run:  python examples/ooo_vs_inorder.py
+"""
+
+from repro import CoreConfig, measure_penalties, simulate, simulate_inorder
+from repro.trace.synthetic import generate_trace
+from repro.util.tabulate import format_table
+from repro.workloads import SPEC_PROFILES
+
+
+def main() -> None:
+    config = CoreConfig()
+    rows = []
+    for name in ("gzip", "crafty", "parser", "twolf", "bzip2"):
+        trace = generate_trace(SPEC_PROFILES[name], count=30_000, seed=20)
+        ooo = simulate(trace, config)
+        ino = simulate_inorder(trace, config)
+        ooo_report = measure_penalties(ooo)
+        ino_report = measure_penalties(ino)
+        rows.append(
+            [
+                name,
+                ooo_report.mean_penalty,
+                ino_report.mean_penalty,
+                ooo.ipc,
+                ino.ipc,
+                ooo.ipc / ino.ipc,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "penalty (OoO)", "penalty (in-order)",
+             "IPC (OoO)", "IPC (in-order)", "OoO speedup"],
+            rows,
+            float_fmt=".2f",
+            title=f"Same traces, two cores (frontend depth = "
+            f"{config.frontend_depth})",
+        )
+    )
+    print(
+        "\nIn-order penalties sit a couple of cycles above the frontend "
+        "depth; the out-of-order window buys 1.4-1.6x IPC and pays for "
+        "it with 4-10x larger misprediction penalties."
+    )
+
+
+if __name__ == "__main__":
+    main()

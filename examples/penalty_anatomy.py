@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Anatomy of one branch misprediction penalty.
+
+Walks through the paper's full characterization for one workload:
+
+1. the interval timeline around a single misprediction (dispatch rate
+   collapsing at the branch, recovering after resolve + refill);
+2. resolution time bucketed by instructions-since-last-miss-event (C2);
+3. the five-contributor decomposition of the average penalty.
+
+Run:  python examples/penalty_anatomy.py [workload]
+"""
+
+import sys
+
+from repro import CoreConfig, decompose_contributors, measure_penalties, simulate
+from repro.harness.figures import ascii_bar_chart
+from repro.interval.penalty import bucket_resolution_by_gap
+from repro.trace.synthetic import generate_trace
+from repro.workloads import spec_profile
+
+
+def main(workload: str = "parser") -> None:
+    profile = spec_profile(workload)
+    config = CoreConfig()
+    trace = generate_trace(profile, count=60_000, seed=7)
+    result = simulate(trace, config)
+    report = measure_penalties(result)
+
+    print(f"=== {workload}: {report.count} mispredictions ===\n")
+
+    # 1. One misprediction's timeline.
+    event = max(result.mispredict_events, key=lambda e: e.resolution)
+    print("worst misprediction:")
+    print(f"  dispatched at cycle {event.cycle} with "
+          f"{event.window_occupancy} instructions in the window")
+    print(f"  resolved {event.resolution} cycles later "
+          f"(executed at cycle {event.resolve_cycle})")
+    print(f"  + {event.refill_cycles} cycles of frontend refill")
+    print(f"  = {event.penalty} cycles total "
+          f"({event.penalty / config.frontend_depth:.1f}x the frontend depth)\n")
+
+    # 2. Burstiness: resolution vs gap since last miss event (C2).
+    print("resolution vs instructions since last miss event (C2):")
+    rows = [
+        (label, mean)
+        for label, count, mean in bucket_resolution_by_gap(report)
+        if count > 0
+    ]
+    print(ascii_bar_chart(rows, unit=" cycles"))
+    print()
+
+    # 3. Five-contributor decomposition.
+    print("five-contributor decomposition of the mean penalty:")
+    breakdown = decompose_contributors(trace, result, config, max_events=200)
+    for name, value in breakdown.rows():
+        print(f"  {name:<45} {value:8.2f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "parser")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""How the penalty scales with frontend pipeline depth.
+
+Folk wisdom: penalty == frontend depth, so doubling the pipeline
+doubles the penalty. Interval analysis: penalty = resolution + depth,
+and resolution is set by the window drain, not the frontend — so the
+*relative* cost of deepening the pipeline is much smaller than folk
+wisdom predicts on workloads with long resolution times.
+
+Run:  python examples/pipeline_depth_study.py
+"""
+
+from repro import CoreConfig, measure_penalties, simulate
+from repro.trace.synthetic import generate_trace
+from repro.util.tabulate import format_table
+from repro.workloads import spec_profile
+
+
+def main() -> None:
+    trace = generate_trace(spec_profile("parser"), count=40_000, seed=11)
+    rows = []
+    for depth in (3, 5, 8, 12, 20, 30, 40):
+        config = CoreConfig(frontend_depth=depth)
+        result = simulate(trace, config)
+        report = measure_penalties(result)
+        rows.append(
+            [
+                depth,
+                report.mean_resolution,
+                report.mean_penalty,
+                report.mean_penalty / depth,
+                result.ipc,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "frontend depth",
+                "resolution",
+                "penalty",
+                "penalty/depth",
+                "IPC",
+            ],
+            rows,
+            float_fmt=".2f",
+            title="Penalty vs frontend pipeline depth (parser-like workload)",
+        )
+    )
+    print(
+        "\nResolution is roughly depth-independent: the penalty grows by "
+        "~1 cycle per extra frontend stage, while the penalty/depth ratio "
+        "collapses toward 1 only for very deep pipelines."
+    )
+
+
+if __name__ == "__main__":
+    main()

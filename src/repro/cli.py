@@ -1,0 +1,324 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro experiment f2          # reproduce one table/figure
+    python -m repro suite --length 20000   # characterize the suite
+    python -m repro simulate --workload twolf --rob 256
+    python -m repro simulate --kernel branchy_search --structural
+    python -m repro decompose --workload mcf
+    python -m repro trace --workload gzip --length 50000 --out gzip.trc
+    python -m repro trace-info gzip.trc
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.frontend.base import BranchUnit
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.tournament import TournamentPredictor
+from repro.interval.contributors import decompose_contributors
+from repro.interval.cpi_stack import build_cpi_stack
+from repro.interval.penalty import measure_penalties
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.pipeline.annotate import StructuralAnnotator
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stream import Trace
+from repro.trace.synthetic import generate_trace
+from repro.util.tabulate import format_table
+from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel
+from repro.workloads.spec_profiles import ALL_PROFILES, SPEC_FP_PROFILES, SPEC_PROFILES
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=4,
+                        help="dispatch/issue/commit width (default 4)")
+    parser.add_argument("--rob", type=int, default=128,
+                        help="ROB / window size (default 128)")
+    parser.add_argument("--frontend-depth", type=int, default=5,
+                        help="frontend pipeline depth in cycles (default 5)")
+    parser.add_argument("--memory-latency", type=int, default=250,
+                        help="long-miss latency in cycles (default 250)")
+
+
+def _config_from(args: argparse.Namespace) -> CoreConfig:
+    return CoreConfig(
+        dispatch_width=args.width,
+        issue_width=args.width,
+        commit_width=args.width,
+        rob_size=args.rob,
+        frontend_depth=args.frontend_depth,
+        memory_latency=args.memory_latency,
+    )
+
+
+def _trace_from(args: argparse.Namespace) -> Trace:
+    chosen = [
+        bool(getattr(args, "workload", None)),
+        bool(getattr(args, "kernel", None)),
+        bool(getattr(args, "trace", None)),
+    ]
+    if sum(chosen) != 1:
+        raise SystemExit(
+            "choose exactly one of --workload, --kernel, --trace"
+        )
+    if args.workload:
+        if args.workload not in ALL_PROFILES:
+            raise SystemExit(
+                f"unknown workload {args.workload!r}; "
+                f"see `python -m repro list`"
+            )
+        return generate_trace(
+            ALL_PROFILES[args.workload], args.length, seed=args.seed
+        )
+    if args.kernel:
+        if args.kernel not in KERNEL_BUILDERS:
+            raise SystemExit(
+                f"unknown kernel {args.kernel!r}; see `python -m repro list`"
+            )
+        return build_kernel(args.kernel).run()
+    return load_trace(args.trace)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_experiment
+
+    try:
+        result = run_experiment(args.experiment_id)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.markdown:
+        print(result.render_markdown())
+    else:
+        print(result.render())
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    rows = []
+    for name, profile in SPEC_PROFILES.items():
+        trace = generate_trace(profile, args.length, seed=args.seed)
+        result = simulate(trace, config)
+        report = measure_penalties(result)
+        rows.append(
+            [
+                name,
+                result.ipc,
+                1000.0 * report.count / result.instructions,
+                report.mean_resolution,
+                report.mean_penalty,
+                report.penalty_over_refill,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "IPC", "mispred/ki", "resolution", "penalty",
+             "penalty/frontend"],
+            rows,
+            float_fmt=".2f",
+            title=f"suite @ width={config.dispatch_width} rob="
+            f"{config.rob_size} frontend={config.frontend_depth}",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    trace = _trace_from(args)
+    annotator = None
+    if args.structural:
+        annotator = StructuralAnnotator(
+            config,
+            BranchUnit(direction=TournamentPredictor(),
+                       btb=BranchTargetBuffer()),
+            CacheHierarchy(HierarchyConfig(
+                memory_latency=config.memory_latency)),
+        )
+    if args.inorder:
+        from repro.pipeline.inorder import simulate_inorder
+
+        result = simulate_inorder(trace, config, annotator=annotator)
+    else:
+        result = simulate(trace, config, annotator=annotator)
+    report = measure_penalties(result)
+    stack = build_cpi_stack(result, config.dispatch_width)
+    print(f"instructions      : {result.instructions}")
+    print(f"cycles            : {result.cycles}")
+    print(f"IPC               : {result.ipc:.3f}")
+    print(f"mispredictions    : {report.count}")
+    print(f"I-cache misses    : {len(result.icache_events)}")
+    print(f"long D-misses     : {len(result.long_dmiss_events)}")
+    if report.count:
+        print(f"mean resolution   : {report.mean_resolution:.1f} cycles")
+        print(f"mean penalty      : {report.mean_penalty:.1f} cycles "
+              f"({report.penalty_over_refill:.1f}x frontend)")
+    print("CPI stack         : "
+          + "  ".join(f"{k}={v:.3f}" for k, v in stack.component_cpi().items()))
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    trace = _trace_from(args)
+    result = simulate(trace, config)
+    breakdown = decompose_contributors(
+        trace, result, config, max_events=args.max_events
+    )
+    if not breakdown.count:
+        print("no mispredictions to decompose")
+        return 0
+    print(f"mispredictions sliced: {breakdown.count}")
+    for name, value in breakdown.rows():
+        print(f"  {name:<45} {value:8.2f}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.workload not in ALL_PROFILES:
+        raise SystemExit(f"unknown workload {args.workload!r}")
+    trace = generate_trace(
+        ALL_PROFILES[args.workload], args.length, seed=args.seed
+    )
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} records to {args.out}")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace_file)
+    stats = trace.statistics()
+    print(f"name                : {trace.name}")
+    print(f"instructions        : {stats.instruction_count}")
+    print("mix                 : "
+          + "  ".join(f"{k}={v:.3f}" for k, v in sorted(stats.mix.items())))
+    print(f"branches            : {stats.branch_count} "
+          f"(taken {stats.taken_fraction:.2f})")
+    print(f"mispredictions/ki   : {stats.mispredictions_per_ki:.2f}")
+    print(f"IL1 misses/ki       : {stats.il1_misses_per_ki:.2f}")
+    print(f"DL1/DL2 miss rates  : {stats.dl1_miss_rate:.3f} / "
+          f"{stats.dl2_miss_rate:.3f}")
+    print(f"mean dep distance   : {stats.mean_dependence_distance:.2f}")
+    print(f"dataflow IPC        : {trace.dataflow_ipc():.2f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run experiments and write a consolidated markdown report."""
+    from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+    ids = args.experiments or list(EXPERIMENTS)
+    sections = [
+        "# Reproduction report",
+        "",
+        "Generated by `repro report`. One section per experiment; see",
+        "EXPERIMENTS.md for the paper-vs-measured interpretation.",
+        "",
+    ]
+    for experiment_id in ids:
+        print(f"running {experiment_id} ...", flush=True)
+        result = run_experiment(experiment_id)
+        sections.append(result.render_markdown())
+        sections.append("")
+    text = "\n".join(sections)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import EXPERIMENTS
+
+    print("workloads :", "  ".join(SPEC_PROFILES))
+    print("fp workloads:", "  ".join(SPEC_FP_PROFILES))
+    print("kernels   :", "  ".join(KERNEL_BUILDERS))
+    print("experiments:", "  ".join(EXPERIMENTS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Characterizing the branch misprediction penalty "
+        "(ISPASS 2006) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment", help="run one table/figure experiment")
+    p.add_argument("experiment_id", help="t1-t3, f1-f16")
+    p.add_argument("--markdown", action="store_true")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("suite", help="characterize the SPEC-like suite")
+    p.add_argument("--length", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=2006)
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("simulate", help="simulate one trace")
+    p.add_argument("--workload", help="SPEC-like workload name")
+    p.add_argument("--kernel", help="microbenchmark kernel name")
+    p.add_argument("--trace", help="trace file path")
+    p.add_argument("--length", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--structural", action="store_true",
+                   help="use real predictor/cache substrates")
+    p.add_argument("--inorder", action="store_true",
+                   help="use the scoreboarded in-order core")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("decompose",
+                       help="five-contributor penalty decomposition")
+    p.add_argument("--workload")
+    p.add_argument("--kernel")
+    p.add_argument("--trace")
+    p.add_argument("--length", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--max-events", type=int, default=150)
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("trace", help="generate and save a synthetic trace")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--length", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("trace-info", help="describe a saved trace")
+    p.add_argument("trace_file")
+    p.set_defaults(func=cmd_trace_info)
+
+    p = sub.add_parser("report",
+                       help="run experiments, write a markdown report")
+    p.add_argument("experiments", nargs="*",
+                   help="experiment ids (default: all)")
+    p.add_argument("--out", help="output path (default: stdout)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("list", help="list workloads, kernels, experiments")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Common predictor interfaces and statistics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class PredictorStats:
+    """Prediction accounting shared by all predictors."""
+
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def mispredictions(self) -> int:
+        return self.predictions - self.correct
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return self.correct / self.predictions
+
+    @property
+    def mispredict_rate(self) -> float:
+        return 1.0 - self.accuracy
+
+    def record(self, was_correct: bool) -> None:
+        self.predictions += 1
+        self.correct += int(was_correct)
+
+
+class DirectionPredictor(abc.ABC):
+    """Predicts the taken/not-taken direction of conditional branches.
+
+    Subclasses implement :meth:`_predict` and :meth:`_update`; the
+    public wrappers keep the statistics consistent across predictors.
+    """
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def _predict(self, pc: int) -> bool:
+        """Return the predicted direction for the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def _update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+
+    def predict(self, pc: int) -> bool:
+        """Predict without training (e.g. for inspection)."""
+        return self._predict(pc)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, train with the outcome, and record statistics.
+
+        Returns True when the prediction was *correct*.
+        """
+        prediction = self._predict(pc)
+        correct = prediction == taken
+        self._update(pc, taken)
+        self.stats.record(correct)
+        return correct
+
+    def reset_stats(self) -> None:
+        self.stats = PredictorStats()
+
+
+@dataclass
+class BranchUnit:
+    """Direction predictor + BTB bundle used by structural runs.
+
+    A control-flow instruction mispredicts when either the predicted
+    direction is wrong or the branch is taken and the BTB misses or
+    holds a stale target. Unconditional jumps only consult the BTB.
+    """
+
+    direction: DirectionPredictor
+    btb: Optional[object] = None
+    stats: PredictorStats = field(default_factory=PredictorStats)
+
+    def resolve_branch(self, pc: int, taken: bool, target: Optional[int]) -> bool:
+        """Process one conditional branch; return True on misprediction."""
+        direction_correct = self.direction.predict_and_update(pc, taken)
+        target_correct = True
+        if self.btb is not None and taken and target is not None:
+            target_correct = self.btb.predict_and_update(pc, target)
+        mispredicted = not (direction_correct and target_correct)
+        self.stats.record(not mispredicted)
+        return mispredicted
+
+    def resolve_jump(self, pc: int, target: Optional[int]) -> bool:
+        """Process one unconditional jump; return True on misprediction."""
+        if self.btb is None or target is None:
+            return False
+        correct = self.btb.predict_and_update(pc, target)
+        self.stats.record(correct)
+        return not correct

@@ -1,0 +1,55 @@
+"""Bimodal predictor: a PC-indexed table of 2-bit saturating counters."""
+
+from __future__ import annotations
+
+from repro.frontend.base import DirectionPredictor
+from repro.util.validation import check_power_of_two
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    The upper half of the range predicts taken. The classic 2-bit
+    counter is ``SaturatingCounter(bits=2)``.
+    """
+
+    def __init__(self, bits: int = 2, initial: int = None):
+        if bits < 1:
+            raise ValueError(f"counter needs at least 1 bit, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if initial is None:
+            initial = 1 << (bits - 1)  # weakly taken
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial value {initial} out of range")
+        self.value = initial
+
+    @property
+    def taken(self) -> bool:
+        return self.value >= 1 << (self.bits - 1)
+
+    def train(self, taken: bool) -> None:
+        if taken:
+            self.value = min(self.value + 1, self.maximum)
+        else:
+            self.value = max(self.value - 1, 0)
+
+
+class BimodalPredictor(DirectionPredictor):
+    """PC-indexed table of saturating counters (Smith predictor)."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2):
+        super().__init__()
+        check_power_of_two("entries", entries)
+        self.entries = entries
+        self.counter_bits = counter_bits
+        self._table = [SaturatingCounter(counter_bits) for _ in range(entries)]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def _predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].taken
+
+    def _update(self, pc: int, taken: bool) -> None:
+        self._table[self._index(pc)].train(taken)

@@ -1,0 +1,62 @@
+"""Branch target buffer: set-associative tagged cache of branch targets."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.frontend.base import PredictorStats
+from repro.util.validation import check_power_of_two
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement.
+
+    ``predict(pc)`` returns the cached target or None; ``update``
+    installs/refreshes the mapping. ``predict_and_update`` returns True
+    when the cached target matched the actual one (a BTB miss or a stale
+    target counts as a target misprediction).
+    """
+
+    def __init__(self, sets: int = 512, ways: int = 4):
+        check_power_of_two("sets", sets)
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        self.sets = sets
+        self.ways = ways
+        self.stats = PredictorStats()
+        # Per set: insertion-ordered dict tag -> target; last = MRU.
+        self._sets = [dict() for _ in range(sets)]
+
+    def _locate(self, pc: int):
+        index = (pc >> 2) & (self.sets - 1)
+        tag = pc >> 2 >> self.sets.bit_length() - 1
+        return self._sets[index], tag
+
+    def predict(self, pc: int) -> Optional[int]:
+        entries, tag = self._locate(pc)
+        if tag in entries:
+            target = entries.pop(tag)  # refresh LRU position
+            entries[tag] = target
+            return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        entries, tag = self._locate(pc)
+        if tag in entries:
+            entries.pop(tag)
+        elif len(entries) >= self.ways:
+            oldest = next(iter(entries))
+            entries.pop(oldest)
+        entries[tag] = target
+
+    def predict_and_update(self, pc: int, target: int) -> bool:
+        """Predict, then install the true target; True when correct."""
+        predicted = self.predict(pc)
+        correct = predicted == target
+        self.update(pc, target)
+        self.stats.record(correct)
+        return correct
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)

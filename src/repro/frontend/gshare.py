@@ -1,0 +1,37 @@
+"""Gshare: global history XOR-ed with the PC indexes a counter table."""
+
+from __future__ import annotations
+
+from repro.frontend.base import DirectionPredictor
+from repro.frontend.bimodal import SaturatingCounter
+from repro.util.validation import check_power_of_two
+
+
+class GSharePredictor(DirectionPredictor):
+    """McFarling's gshare predictor."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12, counter_bits: int = 2):
+        super().__init__()
+        check_power_of_two("entries", entries)
+        if history_bits < 1:
+            raise ValueError(f"history_bits must be >= 1, got {history_bits}")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._table = [SaturatingCounter(counter_bits) for _ in range(entries)]
+
+    @property
+    def history(self) -> int:
+        """Current global history register value (for tests/inspection)."""
+        return self._history
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & (self.entries - 1)
+
+    def _predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].taken
+
+    def _update(self, pc: int, taken: bool) -> None:
+        self._table[self._index(pc)].train(taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,53 @@
+"""Two-level local predictor (Yeh & Patt PAg style).
+
+A per-branch history table records each branch's recent outcomes; the
+history pattern indexes a shared table of saturating counters.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.base import DirectionPredictor
+from repro.frontend.bimodal import SaturatingCounter
+from repro.util.validation import check_power_of_two
+
+
+class LocalPredictor(DirectionPredictor):
+    """Per-branch history feeding a shared pattern table."""
+
+    def __init__(
+        self,
+        history_entries: int = 1024,
+        history_bits: int = 10,
+        pattern_entries: int = 1024,
+        counter_bits: int = 2,
+    ):
+        super().__init__()
+        check_power_of_two("history_entries", history_entries)
+        check_power_of_two("pattern_entries", pattern_entries)
+        if history_bits < 1:
+            raise ValueError(f"history_bits must be >= 1, got {history_bits}")
+        self.history_entries = history_entries
+        self.history_bits = history_bits
+        self.pattern_entries = pattern_entries
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = [0] * history_entries
+        self._patterns = [
+            SaturatingCounter(counter_bits) for _ in range(pattern_entries)
+        ]
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.history_entries - 1)
+
+    def _pattern_index(self, pc: int) -> int:
+        history = self._histories[self._history_index(pc)]
+        return history & (self.pattern_entries - 1)
+
+    def _predict(self, pc: int) -> bool:
+        return self._patterns[self._pattern_index(pc)].taken
+
+    def _update(self, pc: int, taken: bool) -> None:
+        self._patterns[self._pattern_index(pc)].train(taken)
+        h_index = self._history_index(pc)
+        self._histories[h_index] = (
+            (self._histories[h_index] << 1) | int(taken)
+        ) & self._history_mask

@@ -1,0 +1,59 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+Each branch hashes to a weight vector; the prediction is the sign of
+the dot product of the weights with the global history (encoded ±1).
+Training only occurs on a misprediction or when the output magnitude is
+below the threshold, which bounds the weights.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.base import DirectionPredictor
+from repro.util.validation import check_power_of_two
+
+
+class PerceptronPredictor(DirectionPredictor):
+    """Global-history perceptron predictor."""
+
+    def __init__(self, entries: int = 512, history_bits: int = 24):
+        super().__init__()
+        check_power_of_two("entries", entries)
+        if history_bits < 1:
+            raise ValueError(f"history_bits must be >= 1, got {history_bits}")
+        self.entries = entries
+        self.history_bits = history_bits
+        # Threshold from the paper: 1.93 * h + 14.
+        self.threshold = int(1.93 * history_bits + 14)
+        self.weight_limit = (1 << 7) - 1  # 8-bit signed weights
+        # weights[i][0] is the bias; [1..h] pair with history bits.
+        self._weights = [[0] * (history_bits + 1) for _ in range(entries)]
+        self._history = [False] * history_bits
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def _output(self, pc: int) -> int:
+        weights = self._weights[self._index(pc)]
+        total = weights[0]
+        for bit, weight in zip(self._history, weights[1:]):
+            total += weight if bit else -weight
+        return total
+
+    def _predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def _update(self, pc: int, taken: bool) -> None:
+        output = self._output(pc)
+        prediction = output >= 0
+        if prediction != taken or abs(output) <= self.threshold:
+            weights = self._weights[self._index(pc)]
+            step = 1 if taken else -1
+            weights[0] = self._clamp(weights[0] + step)
+            for i, bit in enumerate(self._history, start=1):
+                agree = 1 if bit == taken else -1
+                weights[i] = self._clamp(weights[i] + agree)
+        self._history.pop(0)
+        self._history.append(taken)
+
+    def _clamp(self, value: int) -> int:
+        return max(-self.weight_limit - 1, min(self.weight_limit, value))

@@ -1,0 +1,33 @@
+"""Perfect (oracle) direction predictor — the zero-misprediction bound."""
+
+from __future__ import annotations
+
+from repro.frontend.base import DirectionPredictor
+
+
+class PerfectPredictor(DirectionPredictor):
+    """Always predicts the resolved outcome.
+
+    The oracle needs to see the outcome before predicting; the pipeline
+    therefore calls :meth:`prime` with the actual direction just before
+    the prediction (this mirrors how trace-driven simulators implement
+    perfect prediction).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_outcome = False
+
+    def prime(self, taken: bool) -> None:
+        """Reveal the next branch's outcome to the oracle."""
+        self._next_outcome = taken
+
+    def _predict(self, pc: int) -> bool:
+        return self._next_outcome
+
+    def _update(self, pc: int, taken: bool) -> None:
+        self._next_outcome = taken
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        self.prime(taken)
+        return super().predict_and_update(pc, taken)

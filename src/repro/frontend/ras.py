@@ -1,0 +1,43 @@
+"""Return address stack for call/return target prediction."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.base import PredictorStats
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return address stack.
+
+    Pushes on calls, pops on returns. When the stack overflows the
+    oldest entry is overwritten (standard hardware behaviour), so deep
+    recursion degrades gracefully rather than failing.
+    """
+
+    def __init__(self, depth: int = 16):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.stats = PredictorStats()
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)  # overwrite oldest
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def predict_return(self, actual_target: int) -> bool:
+        """Pop a prediction and score it against the actual target."""
+        predicted = self.pop()
+        correct = predicted == actual_target
+        self.stats.record(correct)
+        return correct
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,19 @@
+"""Static direction predictors (always-taken / always-not-taken)."""
+
+from __future__ import annotations
+
+from repro.frontend.base import DirectionPredictor
+
+
+class StaticPredictor(DirectionPredictor):
+    """Predicts a fixed direction regardless of history."""
+
+    def __init__(self, predict_taken: bool = True):
+        super().__init__()
+        self.predict_taken = predict_taken
+
+    def _predict(self, pc: int) -> bool:
+        return self.predict_taken
+
+    def _update(self, pc: int, taken: bool) -> None:
+        pass  # static predictors never learn

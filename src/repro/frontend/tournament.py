@@ -1,0 +1,57 @@
+"""Tournament (hybrid) predictor: a chooser arbitrates two components.
+
+This mirrors the Alpha 21264-style hybrid the paper's baseline machine
+uses: a global (gshare) component, a local two-level component, and a
+PC-indexed chooser of 2-bit counters trained toward whichever component
+was correct when they disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.base import DirectionPredictor
+from repro.frontend.bimodal import SaturatingCounter
+from repro.frontend.gshare import GSharePredictor
+from repro.frontend.local import LocalPredictor
+from repro.util.validation import check_power_of_two
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Chooser-arbitrated hybrid of two direction predictors."""
+
+    def __init__(
+        self,
+        global_component: Optional[DirectionPredictor] = None,
+        local_component: Optional[DirectionPredictor] = None,
+        chooser_entries: int = 4096,
+        counter_bits: int = 2,
+    ):
+        super().__init__()
+        check_power_of_two("chooser_entries", chooser_entries)
+        self.global_component = global_component or GSharePredictor()
+        self.local_component = local_component or LocalPredictor()
+        self.chooser_entries = chooser_entries
+        # Chooser counter high half selects the global component.
+        self._chooser = [
+            SaturatingCounter(counter_bits) for _ in range(chooser_entries)
+        ]
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.chooser_entries - 1)
+
+    def _predict(self, pc: int) -> bool:
+        use_global = self._chooser[self._chooser_index(pc)].taken
+        component = self.global_component if use_global else self.local_component
+        return component._predict(pc)
+
+    def _update(self, pc: int, taken: bool) -> None:
+        global_prediction = self.global_component._predict(pc)
+        local_prediction = self.local_component._predict(pc)
+        if global_prediction != local_prediction:
+            # Train the chooser toward the component that was right.
+            self._chooser[self._chooser_index(pc)].train(
+                global_prediction == taken
+            )
+        self.global_component._update(pc, taken)
+        self.local_component._update(pc, taken)

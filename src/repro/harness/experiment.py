@@ -1,0 +1,56 @@
+"""Experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.util.tabulate import format_markdown_table, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    ``rows`` are the printable rows (the same rows the paper's table or
+    figure encodes); ``series`` optionally carries named numeric series
+    for figure-shaped experiments; ``notes`` records the validation
+    claim the experiment checks.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self, float_fmt: str = ".2f") -> str:
+        """Aligned ASCII rendering for terminal output."""
+        parts = [f"== {self.experiment_id.upper()}: {self.title} =="]
+        parts.append(
+            format_table(self.headers, self.rows, float_fmt=float_fmt)
+        )
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def render_markdown(self, float_fmt: str = ".2f") -> str:
+        """Markdown rendering (EXPERIMENTS.md uses this)."""
+        parts = [f"### {self.experiment_id.upper()}: {self.title}", ""]
+        parts.append(
+            format_markdown_table(self.headers, self.rows, float_fmt=float_fmt)
+        )
+        if self.notes:
+            parts.extend(["", f"*{self.notes}*"])
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by header name."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; have {list(self.headers)}"
+            ) from None
+        return [row[index] for row in self.rows]

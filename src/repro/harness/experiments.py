@@ -1,0 +1,1032 @@
+"""Implementations of every reproduced table and figure (see DESIGN.md).
+
+Each ``run_*`` function returns an
+:class:`~repro.harness.experiment.ExperimentResult` whose rows are the
+data the corresponding table/figure in the paper's evaluation reports.
+``EXPERIMENTS`` maps experiment ids to these functions; benchmark files
+are one-liner wrappers over this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.runner import (
+    DEFAULT_LENGTH,
+    DEFAULT_SEED,
+    baseline_config,
+    simulate_workload,
+    workload_trace,
+)
+from repro.interval.contributors import decompose_contributors
+from repro.interval.cpi_stack import build_cpi_stack
+from repro.interval.ilp import fit_ilp_profile, full_latency
+from repro.interval.model import IntervalModel
+from repro.interval.penalty import (
+    bucket_resolution_by_gap,
+    measure_penalties,
+)
+from repro.interval.segmentation import segment_intervals
+from repro.pipeline.core import simulate
+from repro.pipeline.events import BranchMispredictEvent, MissEventKind
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+from repro.util.rng import derive_seed
+from repro.workloads.spec_profiles import SPEC_PROFILES
+
+SUITE = list(SPEC_PROFILES)
+_SWEEP_LENGTH = 40_000
+_SLICE_CAP = 120  # mispredictions sliced per workload in decompositions
+
+
+def run_t1() -> ExperimentResult:
+    """T1: baseline processor configuration."""
+    config = baseline_config()
+    rows = [list(row) for row in config.describe()]
+    return ExperimentResult(
+        experiment_id="t1",
+        title="Baseline processor configuration",
+        headers=["parameter", "value"],
+        rows=rows,
+        notes="4-wide out-of-order core, ROB 128, 5-cycle frontend.",
+    )
+
+
+def run_t2() -> ExperimentResult:
+    """T2: benchmark characteristics of the SPEC-like suite."""
+    rows = []
+    for name in SUITE:
+        trace = workload_trace(name)
+        stats = trace.statistics()
+        result = simulate_workload(name)
+        breakdown = segment_intervals(result)
+        rows.append(
+            [
+                name,
+                result.ipc,
+                stats.mispredictions_per_ki,
+                stats.il1_misses_per_ki,
+                1000.0 * stats.dl1_miss_rate * stats.mix.get("load", 0.0),
+                1000.0 * stats.dl2_miss_rate * stats.mix.get("load", 0.0),
+                breakdown.mean_interval_length,
+                breakdown.burstiness(),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="t2",
+        title="Benchmark characteristics",
+        headers=[
+            "workload",
+            "IPC",
+            "mispred/ki",
+            "IL1 miss/ki",
+            "short D/ki",
+            "long D/ki",
+            "mean interval",
+            "burstiness CV",
+        ],
+        rows=rows,
+        notes="Synthetic SPEC2000-int-like suite (substitution in DESIGN.md).",
+    )
+
+
+def run_f1(workload: str = "twolf") -> ExperimentResult:
+    """F1: dispatch-rate timeline around a branch misprediction."""
+    from repro.interval.visualize import (
+        interval_timeline,
+        pick_illustrative_event,
+    )
+
+    result = simulate_workload(workload)
+    event = pick_illustrative_event(result)
+    points = interval_timeline(result, event)
+    rows = [
+        [point.relative_cycle, point.dispatch_rate, point.phase]
+        for point in points
+    ]
+    return ExperimentResult(
+        experiment_id="f1",
+        title=f"Interval timeline around a misprediction ({workload})",
+        headers=["cycles rel. to branch dispatch", "dispatch rate", "phase"],
+        rows=rows,
+        series={"dispatch_rate": [row[1] for row in rows]},
+        notes=(
+            f"resolution={event.resolution} cycles, refill="
+            f"{event.refill_cycles}: dispatch collapses at the branch and "
+            "recovers only after resolve+refill (the interval sawtooth)."
+        ),
+    )
+
+
+def run_f2() -> ExperimentResult:
+    """F2: mean misprediction penalty vs the frontend pipeline length."""
+    config = baseline_config()
+    rows = []
+    for name in SUITE:
+        result = simulate_workload(name)
+        report = measure_penalties(result)
+        rows.append(
+            [
+                name,
+                config.frontend_depth,
+                report.mean_resolution,
+                report.mean_penalty,
+                report.mean_penalty / config.frontend_depth
+                if config.frontend_depth
+                else 0.0,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f2",
+        title="Misprediction penalty vs frontend pipeline length",
+        headers=[
+            "workload",
+            "frontend depth",
+            "mean resolution",
+            "mean penalty",
+            "penalty/frontend",
+        ],
+        rows=rows,
+        notes=(
+            "The paper's headline: the penalty substantially exceeds the "
+            "frontend length everywhere (ratio > 1 for all workloads)."
+        ),
+    )
+
+
+def run_f3() -> ExperimentResult:
+    """F3: penalty decomposition — resolution + refill per workload."""
+    rows = []
+    for name in SUITE:
+        result = simulate_workload(name)
+        report = measure_penalties(result)
+        rows.append(
+            [
+                name,
+                report.count,
+                report.mean_resolution,
+                float(report.frontend_depth),
+                report.mean_penalty,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f3",
+        title="Penalty decomposition: resolution time + frontend refill",
+        headers=[
+            "workload",
+            "mispredictions",
+            "resolution (cycles)",
+            "refill (cycles)",
+            "total penalty",
+        ],
+        rows=rows,
+        notes="penalty = resolution + refill by construction; resolution dominates.",
+    )
+
+
+def run_f4() -> ExperimentResult:
+    """F4: resolution time vs instructions since the last miss event."""
+    merged_rows: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for name in SUITE:
+        result = simulate_workload(name)
+        report = measure_penalties(result)
+        rows = bucket_resolution_by_gap(
+            report, exclude_long_miss_shadow=True
+        )
+        for label, count, mean in rows:
+            if label not in merged_rows:
+                merged_rows[label] = [0.0, 0.0]
+                order.append(label)
+            merged_rows[label][0] += count
+            merged_rows[label][1] += mean * count
+    rows = []
+    for label in order:
+        count, weighted = merged_rows[label]
+        rows.append([label, int(count), weighted / count if count else 0.0])
+    return ExperimentResult(
+        experiment_id="f4",
+        title="Resolution time vs instructions since last miss event (C2)",
+        headers=["gap bucket (instructions)", "mispredictions", "mean resolution"],
+        rows=rows,
+        series={"resolution": [row[2] for row in rows]},
+        notes=(
+            "Burstiness effect: short gaps dispatch into a near-empty "
+            "window and resolve fast; the curve saturates near the full-"
+            "window drain time. Mispredictions in the shadow of an "
+            "outstanding long D-cache miss are excluded (their window "
+            "is not empty, so the gap does not measure occupancy)."
+        ),
+    )
+
+
+def run_f5() -> ExperimentResult:
+    """F5: distribution of inter-miss-event interval lengths."""
+    rows = []
+    for name in SUITE:
+        result = simulate_workload(name)
+        breakdown = segment_intervals(result)
+        hist = breakdown.length_histogram()
+        if not hist.total:
+            rows.append([name, 0, 0, 0, 0, 0.0])
+            continue
+        rows.append(
+            [
+                name,
+                hist.percentile(0.25),
+                hist.percentile(0.50),
+                hist.percentile(0.75),
+                hist.percentile(0.90),
+                breakdown.burstiness(),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f5",
+        title="Inter-miss-event interval length distribution",
+        headers=["workload", "p25", "p50", "p75", "p90", "CV"],
+        rows=rows,
+        notes=(
+            "Heavily skewed distributions: many short intervals (bursty "
+            "miss events) with long tails; CV near or above 1."
+        ),
+    )
+
+
+def run_f6() -> ExperimentResult:
+    """F6: penalty vs inherent program ILP (dependence-distance sweep)."""
+    base = SPEC_PROFILES["parser"]
+    rows = []
+    for distance in (2.0, 3.0, 4.0, 6.0, 8.0, 12.0):
+        profile = base.with_overrides(
+            name=f"ilp-{distance}", mean_dependence_distance=distance
+        )
+        trace = generate_trace(
+            profile, _SWEEP_LENGTH, seed=derive_seed(DEFAULT_SEED, "f6", distance)
+        )
+        result = simulate(trace, baseline_config())
+        report = measure_penalties(result)
+        rows.append(
+            [
+                distance,
+                trace.dataflow_ipc(),
+                report.mean_resolution,
+                report.mean_penalty,
+                result.ipc,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f6",
+        title="Penalty vs inherent ILP (C3)",
+        headers=[
+            "mean dep distance",
+            "dataflow IPC",
+            "mean resolution",
+            "mean penalty",
+            "IPC",
+        ],
+        rows=rows,
+        series={"resolution": [row[2] for row in rows]},
+        notes=(
+            "Lower ILP (shorter dependence distances) lengthens the chain "
+            "feeding the branch: resolution falls as ILP rises."
+        ),
+    )
+
+
+def run_f7() -> ExperimentResult:
+    """F7: penalty vs functional-unit latency scaling (C4)."""
+    rows = []
+    for factor in (1.0, 1.5, 2.0, 3.0, 4.0):
+        config = baseline_config().with_scaled_fu_latencies(factor)
+        totals = [0.0, 0.0, 0.0]
+        for name in ("parser", "twolf", "crafty"):
+            result = simulate_workload(name, config=config, length=_SWEEP_LENGTH)
+            report = measure_penalties(result)
+            totals[0] += report.mean_resolution
+            totals[1] += report.mean_penalty
+            totals[2] += result.ipc
+        rows.append(
+            [factor, totals[0] / 3, totals[1] / 3, totals[2] / 3]
+        )
+    return ExperimentResult(
+        experiment_id="f7",
+        title="Penalty vs functional-unit latency (C4)",
+        headers=["latency scale", "mean resolution", "mean penalty", "IPC"],
+        rows=rows,
+        series={"resolution": [row[1] for row in rows]},
+        notes="Resolution grows with FU latency (chain slowdown), IPC falls.",
+    )
+
+
+def run_f8() -> ExperimentResult:
+    """F8: penalty vs short (L1) D-cache miss rate (C5)."""
+    base = SPEC_PROFILES["parser"].with_overrides(
+        dl2_miss_rate=0.0, il1_mpki=0.0
+    )
+    rows = []
+    seeds = 3
+    for rate in (0.0, 0.02, 0.05, 0.10, 0.20):
+        profile = base.with_overrides(name=f"dl1-{rate}", dl1_miss_rate=rate)
+        resolution = penalty = ipc = 0.0
+        for rep in range(seeds):
+            trace = generate_trace(
+                profile,
+                _SWEEP_LENGTH,
+                seed=derive_seed(DEFAULT_SEED, "f8", rate, rep),
+            )
+            result = simulate(trace, baseline_config())
+            report = measure_penalties(result)
+            resolution += report.mean_resolution
+            penalty += report.mean_penalty
+            ipc += result.ipc
+        rows.append(
+            [rate, resolution / seeds, penalty / seeds, ipc / seeds]
+        )
+    return ExperimentResult(
+        experiment_id="f8",
+        title="Penalty vs short (L1) D-cache miss rate (C5)",
+        headers=["DL1 miss rate", "mean resolution", "mean penalty", "IPC"],
+        rows=rows,
+        series={"resolution": [row[1] for row in rows]},
+        notes=(
+            "Short misses are not miss events but their L2-hit latency on "
+            "the branch's backward slice inflates the resolution time."
+        ),
+    )
+
+
+def run_f9() -> ExperimentResult:
+    """F9: penalty vs window (ROB) size."""
+    rows = []
+    for rob in (32, 64, 128, 256):
+        config = baseline_config().with_overrides(rob_size=rob)
+        totals = [0.0, 0.0, 0.0]
+        names = ("parser", "twolf", "bzip2")
+        for name in names:
+            result = simulate_workload(name, config=config, length=_SWEEP_LENGTH)
+            report = measure_penalties(result)
+            totals[0] += report.mean_resolution
+            totals[1] += report.mean_penalty
+            totals[2] += result.ipc
+        rows.append([rob, totals[0] / 3, totals[1] / 3, totals[2] / 3])
+    return ExperimentResult(
+        experiment_id="f9",
+        title="Penalty vs window (ROB) size",
+        headers=["ROB size", "mean resolution", "mean penalty", "IPC"],
+        rows=rows,
+        series={"resolution": [row[1] for row in rows]},
+        notes=(
+            "Bigger windows hold more not-yet-executed work ahead of the "
+            "branch: resolution grows sublinearly with window size while "
+            "IPC also improves — the penalty/performance tension."
+        ),
+    )
+
+
+def run_f10() -> ExperimentResult:
+    """F10: interval CPI stacks per workload."""
+    config = baseline_config()
+    rows = []
+    for name in SUITE:
+        result = simulate_workload(name)
+        stack = build_cpi_stack(result, config.dispatch_width)
+        cpi = stack.component_cpi()
+        rows.append(
+            [
+                name,
+                cpi["base"],
+                cpi["bpred"],
+                cpi["icache"],
+                cpi["long_dcache"],
+                cpi["other"],
+                stack.cpi,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f10",
+        title="Interval CPI stacks",
+        headers=[
+            "workload",
+            "base",
+            "bpred",
+            "icache",
+            "long D$",
+            "other",
+            "total CPI",
+        ],
+        rows=rows,
+        notes="Components sum to total CPI; bpred share tracks mispred/ki x penalty.",
+    )
+
+
+def run_t3() -> ExperimentResult:
+    """T3: first-order interval model vs simulation."""
+    config = baseline_config()
+    rows = []
+    for name in SUITE:
+        trace = workload_trace(name)
+        result = simulate_workload(name)
+        model = IntervalModel(config)
+        prediction = model.predict(trace)
+        report = measure_penalties(result)
+        rows.append(
+            [
+                name,
+                result.cpi,
+                prediction.cpi,
+                100.0 * prediction.error_vs(result),
+                report.mean_penalty,
+                prediction.mean_penalty,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="t3",
+        title="Interval model accuracy vs simulation",
+        headers=[
+            "workload",
+            "sim CPI",
+            "model CPI",
+            "CPI error %",
+            "sim penalty",
+            "model penalty",
+        ],
+        rows=rows,
+        notes=(
+            "The first-order model, evaluated from trace statistics alone, "
+            "tracks simulated CPI and the mean misprediction penalty."
+        ),
+    )
+
+
+def run_f11() -> ExperimentResult:
+    """F11: five-contributor attribution of the penalty per workload."""
+    config = baseline_config()
+    rows = []
+    for name in SUITE:
+        trace = workload_trace(name)
+        result = simulate_workload(name)
+        breakdown = decompose_contributors(
+            trace, result, config, max_events=_SLICE_CAP
+        )
+        rows.append(
+            [
+                name,
+                breakdown.refill,
+                breakdown.ilp_chain,
+                breakdown.fu_latency_extra,
+                breakdown.short_miss_extra,
+                breakdown.residual,
+                breakdown.mean_penalty,
+                breakdown.mean_gap,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f11",
+        title="Five-contributor penalty attribution",
+        headers=[
+            "workload",
+            "C1 refill",
+            "C3 ILP chain",
+            "C4 FU latency",
+            "C5 short D$",
+            "residual",
+            "total penalty",
+            "C2 mean gap",
+        ],
+        rows=rows,
+        notes=(
+            "C1+C3+C4+C5+residual = penalty; C2 acts through the gap/"
+            "window occupancy that bounds the sliced chain."
+        ),
+    )
+
+
+def run_f12() -> ExperimentResult:
+    """F12: ILP power-law profile fit per workload."""
+    rows = []
+    for name in SUITE:
+        trace = workload_trace(name)
+        fit = fit_ilp_profile(trace)
+        rows.append(
+            [
+                name,
+                fit.alpha,
+                fit.beta,
+                fit.r_squared,
+                fit.predict_drain(128),
+                trace.dataflow_ipc(),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f12",
+        title="ILP profile power-law fit K(w) = alpha * w^beta",
+        headers=["workload", "alpha", "beta", "R^2", "K(128)", "dataflow IPC"],
+        rows=rows,
+        notes="The window-drain model behind C3; R^2 near 1 validates the law.",
+    )
+
+
+def run_f13() -> ExperimentResult:
+    """F13 (ablation): wrong-path dispatch vs dispatch-stop."""
+    rows = []
+    for name in ("parser", "twolf", "gzip"):
+        stop = simulate_workload(name, length=_SWEEP_LENGTH)
+        wrong_path = simulate_workload(
+            name,
+            config=baseline_config().with_overrides(dispatch_wrong_path=True),
+            length=_SWEEP_LENGTH,
+        )
+        stop_report = measure_penalties(stop)
+        wp_report = measure_penalties(wrong_path)
+        rows.append(
+            [
+                name,
+                stop_report.mean_penalty,
+                wp_report.mean_penalty,
+                stop.ipc,
+                wrong_path.ipc,
+                wrong_path.squashed_ghosts,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f13",
+        title="Ablation: wrong-path ghost dispatch vs dispatch stop",
+        headers=[
+            "workload",
+            "penalty (stop)",
+            "penalty (wrong-path)",
+            "IPC (stop)",
+            "IPC (wrong-path)",
+            "ghosts squashed",
+        ],
+        rows=rows,
+        notes=(
+            "Wrong-path work occupies window and issue slots; the penalty "
+            "definition (resolution + refill) is insensitive to it, "
+            "validating the dispatch-stop default."
+        ),
+    )
+
+
+def run_f14() -> ExperimentResult:
+    """F14 (ablation): oldest-first vs random-ready issue selection."""
+    rows = []
+    for name in ("parser", "twolf", "crafty"):
+        oldest = simulate_workload(name, length=_SWEEP_LENGTH)
+        random_cfg = baseline_config().with_overrides(issue_policy="random")
+        random_result = simulate_workload(
+            name, config=random_cfg, length=_SWEEP_LENGTH
+        )
+        rows.append(
+            [
+                name,
+                measure_penalties(oldest).mean_penalty,
+                measure_penalties(random_result).mean_penalty,
+                oldest.ipc,
+                random_result.ipc,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f14",
+        title="Ablation: issue selection policy",
+        headers=[
+            "workload",
+            "penalty (oldest)",
+            "penalty (random)",
+            "IPC (oldest)",
+            "IPC (random)",
+        ],
+        rows=rows,
+        notes=(
+            "Random-ready selection delays old chains (including the "
+            "branch's), lengthening resolution tails and losing IPC."
+        ),
+    )
+
+
+def run_f15() -> ExperimentResult:
+    """F15 (ablation): sensitivity of segmentation to the event definition."""
+    rows = []
+    for name in SUITE[:6]:
+        trace = workload_trace(name)
+        paper_events = 0
+        extended_events = 0
+        last_paper = -1
+        last_ext = -1
+        paper_gaps = []
+        ext_gaps = []
+        for seq, record in enumerate(trace.records):
+            is_paper_event = (
+                (record.is_branch and record.mispredict)
+                or record.il1_miss
+                or (record.is_load and record.dl2_miss)
+            )
+            is_short = bool(record.is_load and record.dl1_miss)
+            if is_paper_event:
+                paper_events += 1
+                paper_gaps.append(seq - last_paper)
+                last_paper = seq
+            if is_paper_event or is_short:
+                extended_events += 1
+                ext_gaps.append(seq - last_ext)
+                last_ext = seq
+        n = len(trace.records)
+        rows.append(
+            [
+                name,
+                1000.0 * paper_events / n,
+                1000.0 * extended_events / n,
+                sum(paper_gaps) / len(paper_gaps) if paper_gaps else 0.0,
+                sum(ext_gaps) / len(ext_gaps) if ext_gaps else 0.0,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f15",
+        title="Ablation: counting short D-misses as miss events",
+        headers=[
+            "workload",
+            "events/ki (paper)",
+            "events/ki (+short)",
+            "mean gap (paper)",
+            "mean gap (+short)",
+        ],
+        rows=rows,
+        notes=(
+            "Treating short misses as events shreds intervals; the paper's "
+            "definition keeps them as latency contributors (C5) instead."
+        ),
+    )
+
+
+def run_f16() -> ExperimentResult:
+    """F16 (extension): interval simulation vs cycle-level simulation."""
+    from repro.interval.fast_sim import compare_with_detailed
+
+    config = baseline_config()
+    rows = []
+    for name in SUITE:
+        trace = workload_trace(name)
+        comparison = compare_with_detailed(trace, config)
+        rows.append(
+            [
+                name,
+                comparison["detailed_cycles"],
+                comparison["fast_cycles"],
+                100.0 * comparison["cpi_error"],
+                comparison["speedup"],
+                comparison["detailed_penalty"],
+                comparison["fast_penalty"],
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f16",
+        title="Interval simulation vs cycle-level simulation",
+        headers=[
+            "workload",
+            "detailed cycles",
+            "fast cycles",
+            "CPI error %",
+            "speedup",
+            "sim penalty",
+            "fast penalty",
+        ],
+        rows=rows,
+        notes=(
+            "One-pass interval simulation (the Sniper lineage) tracks "
+            "cycle-level CPI within a few percent at an order-of-"
+            "magnitude speedup."
+        ),
+    )
+
+
+def run_f17() -> ExperimentResult:
+    """F17 (extension): predictor quality vs misprediction cost.
+
+    Real kernel traces, structural simulation: better predictors cut
+    the number of penalties, not their size — the penalty per event is
+    a property of the machine and the code, exactly the paper's point.
+    """
+    from repro.frontend.base import BranchUnit
+    from repro.frontend.bimodal import BimodalPredictor
+    from repro.frontend.btb import BranchTargetBuffer
+    from repro.frontend.gshare import GSharePredictor
+    from repro.frontend.static import StaticPredictor
+    from repro.frontend.tage import TAGEPredictor
+    from repro.frontend.tournament import TournamentPredictor
+    from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+    from repro.pipeline.annotate import StructuralAnnotator
+    from repro.workloads.kernels import kernel_trace
+
+    config = baseline_config()
+    trace = kernel_trace("branchy_search")
+    predictors = [
+        ("static-taken", lambda: StaticPredictor(predict_taken=True)),
+        ("bimodal", BimodalPredictor),
+        ("gshare", GSharePredictor),
+        ("tournament", TournamentPredictor),
+        ("tage", TAGEPredictor),
+    ]
+    rows = []
+    for name, make in predictors:
+        annotator = StructuralAnnotator(
+            config,
+            BranchUnit(direction=make(), btb=BranchTargetBuffer()),
+            CacheHierarchy(HierarchyConfig()),
+        )
+        result = simulate(trace, config, annotator=annotator)
+        report = measure_penalties(result)
+        rows.append(
+            [
+                name,
+                1000.0 * report.count / result.instructions,
+                report.mean_penalty if report.count else 0.0,
+                result.ipc,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f17",
+        title="Predictor quality vs misprediction cost (branchy_search)",
+        headers=["predictor", "mispred/ki", "mean penalty", "IPC"],
+        rows=rows,
+        notes=(
+            "Accuracy changes how often the penalty is paid; the "
+            "penalty per event stays in the same band across predictors."
+        ),
+    )
+
+
+def run_f18() -> ExperimentResult:
+    """F18 (extension): prefetching removes miss events.
+
+    A streaming kernel whose footprint exceeds the L1 runs structurally
+    with and without a stride D-prefetcher: the prefetcher converts
+    misses into hits, removing miss events and stretching the inter-miss
+    intervals — interval analysis sees prefetching as event thinning.
+    """
+    from repro.frontend.base import BranchUnit
+    from repro.frontend.btb import BranchTargetBuffer
+    from repro.frontend.tournament import TournamentPredictor
+    from repro.interval.segmentation import segment_intervals
+    from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+    from repro.memory.prefetch import (
+        PrefetchingHierarchyAdapter,
+        StridePrefetcher,
+    )
+    from repro.pipeline.annotate import StructuralAnnotator
+    from repro.workloads.kernels import stride_sum
+
+    config = baseline_config()
+    trace = stride_sum(elements=24_576, stride=1).run()  # 192 KiB > L1
+    rows = []
+    for label, use_prefetcher in (("no prefetch", False), ("stride prefetch", True)):
+        hierarchy = CacheHierarchy(HierarchyConfig())
+        memory_system = hierarchy
+        prefetcher = None
+        if use_prefetcher:
+            prefetcher = StridePrefetcher(hierarchy.l1d, degree=4)
+            memory_system = PrefetchingHierarchyAdapter(
+                hierarchy, data_prefetcher=prefetcher
+            )
+        annotator = StructuralAnnotator(
+            config,
+            BranchUnit(direction=TournamentPredictor(),
+                       btb=BranchTargetBuffer()),
+            memory_system,
+        )
+        result = simulate(trace, config, annotator=annotator)
+        breakdown = segment_intervals(result)
+        rows.append(
+            [
+                label,
+                hierarchy.l1d.stats.miss_rate,
+                breakdown.event_count,
+                breakdown.mean_interval_length,
+                result.ipc,
+                prefetcher.stats.accuracy if prefetcher else 0.0,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f18",
+        title="Prefetching as miss-event thinning (streaming kernel)",
+        headers=[
+            "configuration",
+            "L1D miss rate",
+            "miss events",
+            "mean interval",
+            "IPC",
+            "prefetch accuracy",
+        ],
+        rows=rows,
+        notes=(
+            "The stride prefetcher removes D-side misses: fewer miss "
+            "events, longer intervals, higher IPC."
+        ),
+    )
+
+
+def run_f19() -> ExperimentResult:
+    """F19 (extension): penalty vs machine width.
+
+    Wider machines fill the window faster and drain it faster; the two
+    effects partially cancel, so the penalty is far less width-sensitive
+    than raw IPC — another instance of the paper's theme that the
+    penalty is set by the program's chains, not by one machine knob.
+    """
+    rows = []
+    for width in (1, 2, 4, 8):
+        config = baseline_config().with_overrides(
+            dispatch_width=width, issue_width=width, commit_width=width
+        )
+        totals = [0.0, 0.0, 0.0]
+        names = ("parser", "twolf", "gzip")
+        for name in names:
+            result = simulate_workload(name, config=config, length=_SWEEP_LENGTH)
+            report = measure_penalties(result)
+            totals[0] += report.mean_resolution
+            totals[1] += report.mean_penalty
+            totals[2] += result.ipc
+        rows.append([width, totals[0] / 3, totals[1] / 3, totals[2] / 3])
+    return ExperimentResult(
+        experiment_id="f19",
+        title="Penalty vs machine width",
+        headers=["width", "mean resolution", "mean penalty", "IPC"],
+        rows=rows,
+        series={"resolution": [row[1] for row in rows]},
+        notes=(
+            "IPC scales strongly with width while the penalty moves far "
+            "less: the resolution time is chain-bound, not width-bound."
+        ),
+    )
+
+
+def run_f20() -> ExperimentResult:
+    """F20 (extension): the penalty is an out-of-order phenomenon.
+
+    The same traces on a scoreboarded in-order core: the branch issues
+    almost as soon as it is fetched, so the resolution time collapses
+    and folk wisdom (penalty ~ frontend depth) becomes nearly true —
+    the paper's large penalties come from the out-of-order window.
+    """
+    from repro.pipeline.inorder import simulate_inorder
+
+    config = baseline_config()
+    rows = []
+    for name in ("gzip", "crafty", "parser", "twolf"):
+        trace = workload_trace(name, length=_SWEEP_LENGTH)
+        ooo = simulate_workload(name, length=_SWEEP_LENGTH)
+        ino = simulate_inorder(trace, config)
+        ooo_report = measure_penalties(ooo)
+        ino_report = measure_penalties(ino)
+        rows.append(
+            [
+                name,
+                ooo_report.mean_resolution,
+                ino_report.mean_resolution,
+                ooo_report.mean_penalty,
+                ino_report.mean_penalty,
+                ooo.ipc,
+                ino.ipc,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="f20",
+        title="Out-of-order vs in-order misprediction penalty",
+        headers=[
+            "workload",
+            "resolution (OoO)",
+            "resolution (in-order)",
+            "penalty (OoO)",
+            "penalty (in-order)",
+            "IPC (OoO)",
+            "IPC (in-order)",
+        ],
+        rows=rows,
+        notes=(
+            "In-order resolution collapses toward the execute latency: "
+            "penalty ~ frontend depth holds there, and fails by 4-10x "
+            "on the out-of-order machine."
+        ),
+    )
+
+
+def run_f21() -> ExperimentResult:
+    """F21 (extension): one-factor sensitivity tornado of the penalty.
+
+    Each knob that expresses a contributor is varied low/high around the
+    parser-like baseline while everything else is held fixed; the swing
+    (high - low mean penalty) ranks the contributors for this workload
+    class — the quantification the paper's abstract promises, in one
+    table.
+    """
+    base_profile = SPEC_PROFILES["parser"].with_overrides(il1_mpki=0.0)
+    base_config = baseline_config()
+
+    def run_with(profile, config) -> float:
+        trace = generate_trace(
+            profile, _SWEEP_LENGTH, seed=derive_seed(DEFAULT_SEED, "f21",
+                                                     profile.name)
+        )
+        result = simulate(trace, config)
+        return measure_penalties(result).mean_penalty
+
+    knobs = [
+        (
+            "C1 frontend depth 3 -> 20",
+            lambda: run_with(base_profile, base_config.with_overrides(
+                frontend_depth=3)),
+            lambda: run_with(base_profile, base_config.with_overrides(
+                frontend_depth=20)),
+        ),
+        (
+            "C2 burstiness smooth -> heavy",
+            lambda: run_with(base_profile.with_overrides(
+                name="c2lo", burst_fraction=0.0), base_config),
+            lambda: run_with(base_profile.with_overrides(
+                name="c2hi", burst_fraction=0.4, burst_factor=8.0,
+                burst_persistence=0.98), base_config),
+        ),
+        (
+            "C3 ILP high -> low (dep dist 10 -> 2)",
+            lambda: run_with(base_profile.with_overrides(
+                name="c3lo", mean_dependence_distance=10.0), base_config),
+            lambda: run_with(base_profile.with_overrides(
+                name="c3hi", mean_dependence_distance=2.0), base_config),
+        ),
+        (
+            "C4 FU latency x1 -> x3",
+            lambda: run_with(base_profile, base_config),
+            lambda: run_with(base_profile,
+                             base_config.with_scaled_fu_latencies(3.0)),
+        ),
+        (
+            "C5 short-miss rate 0 -> 0.20",
+            lambda: run_with(base_profile.with_overrides(
+                name="c5lo", dl1_miss_rate=0.0), base_config),
+            lambda: run_with(base_profile.with_overrides(
+                name="c5hi", dl1_miss_rate=0.20), base_config),
+        ),
+    ]
+    rows = []
+    for label, low_fn, high_fn in knobs:
+        low = low_fn()
+        high = high_fn()
+        rows.append([label, low, high, high - low])
+    rows.sort(key=lambda row: -abs(row[3]))
+    return ExperimentResult(
+        experiment_id="f21",
+        title="Penalty sensitivity tornado (parser-like baseline)",
+        headers=["contributor knob", "penalty (low)", "penalty (high)",
+                 "swing"],
+        rows=rows,
+        notes=(
+            "One-factor swings of the mean misprediction penalty; rows "
+            "sorted by magnitude. All five contributors move the "
+            "penalty; none is negligible."
+        ),
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "t1": run_t1,
+    "t2": run_t2,
+    "f1": run_f1,
+    "f2": run_f2,
+    "f3": run_f3,
+    "f4": run_f4,
+    "f5": run_f5,
+    "f6": run_f6,
+    "f7": run_f7,
+    "f8": run_f8,
+    "f9": run_f9,
+    "f10": run_f10,
+    "t3": run_t3,
+    "f11": run_f11,
+    "f12": run_f12,
+    "f13": run_f13,
+    "f14": run_f14,
+    "f15": run_f15,
+    "f16": run_f16,
+    "f17": run_f17,
+    "f18": run_f18,
+    "f19": run_f19,
+    "f20": run_f20,
+    "f21": run_f21,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (``t1``..``t3``, ``f1``..``f15``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run the full table/figure suite in DESIGN.md order."""
+    return [EXPERIMENTS[key]() for key in EXPERIMENTS]

@@ -1,0 +1,74 @@
+"""ASCII rendering of figure-shaped results (bars and series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one (label, value) bar per row."""
+    if not items:
+        return "(no data)"
+    peak = max(abs(value) for _, value in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(int(round(abs(value) / peak * width)), 0)
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: Dict[str, List[float]],
+    width: int = 50,
+    x_label: str = "x",
+) -> str:
+    """Tabular rendering of one or more y-series over shared x values."""
+    names = list(series)
+    header = [x_label] + names
+    lines = ["  ".join(h.rjust(12) for h in header)]
+    for i, x in enumerate(xs):
+        cells = [f"{x:.6g}".rjust(12)]
+        for name in names:
+            ys = series[name]
+            cells.append(
+                f"{ys[i]:.3f}".rjust(12) if i < len(ys) else "-".rjust(12)
+            )
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_stacked_bars(
+    labels: Sequence[str],
+    components: Dict[str, List[float]],
+    width: int = 60,
+) -> str:
+    """Stacked horizontal bars (CPI stacks): one glyph per component."""
+    glyphs = "#@*+x%o="
+    names = list(components)
+    totals = [
+        sum(components[name][i] for name in names) for i in range(len(labels))
+    ]
+    peak = max(totals) if totals else 1.0
+    label_width = max(len(label) for label in labels) if labels else 1
+    lines = []
+    for i, label in enumerate(labels):
+        bar = ""
+        for j, name in enumerate(names):
+            value = components[name][i]
+            bar += glyphs[j % len(glyphs)] * max(
+                int(round(value / peak * width)), 0
+            )
+        lines.append(f"{label.rjust(label_width)} | {bar} ({totals[i]:.2f})")
+    legend = "  ".join(
+        f"{glyphs[j % len(glyphs)]}={name}" for j, name in enumerate(names)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Multi-seed replication with confidence intervals.
+
+Synthetic-trace measurements are stochastic in the seed; sensitivity
+claims should therefore be made on replicated means. ``replicate``
+runs a measurement function over several derived seeds and returns the
+mean with a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.util.rng import derive_seed
+
+# Two-sided critical values of the standard normal distribution.
+_Z_VALUES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Mean and confidence half-width of one replicated metric."""
+
+    mean: float
+    half_width: float
+    replications: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "Replicated") -> bool:
+        """True when the confidence intervals overlap."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+def confidence_half_width(
+    values: Sequence[float], confidence: float = 0.95
+) -> float:
+    """Normal-approximation half-width of the mean's CI."""
+    if confidence not in _Z_VALUES:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z_VALUES)}, got {confidence}"
+        )
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return _Z_VALUES[confidence] * math.sqrt(variance / n)
+
+
+def replicate(
+    measure: Callable[[int], Dict[str, float]],
+    base_seed: int,
+    replications: int = 5,
+    confidence: float = 0.95,
+) -> Dict[str, Replicated]:
+    """Run ``measure(seed)`` over derived seeds; aggregate per metric.
+
+    ``measure`` maps a seed to a dict of metric values; the result maps
+    each metric name to its :class:`Replicated` summary.
+    """
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    samples: Dict[str, List[float]] = {}
+    for rep in range(replications):
+        seed = derive_seed(base_seed, "replicate", rep)
+        for name, value in measure(seed).items():
+            samples.setdefault(name, []).append(value)
+    return {
+        name: Replicated(
+            mean=sum(values) / len(values),
+            half_width=confidence_half_width(values, confidence),
+            replications=len(values),
+            confidence=confidence,
+        )
+        for name, values in samples.items()
+    }

@@ -1,0 +1,79 @@
+"""Cached workload generation and simulation for the harness.
+
+Experiments share traces and baseline simulations; caching them keeps
+the full table/figure suite fast enough to run under pytest-benchmark.
+Caches key on (workload, length, seed) for traces and additionally on
+the configuration's overridden fields for simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.pipeline.result import SimulationResult
+from repro.trace.stream import Trace
+from repro.trace.synthetic import generate_trace
+from repro.util.rng import derive_seed
+from repro.workloads.spec_profiles import SPEC_PROFILES
+
+DEFAULT_LENGTH = 60_000
+DEFAULT_SEED = 2006
+
+_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+_sim_cache: Dict[Tuple[str, int, int, str], SimulationResult] = {}
+
+
+def baseline_config() -> CoreConfig:
+    """The paper-baseline machine (DESIGN.md Table T1)."""
+    return CoreConfig()
+
+
+def _config_key(config: CoreConfig) -> str:
+    """Stable cache key for a configuration."""
+    fu = ";".join(
+        f"{op.value}:{spec.count},{spec.latency},{spec.issue_interval}"
+        for op, spec in sorted(config.fu_specs.items(), key=lambda kv: kv[0].value)
+    )
+    return (
+        f"{config.dispatch_width}/{config.issue_width}/{config.commit_width}"
+        f"|rob={config.rob_size}|fe={config.frontend_depth}"
+        f"|mem={config.l1_latency},{config.l2_latency},{config.memory_latency}"
+        f"|wp={config.dispatch_wrong_path}|pol={config.issue_policy}"
+        f"|seed={config.seed}|{fu}"
+    )
+
+
+def workload_trace(
+    name: str, length: int = DEFAULT_LENGTH, seed: int = DEFAULT_SEED
+) -> Trace:
+    """Deterministic synthetic trace for one suite workload (cached)."""
+    key = (name, length, seed)
+    if key not in _trace_cache:
+        profile = SPEC_PROFILES[name]
+        _trace_cache[key] = generate_trace(
+            profile, length, seed=derive_seed(seed, name)
+        )
+    return _trace_cache[key]
+
+
+def simulate_workload(
+    name: str,
+    config: Optional[CoreConfig] = None,
+    length: int = DEFAULT_LENGTH,
+    seed: int = DEFAULT_SEED,
+) -> SimulationResult:
+    """Simulate one suite workload under ``config`` (cached)."""
+    if config is None:
+        config = baseline_config()
+    key = (name, length, seed, _config_key(config))
+    if key not in _sim_cache:
+        _sim_cache[key] = simulate(workload_trace(name, length, seed), config)
+    return _sim_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached traces and simulations (tests use this)."""
+    _trace_cache.clear()
+    _sim_cache.clear()

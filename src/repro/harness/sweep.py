@@ -1,0 +1,36 @@
+"""Parameter sweep helper used by the sensitivity experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class Sweep:
+    """One-dimensional parameter sweep.
+
+    ``runner`` maps a parameter value to a dict of measured metrics;
+    :meth:`run` collects them into parallel series keyed by metric.
+    """
+
+    parameter: str
+    values: Sequence[object]
+    runner: Callable[[object], Dict[str, float]]
+
+    def run(self) -> Dict[str, List[float]]:
+        series: Dict[str, List[float]] = {}
+        for value in self.values:
+            metrics = self.runner(value)
+            for key, measurement in metrics.items():
+                series.setdefault(key, []).append(measurement)
+        return series
+
+
+def sweep_values(
+    parameter: str,
+    values: Sequence[object],
+    runner: Callable[[object], Dict[str, float]],
+) -> Dict[str, List[float]]:
+    """Functional shortcut for :class:`Sweep`."""
+    return Sweep(parameter=parameter, values=values, runner=runner).run()

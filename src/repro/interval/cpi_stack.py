@@ -1,0 +1,128 @@
+"""Interval-style CPI stacks measured from a simulation's event log.
+
+The stack charges:
+
+* ``base``       — N / dispatch_width, the steady-state cost;
+* ``bpred``      — resolution + refill of every misprediction;
+* ``icache``     — fill latency of every I-cache miss;
+* ``long_dcache``— memory latency of long D-cache misses, merged when
+  their in-flight windows overlap (memory-level parallelism);
+* ``other``      — whatever the events do not explain (issue-width and
+  dependence stalls between miss events), computed as the residual so
+  the components always sum to the measured total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.pipeline.events import (
+    BranchMispredictEvent,
+    ICacheMissEvent,
+    LongDMissEvent,
+)
+from repro.pipeline.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class CPIStack:
+    """One workload's CPI stack (cycle components, not CPI-normalized)."""
+
+    instructions: int
+    total_cycles: int
+    base: float
+    bpred: float
+    icache: float
+    long_dcache: float
+    other: float
+
+    @property
+    def cpi(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.total_cycles / self.instructions
+
+    def component_cpi(self) -> Dict[str, float]:
+        """Per-component CPI contributions."""
+        if not self.instructions:
+            return {}
+        n = self.instructions
+        return {
+            "base": self.base / n,
+            "bpred": self.bpred / n,
+            "icache": self.icache / n,
+            "long_dcache": self.long_dcache / n,
+            "other": self.other / n,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-component fraction of total cycles."""
+        if not self.total_cycles:
+            return {}
+        return {
+            name: value / self.total_cycles
+            for name, value in (
+                ("base", self.base),
+                ("bpred", self.bpred),
+                ("icache", self.icache),
+                ("long_dcache", self.long_dcache),
+                ("other", self.other),
+            )
+        }
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(component, cycles, fraction) rows for the F10 table."""
+        fractions = self.fractions()
+        return [
+            (name, cycles, fractions.get(name, 0.0))
+            for name, cycles in (
+                ("base", self.base),
+                ("bpred", self.bpred),
+                ("icache", self.icache),
+                ("long_dcache", self.long_dcache),
+                ("other", self.other),
+            )
+        ]
+
+
+def build_cpi_stack(
+    result: SimulationResult, dispatch_width: int
+) -> CPIStack:
+    """Build the measured CPI stack for one simulation."""
+    base = result.instructions / dispatch_width
+
+    bpred = 0.0
+    icache = 0.0
+    for event in result.events:
+        if isinstance(event, BranchMispredictEvent):
+            bpred += event.penalty
+        elif isinstance(event, ICacheMissEvent):
+            icache += event.latency
+
+    # Merge overlapping long-miss service windows (MLP).
+    spans = sorted(
+        (event.cycle, event.complete_cycle)
+        for event in result.events
+        if isinstance(event, LongDMissEvent)
+    )
+    long_dcache = 0.0
+    merged_end = None
+    for start, end in spans:
+        if merged_end is None or start >= merged_end:
+            long_dcache += end - start
+            merged_end = end
+        elif end > merged_end:
+            long_dcache += end - merged_end
+            merged_end = end
+
+    other = result.cycles - base - bpred - icache - long_dcache
+    return CPIStack(
+        instructions=result.instructions,
+        total_cycles=result.cycles,
+        base=base,
+        bpred=bpred,
+        icache=icache,
+        long_dcache=long_dcache,
+        other=other,
+    )

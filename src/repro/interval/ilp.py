@@ -1,0 +1,233 @@
+"""The ILP / window-drain model underpinning contributor C3.
+
+Interval analysis models the branch resolution time as the time needed
+to drain the dependence chain feeding the branch out of the window.
+Two tools implement that here:
+
+* an *ILP profile*: the average dataflow critical-path length ``K(w)``
+  of consecutive ``w``-instruction windows, fitted to the power law
+  ``K(w) = alpha * w**beta`` (classically ``beta ~ 0.5``);
+* exact *backward-slice* evaluation: the critical path, under a chosen
+  latency function, of the chain ending at one specific branch within
+  its window — the measurable core of the five-way decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import OpClass
+from repro.trace.stream import Trace
+
+LatencyFn = Callable[[int], int]  # seq -> execution latency in cycles
+
+
+def unit_latency(trace: Trace) -> LatencyFn:
+    """Every instruction takes one cycle — the pure-ILP measure."""
+    return lambda seq: 1
+
+
+def fu_latency(trace: Trace, fu_specs, config=None) -> LatencyFn:
+    """Functional-unit latencies, L1-hit memory (isolates C4 from C5).
+
+    When ``config`` is given, loads are charged the L1-hit latency —
+    the baseline load-to-use cost, which belongs with the functional
+    unit latencies (C4), not with the short-miss contribution (C5).
+    """
+    records = trace.records
+    l1_latency = config.l1_latency if config is not None else 0
+
+    def latency(seq: int) -> int:
+        record = records[seq]
+        base = fu_specs[record.op_class].latency
+        if record.op_class is OpClass.LOAD:
+            base += l1_latency
+        return base
+
+    return latency
+
+
+def full_latency(trace: Trace, fu_specs, config) -> LatencyFn:
+    """FU + L1 latencies plus each load's actual miss latency (adds C5)."""
+    records = trace.records
+
+    def latency(seq: int) -> int:
+        record = records[seq]
+        base = fu_specs[record.op_class].latency
+        if record.op_class is OpClass.LOAD:
+            if record.dl2_miss:
+                base += config.memory_latency
+            elif record.dl1_miss:
+                base += config.l2_latency
+            else:
+                base += config.l1_latency
+        return base
+
+    return latency
+
+
+def window_criticality(
+    trace: Trace,
+    window: int,
+    latency_of: Optional[LatencyFn] = None,
+    stride: Optional[int] = None,
+) -> float:
+    """Average critical-path length of ``window``-sized chunks.
+
+    Consecutive (non-overlapping by default) windows of the trace are
+    evaluated as independent dataflow graphs: dependences reaching
+    before the window are treated as satisfied, exactly as a window
+    full of post-miss instructions would see them.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if latency_of is None:
+        latency_of = unit_latency(trace)
+    records = trace.records
+    if not records:
+        return 0.0
+    stride = stride or window
+    total = 0.0
+    count = 0
+    for start in range(0, max(len(records) - window + 1, 1), stride):
+        stop = min(start + window, len(records))
+        finish = [0] * (stop - start)
+        longest = 0
+        for offset in range(stop - start):
+            seq = start + offset
+            begin = 0
+            for dist in records[seq].deps:
+                producer = seq - dist
+                if producer >= start:
+                    begin = max(begin, finish[producer - start])
+            done = begin + latency_of(seq)
+            finish[offset] = done
+            longest = max(longest, done)
+        total += longest
+        count += 1
+    return total / count
+
+
+@dataclass(frozen=True)
+class ILPFit:
+    """Power-law fit ``K(w) = alpha * w**beta`` of the ILP profile."""
+
+    alpha: float
+    beta: float
+    windows: Tuple[int, ...]
+    criticality: Tuple[float, ...]
+
+    def predict_drain(self, occupancy: float) -> float:
+        """Predicted drain (resolution) time for a window holding
+        ``occupancy`` instructions."""
+        if occupancy <= 0:
+            return 0.0
+        return self.alpha * occupancy**self.beta
+
+    def predict_ipc(self, window: int) -> float:
+        """Steady-state issue rate sustained with a window of size w."""
+        drain = self.predict_drain(window)
+        if drain <= 0:
+            return 0.0
+        return window / drain
+
+    @property
+    def r_squared(self) -> float:
+        """Goodness of the fit in log space."""
+        logs = [math.log(k) for k in self.criticality if k > 0]
+        if len(logs) < 2:
+            return 1.0
+        mean = sum(logs) / len(logs)
+        ss_tot = sum((y - mean) ** 2 for y in logs)
+        ss_res = 0.0
+        for w, k in zip(self.windows, self.criticality):
+            if k <= 0:
+                continue
+            predicted = math.log(self.alpha) + self.beta * math.log(w)
+            ss_res += (math.log(k) - predicted) ** 2
+        if ss_tot == 0:
+            return 1.0
+        return 1.0 - ss_res / ss_tot
+
+
+DEFAULT_ILP_WINDOWS: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+
+
+def fit_ilp_profile(
+    trace: Trace,
+    windows: Sequence[int] = DEFAULT_ILP_WINDOWS,
+    latency_of: Optional[LatencyFn] = None,
+) -> ILPFit:
+    """Measure K(w) over ``windows`` and fit the power law in log space."""
+    if len(windows) < 2:
+        raise ValueError("need at least two window sizes to fit")
+    ks = [window_criticality(trace, w, latency_of) for w in windows]
+    xs = [math.log(w) for w in windows]
+    ys = [math.log(max(k, 1e-9)) for k in ks]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    beta = sxy / sxx if sxx else 0.0
+    alpha = math.exp(mean_y - beta * mean_x)
+    return ILPFit(
+        alpha=alpha,
+        beta=beta,
+        windows=tuple(windows),
+        criticality=tuple(ks),
+    )
+
+
+def backward_slice_latency(
+    trace: Trace,
+    branch_seq: int,
+    window_start: int,
+    latency_of: LatencyFn,
+    satisfied: Optional[Callable[[int], bool]] = None,
+) -> int:
+    """Critical-path length of the chain ending at ``branch_seq``.
+
+    Only instructions in ``[window_start, branch_seq]`` participate —
+    the window content when the branch dispatched. Dependences that
+    reach before the window are treated as already satisfied, matching
+    the machine (those producers committed long ago). ``satisfied``
+    optionally marks additional producers as already complete — the
+    contributor decomposition passes the instructions whose simulated
+    completion preceded the branch's dispatch, anchoring the slice at
+    the moment the resolution clock starts.
+    """
+    if not 0 <= window_start <= branch_seq < len(trace.records):
+        raise ValueError(
+            f"bad slice bounds [{window_start}, {branch_seq}] "
+            f"for trace of {len(trace.records)}"
+        )
+    records = trace.records
+
+    def in_window(seq: int) -> bool:
+        if seq < window_start:
+            return False
+        return satisfied is None or not satisfied(seq)
+
+    # Collect the backward slice by walking dependences from the branch.
+    in_slice = {branch_seq}
+    stack = [branch_seq]
+    while stack:
+        seq = stack.pop()
+        for dist in records[seq].deps:
+            producer = seq - dist
+            if producer >= 0 and in_window(producer) and producer not in in_slice:
+                in_slice.add(producer)
+                stack.append(producer)
+    # Evaluate finish times in program order over the slice.
+    finish = {}
+    for seq in sorted(in_slice):
+        begin = 0
+        for dist in records[seq].deps:
+            producer = seq - dist
+            if producer in finish:
+                begin = max(begin, finish[producer])
+        finish[seq] = begin + latency_of(seq)
+    return finish[branch_seq]

@@ -1,0 +1,95 @@
+"""Static instruction representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import Opcode, OpcodeInfo, OpClass, OPCODE_INFO
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``dest`` is the written register (None for stores, branches, jumps
+    without link and NOPs). ``sources`` are the read registers in operand
+    order — for memory operations the base register; for stores also the
+    value register. ``imm`` holds the immediate (or memory displacement)
+    and ``target`` the resolved branch/jump target as an instruction
+    index within the program (filled in by the assembler).
+    """
+
+    opcode: Opcode
+    dest: Optional[Register] = None
+    sources: Tuple[Register, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return OPCODE_INFO[self.opcode]
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.info.op_class
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.info.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.info.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.info.is_store
+
+    def __str__(self) -> str:
+        from repro.isa.assembler import disassemble
+
+        return disassemble(self)
+
+    def validate(self) -> None:
+        """Check operand shape against the opcode's format.
+
+        Raises ValueError when the operand count does not match, a dest
+        is missing where one is required, or a branch lacks a target.
+        """
+        fmt = self.info.fmt
+        expected_sources = {
+            "rrr": 2,
+            "rri": 1,
+            "ri": 0,
+            "brr": 2,
+            "br": 1,
+            "j": 0,
+            "jr": 1,
+            "none": 0,
+        }
+        if fmt == "mem":
+            expected = 2 if self.info.is_store else 1
+        else:
+            expected = expected_sources[fmt]
+        if len(self.sources) != expected:
+            raise ValueError(
+                f"{self.opcode.value}: expected {expected} source registers, "
+                f"got {len(self.sources)}"
+            )
+        needs_dest = fmt in ("rrr", "rri", "ri") or (
+            fmt == "mem" and self.info.is_load
+        )
+        if needs_dest and self.dest is None:
+            raise ValueError(f"{self.opcode.value}: missing destination register")
+        if not needs_dest and self.dest is not None and self.opcode is not Opcode.JAL:
+            raise ValueError(f"{self.opcode.value}: unexpected destination register")
+        if self.is_control and self.info.fmt in ("brr", "br", "j"):
+            if self.target is None and self.label is None:
+                raise ValueError(f"{self.opcode.value}: branch without target")

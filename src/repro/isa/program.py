@@ -1,0 +1,104 @@
+"""Program container: an ordered list of instructions plus label table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Instruction addresses are byte addresses: instruction ``i`` lives at
+    ``base_address + 4 * i``. Labels map to instruction indices.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    base_address: int = 0x1000
+    name: str = "program"
+
+    INSTRUCTION_BYTES = 4
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def address_of(self, index: int) -> int:
+        """Byte address of instruction ``index``."""
+        if not 0 <= index < len(self.instructions):
+            raise IndexError(f"instruction index out of range: {index}")
+        return self.base_address + self.INSTRUCTION_BYTES * index
+
+    def index_of_address(self, address: int) -> int:
+        """Instruction index for a byte address."""
+        offset = address - self.base_address
+        if offset % self.INSTRUCTION_BYTES:
+            raise ValueError(f"misaligned instruction address: {address:#x}")
+        index = offset // self.INSTRUCTION_BYTES
+        if not 0 <= index < len(self.instructions):
+            raise ValueError(f"address outside program: {address:#x}")
+        return index
+
+    def label_address(self, label: str) -> int:
+        """Byte address of a label."""
+        return self.address_of(self.labels[label])
+
+    def resolve_labels(self) -> None:
+        """Fill in ``target`` indices for label-bearing control flow."""
+        resolved: List[Instruction] = []
+        for inst in self.instructions:
+            if inst.label is not None and inst.target is None:
+                if inst.label not in self.labels:
+                    raise KeyError(f"undefined label: {inst.label!r}")
+                resolved.append(
+                    Instruction(
+                        opcode=inst.opcode,
+                        dest=inst.dest,
+                        sources=inst.sources,
+                        imm=inst.imm,
+                        target=self.labels[inst.label],
+                        label=inst.label,
+                    )
+                )
+            else:
+                resolved.append(inst)
+        self.instructions = resolved
+
+    def validate(self) -> None:
+        """Validate every instruction and every control-flow target."""
+        for i, inst in enumerate(self.instructions):
+            try:
+                inst.validate()
+            except ValueError as exc:
+                raise ValueError(f"instruction {i}: {exc}") from exc
+            if inst.target is not None and not 0 <= inst.target < len(
+                self.instructions
+            ):
+                raise ValueError(
+                    f"instruction {i}: branch target {inst.target} out of range"
+                )
+
+    def static_mix(self) -> Dict[str, int]:
+        """Static instruction mix by op class (for reporting)."""
+        mix: Dict[str, int] = {}
+        for inst in self.instructions:
+            key = inst.op_class.value
+            mix[key] = mix.get(key, 0) + 1
+        return mix
+
+    def find_halt(self) -> Optional[int]:
+        """Return the index of the first HALT, if any."""
+        for i, inst in enumerate(self.instructions):
+            if inst.opcode is Opcode.HALT:
+                return i
+        return None

@@ -1,0 +1,53 @@
+"""Cache hierarchy substrate.
+
+A generic set-associative :class:`Cache` with pluggable replacement
+policies, composed by :class:`CacheHierarchy` into the paper's memory
+system: split L1I/L1D backed by a unified L2 and a fixed-latency main
+memory. The hierarchy classifies each data access as an L1 hit, a
+*short* miss (L1 miss, L2 hit — contributor C5) or a *long* miss
+(L2 miss — a miss event in interval analysis).
+"""
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.memory.cache import AccessResult, Cache, CacheStats
+from repro.memory.main_memory import MainMemory
+from repro.memory.hierarchy import (
+    CacheHierarchy,
+    DataAccessOutcome,
+    HierarchyConfig,
+    MissClass,
+)
+from repro.memory.prefetch import (
+    NextLinePrefetcher,
+    PrefetchingHierarchyAdapter,
+    PrefetchStats,
+    StridePrefetcher,
+)
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "PLRUPolicy",
+    "make_policy",
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "MainMemory",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "DataAccessOutcome",
+    "MissClass",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "PrefetchingHierarchyAdapter",
+    "PrefetchStats",
+]

@@ -1,0 +1,145 @@
+"""Two-level cache hierarchy: split L1I/L1D over a unified L2 + memory.
+
+The hierarchy classifies every data access into the categories interval
+analysis cares about:
+
+* ``L1_HIT`` — no impact on interval behaviour;
+* ``SHORT`` — L1 miss that hits in L2 (contributor C5: inflates branch
+  resolution time but is *not* a miss event);
+* ``LONG`` — L2 miss served by memory (a miss event in its own right).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.memory.cache import Cache
+from repro.memory.main_memory import MainMemory
+from repro.util.validation import check_positive
+
+
+class MissClass(enum.Enum):
+    """Interval-analysis classification of a data access."""
+
+    L1_HIT = "l1_hit"
+    SHORT = "short"  # L1 miss, L2 hit
+    LONG = "long"  # L2 miss (a miss event)
+
+
+@dataclass(frozen=True)
+class DataAccessOutcome:
+    """Result of one data access through the hierarchy."""
+
+    miss_class: MissClass
+    latency: int
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latencies of the memory hierarchy (paper baseline)."""
+
+    l1i_size: int = 64 * 1024
+    l1i_ways: int = 2
+    l1d_size: int = 64 * 1024
+    l1d_ways: int = 2
+    l2_size: int = 1024 * 1024
+    l2_ways: int = 8
+    line_bytes: int = 64
+    l1_latency: int = 2
+    l2_latency: int = 10
+    memory_latency: int = 250
+    policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        check_positive("l1_latency", self.l1_latency)
+        check_positive("l2_latency", self.l2_latency)
+        check_positive("memory_latency", self.memory_latency)
+        if not self.l1_latency < self.l2_latency < self.memory_latency:
+            raise ValueError(
+                "latencies must satisfy L1 < L2 < memory, got "
+                f"{self.l1_latency}/{self.l2_latency}/{self.memory_latency}"
+            )
+
+
+class CacheHierarchy:
+    """Split L1s over a unified L2 backed by main memory."""
+
+    def __init__(self, config: HierarchyConfig = HierarchyConfig(), seed: int = 0):
+        self.config = config
+        self.l1i = Cache(
+            config.l1i_size,
+            config.l1i_ways,
+            config.line_bytes,
+            policy=config.policy,
+            name="L1I",
+            seed=seed,
+        )
+        self.l1d = Cache(
+            config.l1d_size,
+            config.l1d_ways,
+            config.line_bytes,
+            policy=config.policy,
+            name="L1D",
+            seed=seed + 1,
+        )
+        self.l2 = Cache(
+            config.l2_size,
+            config.l2_ways,
+            config.line_bytes,
+            policy=config.policy,
+            name="L2",
+            seed=seed + 2,
+        )
+        self.memory = MainMemory(config.memory_latency)
+
+    def access_instruction(self, pc: int) -> DataAccessOutcome:
+        """Fetch-side access: L1I, then L2, then memory.
+
+        An L1I miss (whether it hits L2 or not) is the paper's I-cache
+        miss event; the latency distinguishes how long the frontend
+        stalls.
+        """
+        config = self.config
+        if self.l1i.access(pc).hit:
+            return DataAccessOutcome(MissClass.L1_HIT, config.l1_latency)
+        if self.l2.access(pc).hit:
+            return DataAccessOutcome(MissClass.SHORT, config.l2_latency)
+        self.memory.read(pc)
+        return DataAccessOutcome(MissClass.LONG, config.memory_latency)
+
+    def access_data(
+        self, address: int, is_write: bool = False, pc: int = 0
+    ) -> DataAccessOutcome:
+        """Data-side access: L1D, then L2, then memory.
+
+        ``pc`` is accepted (and ignored) so prefetching adapters that
+        train on the accessing instruction's PC share the interface.
+        """
+        config = self.config
+        l1_result = self.l1d.access(address, is_write=is_write)
+        if l1_result.writeback:
+            # Dirty victim written back into L2 (no extra latency charged:
+            # writebacks are off the load's critical path).
+            victim_writeback = self.l2.access(
+                l1_result.evicted_address, is_write=True
+            )
+            if victim_writeback.writeback:
+                self.memory.write(victim_writeback.evicted_address)
+        if l1_result.hit:
+            return DataAccessOutcome(MissClass.L1_HIT, config.l1_latency)
+        l2_result = self.l2.access(address, is_write=is_write)
+        if l2_result.writeback:
+            self.memory.write(address)
+        if l2_result.hit:
+            return DataAccessOutcome(MissClass.SHORT, config.l2_latency)
+        self.memory.read(address)
+        return DataAccessOutcome(MissClass.LONG, config.memory_latency)
+
+    def miss_rates(self) -> dict:
+        """Convenience summary of per-level miss rates."""
+        return {
+            "l1i": self.l1i.stats.miss_rate,
+            "l1d": self.l1d.stats.miss_rate,
+            "l2": self.l2.stats.miss_rate,
+        }

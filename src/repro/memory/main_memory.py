@@ -1,0 +1,35 @@
+"""Fixed-latency main memory model."""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+class MainMemory:
+    """DRAM stand-in: constant access latency, access counting.
+
+    The paper's analysis treats memory as a fixed long latency (the
+    defining property of a *long* D-cache miss); bandwidth and bank
+    contention are second-order for interval behaviour and are not
+    modelled.
+    """
+
+    def __init__(self, latency: int = 250):
+        check_positive("latency", latency)
+        self.latency = latency
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, address: int) -> int:
+        """Account a read; returns the access latency in cycles."""
+        self.reads += 1
+        return self.latency
+
+    def write(self, address: int) -> int:
+        """Account a write (e.g. a writeback); returns the latency."""
+        self.writes += 1
+        return self.latency
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes

@@ -1,0 +1,176 @@
+"""Replacement policies for set-associative caches.
+
+A policy instance is owned by one cache and keeps whatever per-set
+metadata it needs. The cache calls :meth:`on_access` for every hit,
+:meth:`on_fill` when a line is installed, and :meth:`victim_way` when a
+set is full and a way must be evicted.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.util.rng import SplitMix
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface between a cache and its replacement state."""
+
+    name = "abstract"
+
+    def __init__(self, sets: int, ways: int):
+        if sets < 1 or ways < 1:
+            raise ValueError(f"bad geometry: {sets} sets x {ways} ways")
+        self.sets = sets
+        self.ways = ways
+
+    @abc.abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """A hit touched ``way`` of ``set_index``."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A new line was installed into ``way`` of ``set_index``."""
+
+    @abc.abstractmethod
+    def victim_way(self, set_index: int) -> int:
+        """Choose the way to evict from a full set."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via per-set recency stacks."""
+
+    name = "lru"
+
+    def __init__(self, sets: int, ways: int):
+        super().__init__(sets, ways)
+        # Most-recent last. Starts in way order (way 0 is evicted first).
+        self._stacks: List[List[int]] = [list(range(ways)) for _ in range(sets)]
+
+    def on_access(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.append(way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self.on_access(set_index, way)
+
+    def victim_way(self, set_index: int) -> int:
+        return self._stacks[set_index][0]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evicts the oldest fill regardless of reuse."""
+
+    name = "fifo"
+
+    def __init__(self, sets: int, ways: int):
+        super().__init__(sets, ways)
+        self._queues: List[List[int]] = [list(range(ways)) for _ in range(sets)]
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass  # hits do not reorder a FIFO
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        queue = self._queues[set_index]
+        queue.remove(way)
+        queue.append(way)
+
+    def victim_way(self, set_index: int) -> int:
+        return self._queues[set_index][0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (deterministic via seed)."""
+
+    name = "random"
+
+    def __init__(self, sets: int, ways: int, seed: int = 0):
+        super().__init__(sets, ways)
+        self._rng = SplitMix(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim_way(self, set_index: int) -> int:
+        return self._rng.randint(0, self.ways - 1)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU; requires a power-of-two way count.
+
+    A binary tree of direction bits per set: each access flips the bits
+    on its path to point *away* from the accessed way; the victim is
+    found by following the bits.
+    """
+
+    name = "plru"
+
+    def __init__(self, sets: int, ways: int):
+        super().__init__(sets, ways)
+        if ways & (ways - 1):
+            raise ValueError(f"PLRU requires power-of-two ways, got {ways}")
+        self._levels = ways.bit_length() - 1
+        self._trees: List[List[bool]] = [
+            [False] * max(ways - 1, 1) for _ in range(sets)
+        ]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        if self.ways == 1:
+            return
+        tree = self._trees[set_index]
+        node = 0
+        span = self.ways
+        while span > 1:
+            half = span // 2
+            go_right = way % span >= half
+            tree[node] = not go_right  # point away from the touched half
+            node = 2 * node + (2 if go_right else 1)
+            span = half
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def victim_way(self, set_index: int) -> int:
+        if self.ways == 1:
+            return 0
+        tree = self._trees[set_index]
+        node = 0
+        way = 0
+        span = self.ways
+        while span > 1:
+            half = span // 2
+            go_right = tree[node]
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                way += half
+            span = half
+        return way
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUPolicy,
+}
+
+
+def make_policy(name: str, sets: int, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Construct a policy by name (``lru``/``fifo``/``random``/``plru``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(sets, ways, seed=seed)
+    return cls(sets, ways)

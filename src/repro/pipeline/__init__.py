@@ -1,0 +1,62 @@
+"""Out-of-order superscalar timing simulator.
+
+The :class:`SuperscalarCore` is a dependence-driven, cycle-accurate
+model of the machine the paper characterizes: a configurable frontend
+pipeline (fetch through dispatch), a unified issue window/ROB, width-
+limited dispatch/issue/commit, functional-unit pools with per-class
+latencies, and a memory hierarchy reached by loads and stores.
+
+Miss events — branch mispredictions, I-cache misses and long D-cache
+misses — are logged with full timing (dispatch cycle, resolve cycle,
+window occupancy) so that :mod:`repro.interval` can segment execution
+into inter-miss intervals and decompose every branch misprediction
+penalty.
+
+Two annotation sources are supported: :class:`OracleAnnotator` honours
+the miss flags carried by synthetic traces, while
+:class:`StructuralAnnotator` derives them from the branch-predictor and
+cache substrates.
+"""
+
+from repro.pipeline.config import CoreConfig, FUSpec, DEFAULT_FU_SPECS
+from repro.pipeline.functional_units import FunctionalUnitPool, FunctionalUnits
+from repro.pipeline.events import (
+    BranchMispredictEvent,
+    ICacheMissEvent,
+    LongDMissEvent,
+    MissEvent,
+    MissEventKind,
+)
+from repro.pipeline.annotate import (
+    Annotation,
+    Annotator,
+    OracleAnnotator,
+    StructuralAnnotator,
+)
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.result import SimulationResult
+from repro.pipeline.core import SuperscalarCore, simulate
+from repro.pipeline.inorder import InOrderCore, simulate_inorder
+
+__all__ = [
+    "CoreConfig",
+    "FUSpec",
+    "DEFAULT_FU_SPECS",
+    "FunctionalUnitPool",
+    "FunctionalUnits",
+    "MissEvent",
+    "MissEventKind",
+    "BranchMispredictEvent",
+    "ICacheMissEvent",
+    "LongDMissEvent",
+    "Annotation",
+    "Annotator",
+    "OracleAnnotator",
+    "StructuralAnnotator",
+    "ReorderBuffer",
+    "SimulationResult",
+    "SuperscalarCore",
+    "simulate",
+    "InOrderCore",
+    "simulate_inorder",
+]

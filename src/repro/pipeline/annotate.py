@@ -1,0 +1,140 @@
+"""Annotation sources: where miss outcomes come from.
+
+The core consults an :class:`Annotator` once per dispatched record to
+learn (a) whether a control instruction mispredicted, (b) whether the
+fetch of this instruction missed the I-cache and for how long, and
+(c) the data-cache outcome of a load or store.
+
+``OracleAnnotator`` reads the flags already carried by synthetic
+(annotated) traces; ``StructuralAnnotator`` drives the real branch
+predictor and cache hierarchy substrates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.base import BranchUnit
+from repro.memory.hierarchy import CacheHierarchy, MissClass
+from repro.pipeline.config import CoreConfig
+from repro.trace.record import TraceRecord
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Resolved miss outcomes for one dynamic instruction.
+
+    ``icache_latency`` is None when the fetch hit; ``dcache_class`` is
+    None for non-memory instructions.
+    """
+
+    mispredicted: bool = False
+    icache_latency: Optional[int] = None
+    icache_long: bool = False
+    dcache_class: Optional[MissClass] = None
+    dcache_latency: int = 0
+
+
+class Annotator(abc.ABC):
+    """Produces an :class:`Annotation` per dispatched record."""
+
+    @abc.abstractmethod
+    def annotate(self, record: TraceRecord) -> Annotation:
+        """Resolve miss outcomes for ``record``."""
+
+
+class OracleAnnotator(Annotator):
+    """Honours the oracle flags carried by annotated (synthetic) traces.
+
+    Records without flags (None) are treated as hits / correct
+    predictions — an un-annotated trace run through this annotator
+    executes with a perfect frontend and memory system.
+    """
+
+    def __init__(self, config: CoreConfig):
+        self.config = config
+
+    def annotate(self, record: TraceRecord) -> Annotation:
+        config = self.config
+        icache_latency = None
+        if record.il1_miss:
+            icache_latency = config.l2_latency
+        dcache_class: Optional[MissClass] = None
+        dcache_latency = 0
+        if record.is_memory:
+            if record.dl2_miss:
+                dcache_class = MissClass.LONG
+            elif record.dl1_miss:
+                dcache_class = MissClass.SHORT
+            else:
+                dcache_class = MissClass.L1_HIT
+            dcache_latency = config.load_latency(dcache_class.value)
+        # Any control instruction can mispredict: conditional branches
+        # on direction, jumps on target (BTB miss) — both flush.
+        mispredicted = bool(record.mispredict) and record.op_class.is_control
+        return Annotation(
+            mispredicted=mispredicted,
+            icache_latency=icache_latency,
+            icache_long=False,
+            dcache_class=dcache_class,
+            dcache_latency=dcache_latency,
+        )
+
+
+class StructuralAnnotator(Annotator):
+    """Derives miss outcomes from predictor and cache substrates.
+
+    The I-cache is consulted once per fetched cache line (consecutive
+    records on the same line share the fetch). Conditional branches go
+    through the branch unit (direction predictor + BTB); unconditional
+    jumps only check the BTB.
+    """
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        branch_unit: BranchUnit,
+        hierarchy: CacheHierarchy,
+    ):
+        self.config = config
+        self.branch_unit = branch_unit
+        self.hierarchy = hierarchy
+        self._last_fetch_line: Optional[int] = None
+
+    def annotate(self, record: TraceRecord) -> Annotation:
+        line_bytes = self.hierarchy.config.line_bytes
+        fetch_line = record.pc // line_bytes
+        icache_latency = None
+        icache_long = False
+        if fetch_line != self._last_fetch_line:
+            outcome = self.hierarchy.access_instruction(record.pc)
+            self._last_fetch_line = fetch_line
+            if outcome.miss_class is not MissClass.L1_HIT:
+                icache_latency = outcome.latency
+                icache_long = outcome.miss_class is MissClass.LONG
+
+        mispredicted = False
+        if record.is_branch:
+            mispredicted = self.branch_unit.resolve_branch(
+                record.pc, record.taken, record.target
+            )
+        elif record.op_class.is_control:
+            mispredicted = self.branch_unit.resolve_jump(record.pc, record.target)
+
+        dcache_class: Optional[MissClass] = None
+        dcache_latency = 0
+        if record.is_memory:
+            outcome = self.hierarchy.access_data(
+                record.mem_addr, is_write=record.is_store, pc=record.pc
+            )
+            dcache_class = outcome.miss_class
+            dcache_latency = outcome.latency
+        return Annotation(
+            mispredicted=mispredicted,
+            icache_latency=icache_latency,
+            icache_long=icache_long,
+            dcache_class=dcache_class,
+            dcache_latency=dcache_latency,
+        )

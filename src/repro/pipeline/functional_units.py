@@ -1,0 +1,74 @@
+"""Functional-unit pools with per-class latency and occupancy."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import FUSpec
+
+
+class FunctionalUnitPool:
+    """A pool of identical units for one op class.
+
+    Each unit is represented by the cycle at which it can next accept
+    an operation; a min-heap yields the earliest-free unit. Fully
+    pipelined units (issue_interval == 1) accept one op per cycle per
+    unit; unpipelined units block for the full latency.
+    """
+
+    def __init__(self, spec: FUSpec):
+        self.spec = spec
+        self._free_at: List[int] = [0] * spec.count
+        heapq.heapify(self._free_at)
+        self.issued = 0
+        self.busy_cycles = 0
+
+    def can_issue(self, cycle: int) -> bool:
+        """True when some unit can accept an op at ``cycle``."""
+        return self._free_at[0] <= cycle
+
+    def issue(self, cycle: int) -> int:
+        """Reserve a unit at ``cycle``; return the completion cycle.
+
+        Caller must have checked :meth:`can_issue`.
+        """
+        earliest = heapq.heappop(self._free_at)
+        if earliest > cycle:
+            heapq.heappush(self._free_at, earliest)
+            raise RuntimeError(
+                f"no {self.spec} unit free at cycle {cycle} (next {earliest})"
+            )
+        heapq.heappush(self._free_at, cycle + self.spec.issue_interval)
+        self.issued += 1
+        self.busy_cycles += self.spec.issue_interval
+        return cycle + self.spec.latency
+
+    @property
+    def utilization_cycles(self) -> int:
+        return self.busy_cycles
+
+
+class FunctionalUnits:
+    """All pools of the machine, indexed by op class."""
+
+    def __init__(self, specs: Dict[OpClass, FUSpec]):
+        self.pools: Dict[OpClass, FunctionalUnitPool] = {
+            op_class: FunctionalUnitPool(spec) for op_class, spec in specs.items()
+        }
+
+    def can_issue(self, op_class: OpClass, cycle: int) -> bool:
+        return self.pools[op_class].can_issue(cycle)
+
+    def issue(self, op_class: OpClass, cycle: int) -> int:
+        """Reserve a unit; returns the op's completion cycle."""
+        return self.pools[op_class].issue(cycle)
+
+    def latency(self, op_class: OpClass) -> int:
+        return self.pools[op_class].spec.latency
+
+    def issue_counts(self) -> Dict[str, int]:
+        return {
+            op_class.value: pool.issued for op_class, pool in self.pools.items()
+        }

@@ -1,0 +1,87 @@
+"""Simulation results: cycle counts, per-instruction timing, miss events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pipeline.events import (
+    BranchMispredictEvent,
+    ICacheMissEvent,
+    LongDMissEvent,
+    MissEvent,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Everything the interval-analysis layer needs from one run.
+
+    The per-instruction timing lists are indexed by dynamic sequence
+    number and are only populated when ``CoreConfig.record_timeline``
+    is set (the default). ``events`` holds the three miss-event types
+    in the order their instructions dispatched.
+    """
+
+    instructions: int
+    cycles: int
+    events: List[MissEvent] = field(default_factory=list)
+    dispatch_cycle: Optional[List[int]] = None
+    issue_cycle: Optional[List[int]] = None
+    complete_cycle: Optional[List[int]] = None
+    commit_cycle: Optional[List[int]] = None
+    fu_issue_counts: Dict[str, int] = field(default_factory=dict)
+    rob_peak_occupancy: int = 0
+    squashed_ghosts: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def mispredict_events(self) -> List[BranchMispredictEvent]:
+        return [e for e in self.events if isinstance(e, BranchMispredictEvent)]
+
+    @property
+    def icache_events(self) -> List[ICacheMissEvent]:
+        return [e for e in self.events if isinstance(e, ICacheMissEvent)]
+
+    @property
+    def long_dmiss_events(self) -> List[LongDMissEvent]:
+        return [e for e in self.events if isinstance(e, LongDMissEvent)]
+
+    @property
+    def mean_mispredict_penalty(self) -> float:
+        events = self.mispredict_events
+        if not events:
+            return 0.0
+        return sum(e.penalty for e in events) / len(events)
+
+    @property
+    def mean_branch_resolution(self) -> float:
+        events = self.mispredict_events
+        if not events:
+            return 0.0
+        return sum(e.resolution for e in events) / len(events)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for table rendering."""
+        return {
+            "instructions": float(self.instructions),
+            "cycles": float(self.cycles),
+            "ipc": self.ipc,
+            "cpi": self.cpi,
+            "mispredictions": float(len(self.mispredict_events)),
+            "icache_misses": float(len(self.icache_events)),
+            "long_dmisses": float(len(self.long_dmiss_events)),
+            "mean_penalty": self.mean_mispredict_penalty,
+            "mean_resolution": self.mean_branch_resolution,
+        }

@@ -1,0 +1,76 @@
+"""Reorder buffer: in-order dispatch and commit bookkeeping."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class ReorderBuffer:
+    """Tracks in-flight dynamic instructions in program order.
+
+    Entries are dynamic sequence numbers. Completion is marked out of
+    order; commit removes completed entries strictly in order.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[int] = deque()
+        self._completed: set = set()
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def head(self) -> Optional[int]:
+        return self._entries[0] if self._entries else None
+
+    def dispatch(self, seq: int) -> None:
+        """Insert a newly dispatched instruction (program order)."""
+        if self.is_full:
+            raise RuntimeError("dispatch into a full ROB")
+        if self._entries and seq <= self._entries[-1]:
+            raise ValueError(
+                f"dispatch out of order: {seq} after {self._entries[-1]}"
+            )
+        self._entries.append(seq)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+
+    def complete(self, seq: int) -> None:
+        """Mark an in-flight instruction as executed."""
+        self._completed.add(seq)
+
+    def head_completed(self) -> bool:
+        return bool(self._entries) and self._entries[0] in self._completed
+
+    def commit_head(self) -> int:
+        """Remove and return the completed head entry."""
+        if not self.head_completed():
+            raise RuntimeError("commit of an incomplete head")
+        seq = self._entries.popleft()
+        self._completed.discard(seq)
+        return seq
+
+    def squash_younger_than(self, seq: int) -> list:
+        """Remove every entry younger than ``seq``; return them.
+
+        Used by wrong-path mode to flush ghost instructions when the
+        mispredicted branch resolves.
+        """
+        squashed = []
+        while self._entries and self._entries[-1] > seq:
+            victim = self._entries.pop()
+            self._completed.discard(victim)
+            squashed.append(victim)
+        return squashed

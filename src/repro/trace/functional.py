@@ -1,0 +1,222 @@
+"""Functional execution of assembled programs into dynamic traces.
+
+The functional simulator interprets the kernel ISA architecturally —
+register file, word-granularity data memory, control flow — and emits
+one :class:`TraceRecord` per executed instruction. Dependence distances
+are derived by tracking, for every register, the dynamic index of its
+last writer, and for every memory word, the dynamic index of the last
+store (so load→store memory dependences are visible to the timing
+simulator and to interval analysis).
+
+The emitted records carry real PCs, memory addresses and branch
+outcomes, but *no* miss annotations: functional traces are meant to be
+run structurally, against the branch predictor and cache substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Register, RegisterFile
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+_WORD_BYTES = 8
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a program fails to halt within the instruction budget.
+
+    The partial trace is attached as ``partial_trace``.
+    """
+
+    def __init__(self, limit: int, partial_trace: Trace):
+        super().__init__(
+            f"program did not halt within {limit} dynamic instructions"
+        )
+        self.limit = limit
+        self.partial_trace = partial_trace
+
+
+class DataMemory:
+    """Sparse word-addressed data memory."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, float] = {}
+
+    @staticmethod
+    def word_address(address: int) -> int:
+        return address - address % _WORD_BYTES
+
+    def load(self, address: int) -> float:
+        return self._words.get(self.word_address(address), 0)
+
+    def store(self, address: int, value: float) -> None:
+        self._words[self.word_address(address)] = value
+
+    def preload(self, values: Dict[int, float]) -> None:
+        """Initialize memory contents (address -> value)."""
+        for address, value in values.items():
+            self.store(address, value)
+
+
+class FunctionalSimulator:
+    """Architectural interpreter producing dynamic traces."""
+
+    def __init__(self, program: Program, memory: Optional[DataMemory] = None):
+        program.validate()
+        self.program = program
+        self.registers = RegisterFile()
+        self.memory = memory or DataMemory()
+        self._last_reg_writer: Dict[int, int] = {}
+        self._last_store_writer: Dict[int, int] = {}
+
+    def _deps_for(
+        self, inst: Instruction, dynamic_index: int, mem_addr: Optional[int]
+    ) -> tuple:
+        producers = set()
+        for src in inst.sources:
+            if src.index == 0:
+                continue
+            writer = self._last_reg_writer.get(src.index)
+            if writer is not None:
+                producers.add(writer)
+        if inst.is_load and mem_addr is not None:
+            word = DataMemory.word_address(mem_addr)
+            writer = self._last_store_writer.get(word)
+            if writer is not None:
+                producers.add(writer)
+        return tuple(
+            sorted(dynamic_index - producer for producer in producers)
+        )
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        read = self.registers.read
+        if inst.opcode is Opcode.BEQ:
+            return read(inst.sources[0]) == read(inst.sources[1])
+        if inst.opcode is Opcode.BNE:
+            return read(inst.sources[0]) != read(inst.sources[1])
+        if inst.opcode is Opcode.BLT:
+            return read(inst.sources[0]) < read(inst.sources[1])
+        if inst.opcode is Opcode.BGE:
+            return read(inst.sources[0]) >= read(inst.sources[1])
+        if inst.opcode is Opcode.BEQZ:
+            return read(inst.sources[0]) == 0
+        if inst.opcode is Opcode.BNEZ:
+            return read(inst.sources[0]) != 0
+        raise AssertionError(f"not a branch: {inst.opcode}")
+
+    def _alu_result(self, inst: Instruction) -> float:
+        read = self.registers.read
+        op = inst.opcode
+        if op is Opcode.LI:
+            return inst.imm
+        if op is Opcode.FMOV:
+            return float(inst.imm)
+        a = read(inst.sources[0])
+        if op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLTI):
+            b: float = inst.imm
+        else:
+            b = read(inst.sources[1])
+        if op in (Opcode.ADD, Opcode.ADDI, Opcode.FADD):
+            return a + b
+        if op in (Opcode.SUB, Opcode.FSUB):
+            return a - b
+        if op in (Opcode.AND, Opcode.ANDI):
+            return int(a) & int(b)
+        if op in (Opcode.OR, Opcode.ORI):
+            return int(a) | int(b)
+        if op in (Opcode.XOR, Opcode.XORI):
+            return int(a) ^ int(b)
+        if op is Opcode.SLL:
+            return int(a) << (int(b) & 63)
+        if op is Opcode.SRL:
+            return (int(a) & (1 << 64) - 1) >> (int(b) & 63)
+        if op in (Opcode.SLT, Opcode.SLTI):
+            return int(a < b)
+        if op in (Opcode.MUL, Opcode.FMUL):
+            return a * b
+        if op is Opcode.DIV:
+            return int(a) // int(b) if b else 0
+        if op is Opcode.FDIV:
+            return a / b if b else 0.0
+        if op is Opcode.REM:
+            return int(a) % int(b) if b else 0
+        raise AssertionError(f"no ALU semantics for {op}")
+
+    def run(self, max_instructions: int = 1_000_000) -> Trace:
+        """Execute from the program start until HALT; return the trace."""
+        trace = Trace(name=self.program.name)
+        program = self.program
+        index = 0  # static instruction index
+        dynamic = 0
+        while dynamic < max_instructions:
+            if not 0 <= index < len(program):
+                raise IndexError(
+                    f"control flow escaped the program at index {index}"
+                )
+            inst = program[index]
+            pc = program.address_of(index)
+            if inst.opcode is Opcode.HALT:
+                break
+
+            mem_addr: Optional[int] = None
+            if inst.info.is_load or inst.info.is_store:
+                base = inst.sources[0]
+                mem_addr = int(self.registers.read(base)) + inst.imm
+            deps = self._deps_for(inst, dynamic, mem_addr)
+
+            taken = False
+            target_index: Optional[int] = None
+            if inst.is_branch:
+                taken = self._branch_taken(inst)
+                if taken:
+                    target_index = inst.target
+            elif inst.opcode in (Opcode.J, Opcode.JAL):
+                taken = True
+                target_index = inst.target
+                if inst.opcode is Opcode.JAL:
+                    self.registers.write(
+                        Register(1), program.address_of(index) + 4
+                    )
+                    self._last_reg_writer[1] = dynamic
+            elif inst.opcode is Opcode.JR:
+                taken = True
+                target_address = int(self.registers.read(inst.sources[0]))
+                target_index = program.index_of_address(target_address)
+
+            if inst.info.is_load:
+                value = self.memory.load(mem_addr)
+                self.registers.write(inst.dest, value)
+                self._last_reg_writer[inst.dest.index] = dynamic
+            elif inst.info.is_store:
+                value_reg = inst.sources[1]
+                self.memory.store(mem_addr, self.registers.read(value_reg))
+                self._last_store_writer[DataMemory.word_address(mem_addr)] = dynamic
+            elif inst.dest is not None and not inst.is_control:
+                self.registers.write(inst.dest, self._alu_result(inst))
+                self._last_reg_writer[inst.dest.index] = dynamic
+
+            target_pc = (
+                program.address_of(target_index)
+                if target_index is not None
+                else None
+            )
+            trace.append(
+                TraceRecord(
+                    op_class=inst.op_class,
+                    pc=pc,
+                    deps=deps,
+                    mem_addr=mem_addr,
+                    taken=taken,
+                    target=target_pc,
+                )
+            )
+            dynamic += 1
+            index = target_index if target_index is not None else index + 1
+        else:
+            raise ExecutionLimitExceeded(max_instructions, trace)
+        return trace

@@ -1,0 +1,135 @@
+"""Binary trace serialization.
+
+Format (little-endian)::
+
+    magic   4s   b"RTRC"
+    version H    1
+    namelen H    + utf-8 name bytes
+    count   Q
+    records ...
+
+Each record::
+
+    opclass B    ordinal into OpClass definition order
+    flags   H    bit0 has_mem, bit1 taken, bit2 has_target,
+                 bits 3-4 mispredict, 5-6 il1, 7-8 dl1, 9-10 dl2
+                 (tri-state: 0 none, 1 false, 2 true)
+    pc      Q
+    ndeps   B    + ndeps * H dependence distances
+    mem     Q    (only when has_mem)
+    target  Q    (only when has_target)
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Optional, Union
+
+from repro.isa.opcodes import OpClass
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+MAGIC = b"RTRC"
+VERSION = 1
+_OPCLASSES = list(OpClass)
+_ORDINAL = {op_class: i for i, op_class in enumerate(_OPCLASSES)}
+
+_MAX_DEP_DISTANCE = 0xFFFF
+
+
+def _encode_tri(value: Optional[bool]) -> int:
+    if value is None:
+        return 0
+    return 2 if value else 1
+
+
+def _decode_tri(code: int) -> Optional[bool]:
+    if code == 0:
+        return None
+    return code == 2
+
+
+def _write_record(out: BinaryIO, record: TraceRecord) -> None:
+    flags = 0
+    if record.mem_addr is not None:
+        flags |= 1
+    if record.taken:
+        flags |= 2
+    if record.target is not None:
+        flags |= 4
+    flags |= _encode_tri(record.mispredict) << 3
+    flags |= _encode_tri(record.il1_miss) << 5
+    flags |= _encode_tri(record.dl1_miss) << 7
+    flags |= _encode_tri(record.dl2_miss) << 9
+    deps = record.deps
+    if any(d > _MAX_DEP_DISTANCE for d in deps):
+        raise ValueError(f"dependence distance exceeds {_MAX_DEP_DISTANCE}")
+    out.write(struct.pack("<BHQB", _ORDINAL[record.op_class], flags, record.pc, len(deps)))
+    if deps:
+        out.write(struct.pack(f"<{len(deps)}H", *deps))
+    if record.mem_addr is not None:
+        out.write(struct.pack("<Q", record.mem_addr))
+    if record.target is not None:
+        out.write(struct.pack("<Q", record.target))
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise ValueError("truncated trace file")
+    return data
+
+
+def _read_record(stream: BinaryIO) -> TraceRecord:
+    op_ord, flags, pc, ndeps = struct.unpack("<BHQB", _read_exact(stream, 12))
+    if op_ord >= len(_OPCLASSES):
+        raise ValueError(f"bad op-class ordinal {op_ord}")
+    deps = ()
+    if ndeps:
+        deps = struct.unpack(f"<{ndeps}H", _read_exact(stream, 2 * ndeps))
+    mem_addr = None
+    if flags & 1:
+        (mem_addr,) = struct.unpack("<Q", _read_exact(stream, 8))
+    target = None
+    if flags & 4:
+        (target,) = struct.unpack("<Q", _read_exact(stream, 8))
+    return TraceRecord(
+        op_class=_OPCLASSES[op_ord],
+        pc=pc,
+        deps=deps,
+        mem_addr=mem_addr,
+        taken=bool(flags & 2),
+        target=target,
+        mispredict=_decode_tri((flags >> 3) & 3),
+        il1_miss=_decode_tri((flags >> 5) & 3),
+        dl1_miss=_decode_tri((flags >> 7) & 3),
+        dl2_miss=_decode_tri((flags >> 9) & 3),
+    )
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in the binary format above."""
+    name_bytes = trace.name.encode("utf-8")
+    with open(path, "wb") as out:
+        out.write(MAGIC)
+        out.write(struct.pack("<HH", VERSION, len(name_bytes)))
+        out.write(name_bytes)
+        out.write(struct.pack("<Q", len(trace)))
+        for record in trace:
+            _write_record(out, record)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+        if magic != MAGIC:
+            raise ValueError(f"not a trace file (magic {magic!r})")
+        version, namelen = struct.unpack("<HH", _read_exact(stream, 4))
+        if version != VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        name = _read_exact(stream, namelen).decode("utf-8")
+        (count,) = struct.unpack("<Q", _read_exact(stream, 8))
+        records = [_read_record(stream) for _ in range(count)]
+    return Trace(records, name=name)

@@ -1,0 +1,158 @@
+"""Statistical workload profiles for the synthetic trace generator.
+
+A :class:`WorkloadProfile` captures exactly the trace statistics that
+interval analysis is sensitive to:
+
+* instruction mix (fraction per op class),
+* the dynamic dependence-distance distribution, which determines the
+  program's inherent ILP (contributor C3 in the paper),
+* conditional-branch behaviour: taken fraction and misprediction rate,
+  with a two-state Markov burstiness model controlling how mispredictions
+  cluster (contributor C2),
+* I-cache and D-cache miss rates: long (L2) D-cache misses are miss
+  events; short (L1-miss / L2-hit) D-cache misses inflate branch
+  resolution time (contributor C5),
+* memory and code footprints plus striding behaviour, used when a trace
+  is run *structurally* against the real cache substrates.
+
+Dependence distances follow a shifted geometric distribution: the
+probability that a source operand was produced ``d`` instructions ago is
+``p * (1-p)**(d-1)`` with ``p = 1 / mean_dependence_distance``. Short
+mean distances give long dependence chains and low ILP; long distances
+give high ILP. This is the standard first-order model of program
+parallelism used by the interval-analysis literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.isa.opcodes import OpClass
+from repro.util.validation import check_in_range, check_positive
+
+
+DEFAULT_MIX: Dict[OpClass, float] = {
+    OpClass.IALU: 0.45,
+    OpClass.IMUL: 0.02,
+    OpClass.IDIV: 0.005,
+    OpClass.FADD: 0.04,
+    OpClass.FMUL: 0.03,
+    OpClass.FDIV: 0.005,
+    OpClass.LOAD: 0.22,
+    OpClass.STORE: 0.10,
+    OpClass.BRANCH: 0.11,
+    OpClass.JUMP: 0.02,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters of a synthetic dynamic instruction stream."""
+
+    name: str = "generic"
+    mix: Dict[OpClass, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    mean_dependence_distance: float = 5.0
+    chain_dep_fraction: float = 0.85
+    second_dep_fraction: float = 0.45
+    branch_taken_fraction: float = 0.55
+    mispredict_rate: float = 0.06
+    burst_factor: float = 4.0
+    burst_fraction: float = 0.15
+    burst_persistence: float = 0.95
+    il1_mpki: float = 2.0
+    dl1_miss_rate: float = 0.05
+    dl2_miss_rate: float = 0.005
+    code_footprint_bytes: int = 1 << 16
+    data_footprint_bytes: int = 1 << 22
+    stride_fraction: float = 0.6
+    stride_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("mean_dependence_distance", self.mean_dependence_distance)
+        if self.mean_dependence_distance < 1.0:
+            raise ValueError("mean_dependence_distance must be >= 1")
+        check_in_range("chain_dep_fraction", self.chain_dep_fraction, 0.0, 1.0)
+        check_in_range("second_dep_fraction", self.second_dep_fraction, 0.0, 1.0)
+        check_in_range("branch_taken_fraction", self.branch_taken_fraction, 0.0, 1.0)
+        check_in_range("mispredict_rate", self.mispredict_rate, 0.0, 1.0)
+        check_positive("burst_factor", self.burst_factor)
+        check_in_range("burst_fraction", self.burst_fraction, 0.0, 1.0)
+        check_in_range("burst_persistence", self.burst_persistence, 0.0, 1.0)
+        check_in_range("dl1_miss_rate", self.dl1_miss_rate, 0.0, 1.0)
+        check_in_range("dl2_miss_rate", self.dl2_miss_rate, 0.0, 1.0)
+        if self.dl1_miss_rate + self.dl2_miss_rate > 1.0:
+            raise ValueError("dl1_miss_rate + dl2_miss_rate must not exceed 1")
+        if self.il1_mpki < 0 or self.il1_mpki > 1000:
+            raise ValueError(f"il1_mpki must be in [0, 1000], got {self.il1_mpki}")
+        check_positive("code_footprint_bytes", self.code_footprint_bytes)
+        check_positive("data_footprint_bytes", self.data_footprint_bytes)
+        check_in_range("stride_fraction", self.stride_fraction, 0.0, 1.0)
+        check_positive("stride_bytes", self.stride_bytes)
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"instruction mix must sum to 1, sums to {total}")
+        if any(frac < 0 for frac in self.mix.values()):
+            raise ValueError("instruction mix fractions must be non-negative")
+        if OpClass.NOP in self.mix:
+            raise ValueError("NOP has no place in a workload mix")
+
+    @property
+    def dependence_p(self) -> float:
+        """Per-step success probability of the shifted geometric."""
+        return 1.0 / self.mean_dependence_distance
+
+    @property
+    def chain_count(self) -> int:
+        """Number of concurrent serial recurrence chains.
+
+        The generator threads most dependences through ``chain_count``
+        independent serial chains (loop-carried recurrences); with unit
+        latencies the trace's dataflow IPC is therefore approximately
+        ``chain_count``, giving ``mean_dependence_distance`` its
+        intended meaning as the ILP knob (contributor C3).
+        """
+        return max(1, round(self.mean_dependence_distance))
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.mix.get(OpClass.BRANCH, 0.0)
+
+    @property
+    def load_fraction(self) -> float:
+        return self.mix.get(OpClass.LOAD, 0.0)
+
+    @property
+    def mispredictions_per_ki(self) -> float:
+        """Expected branch mispredictions per 1000 instructions."""
+        return 1000.0 * self.branch_fraction * self.mispredict_rate
+
+    @property
+    def long_dmisses_per_ki(self) -> float:
+        """Expected long (L2) D-cache misses per 1000 instructions."""
+        return 1000.0 * self.load_fraction * self.dl2_miss_rate
+
+    @property
+    def miss_events_per_ki(self) -> float:
+        """Expected miss events (paper definition) per 1000 instructions."""
+        return (
+            self.mispredictions_per_ki + self.il1_mpki + self.long_dmisses_per_ki
+        )
+
+    def with_overrides(self, **kwargs) -> "WorkloadProfile":
+        """Return a copy with the given fields replaced (sweeps use this)."""
+        return replace(self, **kwargs)
+
+    def scaled_mispredict_rate(self, in_burst: bool) -> float:
+        """Effective per-branch misprediction probability in each Markov
+        state, chosen so the long-run average equals ``mispredict_rate``.
+
+        With a fraction ``f`` of branches in the bursty state and a
+        burst factor ``k``, rates are ``r_low`` outside bursts and
+        ``k * r_low`` inside, with ``r_low = rate / (1 - f + k f)``.
+        """
+        f = self.burst_fraction
+        k = self.burst_factor
+        r_low = self.mispredict_rate / (1.0 - f + k * f)
+        rate = r_low * k if in_burst else r_low
+        return min(rate, 1.0)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for benchmark and harness output.
+
+The benchmark harness prints the rows of every reproduced table/figure as
+aligned ASCII; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; all other values via ``str``.
+    """
+    rendered = [[_render_cell(cell, float_fmt) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = ".3f",
+) -> str:
+    """Render a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    rendered = [[_render_cell(cell, float_fmt) for cell in row] for row in rows]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Argument validation helpers shared by configuration dataclasses."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ValueError unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ValueError unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ValueError unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ValueError unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")

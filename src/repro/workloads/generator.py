@@ -1,0 +1,34 @@
+"""Suite-level trace generation helpers used by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.trace.stream import Trace
+from repro.trace.synthetic import generate_trace
+from repro.util.rng import derive_seed
+from repro.workloads.spec_profiles import SPEC_PROFILES
+
+DEFAULT_TRACE_LENGTH = 100_000
+DEFAULT_SEED = 2006  # the paper's publication year, for determinism
+
+
+def default_suite() -> Dict[str, object]:
+    """The twelve SPEC-like profiles in suite order."""
+    return dict(SPEC_PROFILES)
+
+
+def suite_traces(
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = DEFAULT_SEED,
+    names: Optional[Iterable[str]] = None,
+) -> Dict[str, Trace]:
+    """Generate one trace per suite workload (deterministic per name)."""
+    selected = list(names) if names is not None else list(SPEC_PROFILES)
+    traces = {}
+    for name in selected:
+        profile = SPEC_PROFILES[name]
+        traces[name] = generate_trace(
+            profile, length, seed=derive_seed(seed, name)
+        )
+    return traces

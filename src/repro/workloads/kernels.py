@@ -1,0 +1,375 @@
+"""Assembly microbenchmark kernels.
+
+Each builder returns an assembled :class:`~repro.isa.program.Program`
+plus the data-memory preload it expects. Running a kernel through the
+functional simulator yields a *real* dynamic trace — real dependence
+chains, real addresses, real branch outcomes — used to cross-check the
+synthetic-trace methodology and to drive structural (predictor+cache)
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.trace.functional import DataMemory, FunctionalSimulator
+from repro.trace.stream import Trace
+from repro.util.rng import SplitMix
+
+DATA_BASE = 0x100000
+
+
+@dataclass
+class Kernel:
+    """An assembled kernel plus its initial memory image."""
+
+    program: Program
+    memory_image: Dict[int, float] = field(default_factory=dict)
+
+    def run(self, max_instructions: int = 2_000_000) -> Trace:
+        """Execute functionally; return the dynamic trace."""
+        memory = DataMemory()
+        memory.preload(self.memory_image)
+        simulator = FunctionalSimulator(self.program, memory=memory)
+        return simulator.run(max_instructions=max_instructions)
+
+
+def dot_product(elements: int = 512) -> Kernel:
+    """Floating-point dot product: streaming loads, FP chain, one loop
+    branch — high ILP aside from the accumulator recurrence."""
+    text = f"""
+        li   r2, {DATA_BASE}
+        li   r3, {DATA_BASE + 8 * elements}
+        fmov f1, 0
+    loop:
+        fld  f2, 0(r2)
+        fld  f3, {8 * elements}(r2)
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        addi r2, r2, 8
+        bne  r2, r3, loop
+        halt
+    """
+    image = {DATA_BASE + 8 * i: float(i % 17) for i in range(2 * elements)}
+    return Kernel(program=assemble(text, name="dot_product"), memory_image=image)
+
+
+def pointer_chase(nodes: int = 256, laps: int = 8, seed: int = 11) -> Kernel:
+    """Linked-list traversal: serialized loads (memory-latency bound,
+    minimal ILP) — the mcf-like extreme."""
+    rng = SplitMix(seed)
+    order = list(range(1, nodes))
+    rng.shuffle(order)
+    chain = [0] + order
+    image: Dict[int, float] = {}
+    for i, node in enumerate(chain):
+        succ = chain[(i + 1) % nodes]
+        image[DATA_BASE + 16 * node] = DATA_BASE + 16 * succ
+        image[DATA_BASE + 16 * node + 8] = float(node)
+    text = f"""
+        li   r2, {DATA_BASE}
+        li   r4, 0
+        li   r5, {laps * nodes}
+        li   r6, 0
+    loop:
+        ld   r3, 8(r2)
+        add  r4, r4, r3
+        ld   r2, 0(r2)
+        addi r6, r6, 1
+        bne  r6, r5, loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="pointer_chase"), memory_image=image)
+
+
+def branchy_search(elements: int = 512, seed: int = 5) -> Kernel:
+    """Scan with a data-dependent branch per element: the misprediction-
+    heavy extreme (values are pseudo-random, the branch is essentially
+    unpredictable)."""
+    rng = SplitMix(seed)
+    image = {DATA_BASE + 8 * i: float(rng.randint(0, 99)) for i in range(elements)}
+    text = f"""
+        li   r2, {DATA_BASE}
+        li   r3, {DATA_BASE + 8 * elements}
+        li   r4, 0
+        li   r6, 50
+    loop:
+        ld   r5, 0(r2)
+        blt  r5, r6, skip
+        addi r4, r4, 1
+    skip:
+        addi r2, r2, 8
+        bne  r2, r3, loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="branchy_search"), memory_image=image)
+
+
+def stride_sum(elements: int = 1024, stride: int = 4) -> Kernel:
+    """Strided reduction: exercises spatial locality in the D-cache."""
+    image = {DATA_BASE + 8 * i: float(i & 7) for i in range(elements)}
+    text = f"""
+        li   r2, 0
+        li   r3, {elements * 8}
+        li   r4, 0
+    loop:
+        ld   r5, {DATA_BASE}(r2)
+        add  r4, r4, r5
+        addi r2, r2, {8 * stride}
+        blt  r2, r3, loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="stride_sum"), memory_image=image)
+
+
+def fibonacci(count: int = 40) -> Kernel:
+    """Tight serial recurrence: the lowest-ILP integer chain."""
+    text = f"""
+        li   r2, 0
+        li   r3, 1
+        li   r5, 0
+        li   r6, {count}
+    loop:
+        add  r4, r2, r3
+        add  r2, r3, r0
+        add  r3, r4, r0
+        addi r5, r5, 1
+        bne  r5, r6, loop
+        st   r4, {DATA_BASE}(r0)
+        halt
+    """
+    return Kernel(program=assemble(text, name="fibonacci"))
+
+
+def nested_loop(outer: int = 64, inner: int = 16) -> Kernel:
+    """Two-level loop nest: highly predictable branches, jump traffic."""
+    text = f"""
+        li   r2, 0
+        li   r6, {outer}
+        li   r7, {inner}
+        li   r8, 0
+    outer_loop:
+        li   r3, 0
+    inner_loop:
+        add  r8, r8, r3
+        addi r3, r3, 1
+        bne  r3, r7, inner_loop
+        addi r2, r2, 1
+        bne  r2, r6, outer_loop
+        st   r8, {DATA_BASE}(r0)
+        halt
+    """
+    return Kernel(program=assemble(text, name="nested_loop"))
+
+
+def histogram(elements: int = 512, buckets: int = 32, seed: int = 3) -> Kernel:
+    """Data-dependent store addresses (read-modify-write histogram):
+    exercises store->load memory dependences."""
+    rng = SplitMix(seed)
+    image = {
+        DATA_BASE + 8 * i: float(rng.randint(0, buckets - 1))
+        for i in range(elements)
+    }
+    table = DATA_BASE + 8 * elements
+    text = f"""
+        li   r2, {DATA_BASE}
+        li   r3, {table}
+        li   r4, {elements}
+        li   r5, 0
+        li   r9, 3
+    loop:
+        ld   r6, 0(r2)
+        sll  r7, r6, r9
+        add  r7, r7, r3
+        ld   r8, 0(r7)
+        addi r8, r8, 1
+        st   r8, 0(r7)
+        addi r2, r2, 8
+        addi r5, r5, 1
+        bne  r5, r4, loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="histogram"), memory_image=image)
+
+
+def binary_search(elements: int = 1024, queries: int = 64, seed: int = 7) -> Kernel:
+    """Repeated binary search over a sorted array: log-depth loops with
+    hard-to-predict direction branches and data-dependent addresses."""
+    rng = SplitMix(seed)
+    image = {DATA_BASE + 8 * i: float(2 * i) for i in range(elements)}
+    queries_base = DATA_BASE + 8 * elements
+    for q in range(queries):
+        image[queries_base + 8 * q] = float(2 * rng.randint(0, elements - 1))
+    text = f"""
+        li   r10, 0
+        li   r11, {queries}
+        li   r9, 3
+    query_loop:
+        sll  r12, r10, r9
+        ld   r13, {queries_base}(r12)
+        li   r2, 0
+        li   r3, {elements}
+    search_loop:
+        sub  r4, r3, r2
+        slti r5, r4, 2
+        bnez r5, found
+        add  r6, r2, r3
+        li   r7, 1
+        srl  r6, r6, r7
+        li   r8, 3
+        sll  r7, r6, r8
+        ld   r5, {DATA_BASE}(r7)
+        bge  r13, r5, go_right
+        add  r3, r6, r0
+        j    search_loop
+    go_right:
+        add  r2, r6, r0
+        j    search_loop
+    found:
+        addi r10, r10, 1
+        bne  r10, r11, query_loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="binary_search"), memory_image=image)
+
+
+def matmul(size: int = 12) -> Kernel:
+    """Dense matrix multiply (size x size): triply nested loops, FP
+    multiply-accumulate chains, strided + repeated access patterns."""
+    a_base = DATA_BASE
+    b_base = DATA_BASE + 8 * size * size
+    c_base = DATA_BASE + 16 * size * size
+    image: Dict[int, float] = {}
+    for i in range(size * size):
+        image[a_base + 8 * i] = float(i % 7)
+        image[b_base + 8 * i] = float(i % 5)
+    row_bytes = 8 * size
+    text = f"""
+        li   r2, 0              # i
+        li   r14, {row_bytes}
+        li   r15, 8
+        li   r13, {size}
+    i_loop:
+        li   r3, 0              # j
+    j_loop:
+        fmov f1, 0              # acc
+        li   r4, 0              # k
+        mul  r7, r2, r14        # i * row_bytes
+    k_loop:
+        mul  r8, r4, r15        # k * 8
+        add  r9, r7, r8
+        fld  f2, {a_base}(r9)   # A[i][k]
+        mul  r10, r4, r14       # k * row_bytes
+        mul  r11, r3, r15       # j * 8
+        add  r12, r10, r11
+        fld  f3, {b_base}(r12)  # B[k][j]
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        addi r4, r4, 1
+        bne  r4, r13, k_loop
+        mul  r11, r3, r15
+        add  r9, r7, r11
+        fst  f1, {c_base}(r9)   # C[i][j]
+        addi r3, r3, 1
+        bne  r3, r13, j_loop
+        addi r2, r2, 1
+        bne  r2, r13, i_loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="matmul"), memory_image=image)
+
+
+def bubble_sort(elements: int = 48, seed: int = 13) -> Kernel:
+    """In-place bubble sort: data-dependent swap branches plus heavy
+    store->load forwarding through the array."""
+    rng = SplitMix(seed)
+    image = {
+        DATA_BASE + 8 * i: float(rng.randint(0, 999)) for i in range(elements)
+    }
+    text = f"""
+        li   r2, 0              # pass counter
+        li   r9, {elements - 1}
+        li   r15, 8
+    pass_loop:
+        li   r3, 0              # index
+    scan_loop:
+        mul  r4, r3, r15
+        ld   r5, {DATA_BASE}(r4)
+        ld   r6, {DATA_BASE + 8}(r4)
+        bge  r6, r5, no_swap
+        st   r6, {DATA_BASE}(r4)
+        st   r5, {DATA_BASE + 8}(r4)
+    no_swap:
+        addi r3, r3, 1
+        bne  r3, r9, scan_loop
+        addi r2, r2, 1
+        bne  r2, r9, pass_loop
+        halt
+    """
+    return Kernel(program=assemble(text, name="bubble_sort"), memory_image=image)
+
+
+def checksum(elements: int = 2048, seed: int = 17) -> Kernel:
+    """Rolling xor/shift checksum: a single serial integer chain mixing
+    loads — the integer analogue of the fibonacci recurrence."""
+    rng = SplitMix(seed)
+    image = {
+        DATA_BASE + 8 * i: float(rng.randint(0, (1 << 31) - 1))
+        for i in range(elements)
+    }
+    text = f"""
+        li   r2, 0
+        li   r3, {8 * elements}
+        li   r4, 0              # checksum
+        li   r7, 5
+        li   r8, 3
+    loop:
+        ld   r5, {DATA_BASE}(r2)
+        xor  r4, r4, r5
+        sll  r6, r4, r8
+        srl  r4, r4, r7
+        or   r4, r4, r6
+        addi r2, r2, 8
+        bne  r2, r3, loop
+        st   r4, {DATA_BASE}(r3)
+        halt
+    """
+    return Kernel(program=assemble(text, name="checksum"), memory_image=image)
+
+
+KERNEL_BUILDERS: Dict[str, Callable[[], Kernel]] = {
+    "dot_product": dot_product,
+    "pointer_chase": pointer_chase,
+    "branchy_search": branchy_search,
+    "stride_sum": stride_sum,
+    "fibonacci": fibonacci,
+    "nested_loop": nested_loop,
+    "histogram": histogram,
+    "binary_search": binary_search,
+    "matmul": matmul,
+    "bubble_sort": bubble_sort,
+    "checksum": checksum,
+}
+
+
+def kernel_names() -> List[str]:
+    return list(KERNEL_BUILDERS)
+
+
+def build_kernel(name: str) -> Kernel:
+    """Build a kernel by name with default parameters."""
+    try:
+        builder = KERNEL_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; choose from {sorted(KERNEL_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def kernel_trace(name: str) -> Trace:
+    """Build and functionally execute a kernel; return its trace."""
+    return build_kernel(name).run()

@@ -1,0 +1,32 @@
+"""Shared fixtures: small deterministic traces, configs, simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="session")
+def base_profile() -> WorkloadProfile:
+    return WorkloadProfile(name="fixture")
+
+
+@pytest.fixture(scope="session")
+def small_trace(base_profile):
+    """10k-instruction deterministic trace shared across tests."""
+    return generate_trace(base_profile, 10_000, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def base_config() -> CoreConfig:
+    return CoreConfig()
+
+
+@pytest.fixture(scope="session")
+def small_result(small_trace, base_config):
+    """Baseline simulation of the shared trace."""
+    return simulate(small_trace, base_config)

@@ -1,0 +1,108 @@
+"""Unit tests for saturating counters and the bimodal predictor."""
+
+import pytest
+
+from repro.frontend.bimodal import BimodalPredictor, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_initial_weakly_taken(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 2
+        assert counter.taken
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.train(True)
+        assert counter.value == 3
+        counter.train(True)
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.train(False)
+        assert counter.value == 0
+
+    def test_hysteresis(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.train(False)  # 3 -> 2, still predicts taken
+        assert counter.taken
+        counter.train(False)  # 2 -> 1, now not taken
+        assert not counter.taken
+
+    def test_threshold_at_half(self):
+        counter = SaturatingCounter(bits=3, initial=3)
+        assert not counter.taken
+        counter.train(True)
+        assert counter.taken
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+
+class TestBimodalPredictor:
+    def test_learns_always_taken(self):
+        predictor = BimodalPredictor(entries=64)
+        for _ in range(4):
+            predictor.predict_and_update(0x100, True)
+        assert predictor.predict(0x100)
+
+    def test_learns_always_not_taken(self):
+        predictor = BimodalPredictor(entries=64)
+        for _ in range(4):
+            predictor.predict_and_update(0x100, False)
+        assert not predictor.predict(0x100)
+
+    def test_high_accuracy_on_biased_branch(self):
+        predictor = BimodalPredictor(entries=64)
+        for _ in range(1000):
+            predictor.predict_and_update(0x200, True)
+        assert predictor.stats.accuracy > 0.99
+
+    def test_alternating_pattern_defeats_bimodal(self):
+        predictor = BimodalPredictor(entries=64)
+        for i in range(1000):
+            predictor.predict_and_update(0x300, i % 2 == 0)
+        # bimodal cannot learn strict alternation
+        assert predictor.stats.accuracy < 0.7
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        predictor = BimodalPredictor(entries=64)
+        for _ in range(4):
+            predictor.predict_and_update(0x100, True)
+            predictor.predict_and_update(0x104, False)
+        assert predictor.predict(0x100)
+        assert not predictor.predict(0x104)
+
+    def test_aliasing_when_table_small(self):
+        predictor = BimodalPredictor(entries=1)
+        for _ in range(4):
+            predictor.predict_and_update(0x100, True)
+        # every pc aliases onto the same counter
+        assert predictor.predict(0xDEAD00)
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+    def test_stats_accounting(self):
+        predictor = BimodalPredictor()
+        predictor.predict_and_update(0, True)
+        predictor.predict_and_update(0, True)
+        assert predictor.stats.predictions == 2
+        assert (
+            predictor.stats.correct + predictor.stats.mispredictions == 2
+        )
+
+    def test_reset_stats(self):
+        predictor = BimodalPredictor()
+        predictor.predict_and_update(0, True)
+        predictor.reset_stats()
+        assert predictor.stats.predictions == 0

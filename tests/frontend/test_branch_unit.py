@@ -1,0 +1,44 @@
+"""Unit tests for the BranchUnit (direction + BTB bundle)."""
+
+from repro.frontend.base import BranchUnit
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.perfect import PerfectPredictor
+from repro.frontend.static import StaticPredictor
+
+
+class TestBranchUnit:
+    def test_perfect_direction_with_btb_warm(self):
+        unit = BranchUnit(direction=PerfectPredictor(), btb=BranchTargetBuffer())
+        # first taken branch: direction right, BTB cold -> mispredict
+        assert unit.resolve_branch(0x100, True, 0x2000)
+        # second time: BTB warm -> correct
+        assert not unit.resolve_branch(0x100, True, 0x2000)
+
+    def test_not_taken_branch_ignores_btb(self):
+        unit = BranchUnit(direction=PerfectPredictor(), btb=BranchTargetBuffer())
+        assert not unit.resolve_branch(0x100, False, None)
+
+    def test_wrong_direction_is_mispredict(self):
+        unit = BranchUnit(direction=StaticPredictor(predict_taken=True))
+        assert unit.resolve_branch(0x100, False, None)
+        assert not unit.resolve_branch(0x100, True, None)
+
+    def test_no_btb_means_direction_only(self):
+        unit = BranchUnit(direction=PerfectPredictor())
+        assert not unit.resolve_branch(0x100, True, 0x2000)
+
+    def test_jump_resolution_uses_btb(self):
+        unit = BranchUnit(direction=PerfectPredictor(), btb=BranchTargetBuffer())
+        assert unit.resolve_jump(0x200, 0x4000)  # cold BTB
+        assert not unit.resolve_jump(0x200, 0x4000)
+
+    def test_jump_without_btb_never_mispredicts(self):
+        unit = BranchUnit(direction=PerfectPredictor())
+        assert not unit.resolve_jump(0x200, 0x4000)
+
+    def test_stats_track_overall(self):
+        unit = BranchUnit(direction=StaticPredictor(predict_taken=True))
+        unit.resolve_branch(0, True, None)
+        unit.resolve_branch(0, False, None)
+        assert unit.stats.predictions == 2
+        assert unit.stats.correct == 1

@@ -1,0 +1,55 @@
+"""Unit tests for the branch target buffer."""
+
+import pytest
+
+from repro.frontend.btb import BranchTargetBuffer
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert btb.predict(0x100) is None
+        btb.update(0x100, 0x2000)
+        assert btb.predict(0x100) == 0x2000
+
+    def test_predict_and_update_scores(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert not btb.predict_and_update(0x100, 0x2000)  # cold miss
+        assert btb.predict_and_update(0x100, 0x2000)  # now hits
+
+    def test_stale_target_counts_as_miss(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.update(0x100, 0x2000)
+        assert not btb.predict_and_update(0x100, 0x3000)
+        assert btb.predict_and_update(0x100, 0x3000)
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x0, 1)
+        btb.update(0x4, 2)
+        btb.predict(0x0)  # refresh 0x0
+        btb.update(0x8, 3)  # evicts 0x4
+        assert btb.predict(0x0) == 1
+        assert btb.predict(0x4) is None
+        assert btb.predict(0x8) == 3
+
+    def test_capacity_respected(self):
+        btb = BranchTargetBuffer(sets=4, ways=2)
+        for i in range(100):
+            btb.update(i * 4, i)
+        assert btb.occupancy <= 8
+
+    def test_update_refreshes_existing(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x0, 1)
+        btb.update(0x4, 2)
+        btb.update(0x0, 9)  # refresh + new target
+        btb.update(0x8, 3)  # should evict 0x4 (LRU), not 0x0
+        assert btb.predict(0x0) == 9
+        assert btb.predict(0x4) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=100)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(ways=0)

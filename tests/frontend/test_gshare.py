@@ -1,0 +1,54 @@
+"""Unit tests for the gshare predictor."""
+
+import pytest
+
+from repro.frontend.gshare import GSharePredictor
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        predictor = GSharePredictor(entries=1024, history_bits=8)
+        for i in range(2000):
+            predictor.predict_and_update(0x100, i % 2 == 0)
+        # with history, alternation becomes perfectly predictable
+        recent_correct = 0
+        for i in range(2000, 2100):
+            if predictor.predict_and_update(0x100, i % 2 == 0):
+                recent_correct += 1
+        assert recent_correct >= 95
+
+    def test_learns_period_four_pattern(self):
+        predictor = GSharePredictor(entries=4096, history_bits=10)
+        pattern = [True, True, False, False]
+        for i in range(4000):
+            predictor.predict_and_update(0x40, pattern[i % 4])
+        correct = sum(
+            predictor.predict_and_update(0x40, pattern[i % 4])
+            for i in range(200)
+        )
+        assert correct >= 190
+
+    def test_history_register_updates(self):
+        predictor = GSharePredictor(history_bits=4)
+        predictor.predict_and_update(0, True)
+        predictor.predict_and_update(0, False)
+        predictor.predict_and_update(0, True)
+        assert predictor.history == 0b101
+
+    def test_history_bounded(self):
+        predictor = GSharePredictor(history_bits=4)
+        for _ in range(100):
+            predictor.predict_and_update(0, True)
+        assert predictor.history == 0b1111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(entries=100)
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)
+
+    def test_biased_branch_accuracy(self):
+        predictor = GSharePredictor()
+        for _ in range(500):
+            predictor.predict_and_update(0x88, True)
+        assert predictor.stats.accuracy > 0.95

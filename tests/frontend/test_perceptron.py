@@ -1,0 +1,57 @@
+"""Unit tests for the perceptron predictor."""
+
+import pytest
+
+from repro.frontend.perceptron import PerceptronPredictor
+
+
+class TestPerceptron:
+    def test_learns_biased_branch(self):
+        predictor = PerceptronPredictor(entries=64, history_bits=8)
+        for _ in range(200):
+            predictor.predict_and_update(0x10, True)
+        assert predictor.predict(0x10)
+
+    def test_learns_history_correlation(self):
+        predictor = PerceptronPredictor(entries=64, history_bits=8)
+        # branch outcome equals the outcome two branches ago
+        history = [True, False]
+        for i in range(4000):
+            outcome = history[-2]
+            predictor.predict_and_update(0x20, outcome)
+            history.append(outcome)
+        correct = 0
+        for i in range(200):
+            outcome = history[-2]
+            if predictor.predict_and_update(0x20, outcome):
+                correct += 1
+            history.append(outcome)
+        assert correct >= 190
+
+    def test_weights_bounded(self):
+        predictor = PerceptronPredictor(entries=4, history_bits=4)
+        for _ in range(10_000):
+            predictor.predict_and_update(0x0, True)
+        for weights in predictor._weights:
+            for w in weights:
+                assert -129 <= w <= 127
+
+    def test_threshold_formula(self):
+        predictor = PerceptronPredictor(history_bits=24)
+        assert predictor.threshold == int(1.93 * 24 + 14)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(entries=100)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(history_bits=0)
+
+    def test_alternation_learned(self):
+        predictor = PerceptronPredictor(entries=16, history_bits=8)
+        for i in range(2000):
+            predictor.predict_and_update(0x40, i % 2 == 0)
+        correct = sum(
+            predictor.predict_and_update(0x40, i % 2 == 0)
+            for i in range(2000, 2100)
+        )
+        assert correct >= 95

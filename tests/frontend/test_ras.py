@@ -1,0 +1,54 @@
+"""Unit tests for the return address stack."""
+
+import pytest
+
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(depth=8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_pop_empty_returns_none(self):
+        assert ReturnAddressStack().pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_predict_return_scores(self):
+        ras = ReturnAddressStack()
+        ras.push(0x500)
+        assert ras.predict_return(0x500)
+        ras.push(0x600)
+        assert not ras.predict_return(0x999)
+        assert ras.stats.predictions == 2
+        assert ras.stats.correct == 1
+
+    def test_matched_call_return_nesting(self):
+        ras = ReturnAddressStack(depth=16)
+        addresses = [0x10, 0x20, 0x30]
+        for a in addresses:
+            ras.push(a)
+        for a in reversed(addresses):
+            assert ras.predict_return(a)
+        assert ras.stats.accuracy == 1.0
+
+    def test_len(self):
+        ras = ReturnAddressStack(depth=4)
+        assert len(ras) == 0
+        ras.push(1)
+        assert len(ras) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)

@@ -1,0 +1,42 @@
+"""Unit tests for static and perfect predictors."""
+
+from repro.frontend.perfect import PerfectPredictor
+from repro.frontend.static import StaticPredictor
+from repro.util.rng import SplitMix
+
+
+class TestStatic:
+    def test_always_taken(self):
+        predictor = StaticPredictor(predict_taken=True)
+        assert predictor.predict(0x1234)
+        predictor.predict_and_update(0x1234, False)
+        assert predictor.predict(0x1234)  # never learns
+
+    def test_always_not_taken(self):
+        predictor = StaticPredictor(predict_taken=False)
+        assert not predictor.predict(0)
+
+    def test_accuracy_equals_bias(self):
+        predictor = StaticPredictor(predict_taken=True)
+        rng = SplitMix(1)
+        for _ in range(10_000):
+            predictor.predict_and_update(0, rng.bernoulli(0.7))
+        assert abs(predictor.stats.accuracy - 0.7) < 0.02
+
+
+class TestPerfect:
+    def test_never_mispredicts(self):
+        predictor = PerfectPredictor()
+        rng = SplitMix(2)
+        for _ in range(1000):
+            outcome = rng.bernoulli(0.5)
+            assert predictor.predict_and_update(0x10, outcome)
+        assert predictor.stats.accuracy == 1.0
+        assert predictor.stats.mispredictions == 0
+
+    def test_prime_reveals_outcome(self):
+        predictor = PerfectPredictor()
+        predictor.prime(True)
+        assert predictor.predict(0)
+        predictor.prime(False)
+        assert not predictor.predict(0)

@@ -1,0 +1,62 @@
+"""Unit tests for the tournament (hybrid) predictor."""
+
+import pytest
+
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.gshare import GSharePredictor
+from repro.frontend.local import LocalPredictor
+from repro.frontend.static import StaticPredictor
+from repro.frontend.tournament import TournamentPredictor
+
+
+class TestTournament:
+    def test_defaults_constructible(self):
+        predictor = TournamentPredictor()
+        assert isinstance(predictor.global_component, GSharePredictor)
+        assert isinstance(predictor.local_component, LocalPredictor)
+
+    def test_beats_or_matches_bimodal_on_patterns(self):
+        tournament = TournamentPredictor()
+        bimodal = BimodalPredictor()
+        pattern = [True, True, False]
+        for i in range(4000):
+            tournament.predict_and_update(0x20, pattern[i % 3])
+            bimodal.predict_and_update(0x20, pattern[i % 3])
+        assert tournament.stats.accuracy >= bimodal.stats.accuracy
+
+    def test_chooser_selects_working_component(self):
+        # global component = always-taken static, local = always-not-taken.
+        tournament = TournamentPredictor(
+            global_component=StaticPredictor(predict_taken=True),
+            local_component=StaticPredictor(predict_taken=False),
+            chooser_entries=16,
+        )
+        for _ in range(50):
+            tournament.predict_and_update(0x40, True)
+        # chooser should have learned to trust the global component
+        assert tournament.predict(0x40) is True
+        tournament2 = TournamentPredictor(
+            global_component=StaticPredictor(predict_taken=True),
+            local_component=StaticPredictor(predict_taken=False),
+            chooser_entries=16,
+        )
+        for _ in range(50):
+            tournament2.predict_and_update(0x40, False)
+        assert tournament2.predict(0x40) is False
+
+    def test_components_trained_every_branch(self):
+        gshare = GSharePredictor(history_bits=4)
+        tournament = TournamentPredictor(global_component=gshare)
+        for _ in range(5):
+            tournament.predict_and_update(0, True)
+        assert gshare.history == 0b1111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TournamentPredictor(chooser_entries=100)
+
+    def test_high_accuracy_on_biased_stream(self):
+        tournament = TournamentPredictor()
+        for _ in range(500):
+            tournament.predict_and_update(0x99, True)
+        assert tournament.stats.accuracy > 0.95

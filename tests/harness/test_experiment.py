@@ -1,0 +1,45 @@
+"""Unit tests for the ExperimentResult container."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="f2",
+        title="Penalty vs frontend",
+        headers=["workload", "penalty"],
+        rows=[["gzip", 38.3], ["mcf", 160.2]],
+        notes="penalty exceeds frontend",
+    )
+
+
+class TestRender:
+    def test_render_contains_title_and_rows(self, result):
+        text = result.render()
+        assert "F2" in text
+        assert "gzip" in text
+        assert "38.30" in text
+
+    def test_render_includes_notes(self, result):
+        assert "note: penalty exceeds frontend" in result.render()
+
+    def test_render_markdown(self, result):
+        md = result.render_markdown()
+        assert md.startswith("### F2")
+        assert "| gzip |" in md
+
+    def test_float_format_override(self, result):
+        assert "38.3" in result.render(float_fmt=".1f")
+
+
+class TestColumns:
+    def test_column_extraction(self, result):
+        assert result.column("workload") == ["gzip", "mcf"]
+        assert result.column("penalty") == [38.3, 160.2]
+
+    def test_unknown_column_raises(self, result):
+        with pytest.raises(KeyError):
+            result.column("cycles")

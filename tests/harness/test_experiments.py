@@ -1,0 +1,218 @@
+"""Validation of every reproduced experiment's claimed shape.
+
+These are the reproduction's acceptance tests: each experiment must
+show the qualitative result the paper reports (see DESIGN.md's
+"expected shapes"). They run on the shared cached baseline runs.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    SUITE,
+    run_experiment,
+    run_f1,
+    run_f2,
+    run_f4,
+    run_f6,
+    run_f7,
+    run_f8,
+    run_f9,
+    run_f10,
+    run_f12,
+    run_t1,
+    run_t2,
+    run_t3,
+)
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_present(self):
+        expected = {"t1", "t2", "t3"} | {f"f{i}" for i in range(1, 22)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("f99")
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("T1")
+        assert result.experiment_id == "t1"
+
+
+class TestT1T2:
+    def test_t1_reports_baseline(self):
+        result = run_t1()
+        rendered = result.render()
+        assert "ROB" in rendered
+        assert "frontend" in rendered
+
+    def test_t2_covers_suite(self):
+        result = run_t2()
+        assert result.column("workload") == SUITE
+        ipcs = result.column("IPC")
+        assert all(0.05 < ipc <= 4.0 for ipc in ipcs)
+
+    def test_t2_mcf_lowest_ipc(self):
+        result = run_t2()
+        by_name = dict(zip(result.column("workload"), result.column("IPC")))
+        assert by_name["mcf"] == min(by_name.values())
+
+
+class TestHeadlineClaim:
+    """F2/F3: the penalty substantially exceeds the frontend length."""
+
+    def test_penalty_exceeds_frontend_everywhere(self):
+        result = run_f2()
+        for ratio in result.column("penalty/frontend"):
+            assert ratio > 1.5
+
+    def test_resolution_positive_everywhere(self):
+        result = run_f2()
+        for resolution in result.column("mean resolution"):
+            assert resolution > 0
+
+
+class TestIntervalBehaviour:
+    def test_f1_dispatch_collapses_then_recovers(self):
+        result = run_f1()
+        rates = {}
+        for rel, rate, phase in result.rows:
+            rates.setdefault(phase, []).append(rate)
+        steady = sum(rates["steady"]) / len(rates["steady"])
+        refill = sum(rates["refill"]) / len(rates["refill"])
+        assert refill < steady  # dispatch collapses during refill
+
+    def test_f4_resolution_rises_with_gap(self):
+        result = run_f4()
+        rows = [r for r in result.rows if r[1] > 0]
+        small_gap = rows[0][2]
+        large_gap = rows[-1][2]
+        assert large_gap > small_gap
+
+    def test_f4_saturates_near_window(self):
+        result = run_f4()
+        rows = [r for r in result.rows if r[1] > 0]
+        # last two buckets (beyond the 128-entry window) within 50%
+        assert rows[-1][2] <= 2.0 * rows[-2][2]
+
+
+class TestSensitivities:
+    def test_f6_resolution_falls_with_ilp(self):
+        result = run_f6()
+        resolutions = result.column("mean resolution")
+        assert resolutions[0] > resolutions[-1]
+        ipcs = result.column("IPC")
+        assert ipcs[-1] > ipcs[0]
+
+    def test_f7_resolution_rises_with_fu_latency(self):
+        result = run_f7()
+        resolutions = result.column("mean resolution")
+        assert resolutions == sorted(resolutions)
+        ipcs = result.column("IPC")
+        assert ipcs[0] > ipcs[-1]
+
+    def test_f8_resolution_rises_with_short_misses(self):
+        result = run_f8()
+        resolutions = result.column("mean resolution")
+        assert resolutions[-1] > resolutions[0]
+        # roughly monotone: each point within noise of the trend
+        for earlier, later in zip(resolutions, resolutions[2:]):
+            assert later > earlier - 2.0
+
+    def test_f9_penalty_grows_with_window(self):
+        result = run_f9()
+        resolutions = result.column("mean resolution")
+        assert resolutions == sorted(resolutions)
+        # sublinear: 8x window -> much less than 8x resolution
+        assert resolutions[-1] < 8 * resolutions[0]
+        ipcs = result.column("IPC")
+        assert ipcs[-1] >= ipcs[0]
+
+
+class TestModelAndStacks:
+    def test_f10_stacks_sum_to_cpi(self):
+        result = run_f10()
+        for row in result.rows:
+            _, base, bpred, icache, longd, other, total = row
+            assert base + bpred + icache + longd + other == pytest.approx(
+                total, rel=1e-6
+            )
+
+    def test_f10_mcf_memory_dominated(self):
+        result = run_f10()
+        by_name = {row[0]: row for row in result.rows}
+        mcf = by_name["mcf"]
+        assert mcf[4] == max(mcf[1:6])  # long D$ largest component
+
+    def test_t3_model_tracks_simulation(self):
+        result = run_t3()
+        errors = result.column("CPI error %")
+        assert sum(abs(e) for e in errors) / len(errors) < 15.0
+        for error in errors:
+            assert abs(error) < 35.0
+
+    def test_f12_power_law_fits(self):
+        result = run_f12()
+        for r2 in result.column("R^2"):
+            assert r2 > 0.9
+        for beta in result.column("beta"):
+            assert 0.1 < beta < 1.1
+
+
+class TestContributors:
+    def test_f11_components_account_for_penalty(self):
+        result = run_experiment("f11")
+        for row in result.rows:
+            name, refill, ilp, fu, short, residual, total, _gap = row
+            assert refill + ilp + fu + short + residual == pytest.approx(
+                total, rel=1e-6
+            )
+            assert ilp > 0
+
+    def test_f11_mcf_short_miss_contribution_large(self):
+        result = run_experiment("f11")
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["mcf"][4] > by_name["crafty"][4]
+
+
+class TestAblations:
+    def test_f13_penalty_stable_under_wrong_path(self):
+        result = run_experiment("f13")
+        for row in result.rows:
+            _, stop_penalty, wp_penalty, _, _, ghosts = row
+            assert wp_penalty == pytest.approx(stop_penalty, rel=0.25)
+            assert ghosts > 0
+
+    def test_f14_random_issue_not_better(self):
+        result = run_experiment("f14")
+        for row in result.rows:
+            _, _, _, ipc_oldest, ipc_random = row
+            assert ipc_random <= ipc_oldest * 1.02
+
+    def test_f15_extended_definition_shreds_intervals(self):
+        result = run_experiment("f15")
+        for row in result.rows:
+            _, paper_rate, ext_rate, paper_gap, ext_gap = row
+            assert ext_rate >= paper_rate
+            assert ext_gap <= paper_gap
+
+
+class TestExtensions:
+    def test_f17_penalty_band_predictor_independent(self):
+        result = run_experiment("f17")
+        penalties = [row[2] for row in result.rows if row[2] > 0]
+        assert max(penalties) < 1.6 * min(penalties)
+
+    def test_f20_inorder_collapses_resolution(self):
+        result = run_experiment("f20")
+        for row in result.rows:
+            _, res_ooo, res_ino, _pen_ooo, pen_ino, ipc_ooo, ipc_ino = row
+            assert res_ino < 0.5 * res_ooo
+            assert pen_ino < 15.0
+            assert ipc_ooo > ipc_ino
+
+    def test_f21_all_contributors_move_the_penalty(self):
+        result = run_experiment("f21")
+        for label, _low, _high, swing in result.rows:
+            assert abs(swing) > 1.0, label

@@ -1,0 +1,105 @@
+"""Unit tests for replication utilities."""
+
+import pytest
+
+from repro.harness.replication import (
+    Replicated,
+    confidence_half_width,
+    replicate,
+)
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+
+class TestConfidenceHalfWidth:
+    def test_zero_for_single_sample(self):
+        assert confidence_half_width([5.0]) == 0.0
+
+    def test_zero_for_identical_samples(self):
+        assert confidence_half_width([3.0, 3.0, 3.0]) == 0.0
+
+    def test_scales_with_spread(self):
+        tight = confidence_half_width([10.0, 10.1, 9.9, 10.0])
+        loose = confidence_half_width([10.0, 12.0, 8.0, 10.0])
+        assert loose > tight
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert confidence_half_width(values, 0.99) > confidence_half_width(
+            values, 0.90
+        )
+
+    def test_unknown_confidence_raises(self):
+        with pytest.raises(ValueError):
+            confidence_half_width([1.0, 2.0], confidence=0.5)
+
+
+class TestReplicated:
+    def test_bounds(self):
+        r = Replicated(mean=10.0, half_width=2.0, replications=5,
+                       confidence=0.95)
+        assert r.low == 8.0
+        assert r.high == 12.0
+
+    def test_overlap(self):
+        a = Replicated(10.0, 2.0, 5, 0.95)
+        b = Replicated(13.0, 2.0, 5, 0.95)
+        c = Replicated(20.0, 1.0, 5, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str(self):
+        assert "±" in str(Replicated(1.0, 0.5, 3, 0.95))
+
+
+class TestReplicate:
+    def test_deterministic(self):
+        def measure(seed):
+            return {"value": float(seed % 1000)}
+
+        a = replicate(measure, base_seed=1, replications=4)
+        b = replicate(measure, base_seed=1, replications=4)
+        assert a["value"].mean == b["value"].mean
+
+    def test_seeds_differ_across_replications(self):
+        seen = []
+
+        def measure(seed):
+            seen.append(seed)
+            return {"x": 0.0}
+
+        replicate(measure, base_seed=1, replications=5)
+        assert len(set(seen)) == 5
+
+    def test_invalid_replications(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: {}, base_seed=1, replications=0)
+
+    def test_real_measurement_separates_conditions(self):
+        """Replicated penalties distinguish low vs high short-miss rates
+        with non-overlapping intervals."""
+        from repro.interval.penalty import measure_penalties
+
+        config = CoreConfig()
+
+        def penalty_at(rate):
+            profile = WorkloadProfile(
+                name=f"rep-{rate}",
+                dl1_miss_rate=rate,
+                dl2_miss_rate=0.0,
+                il1_mpki=0.0,
+            )
+
+            def measure(seed):
+                trace = generate_trace(profile, 8000, seed=seed)
+                result = simulate(trace, config)
+                return {"penalty": measure_penalties(result).mean_penalty}
+
+            return replicate(measure, base_seed=42, replications=4)["penalty"]
+
+        low = penalty_at(0.0)
+        high = penalty_at(0.25)
+        assert high.mean > low.mean
+        assert not low.overlaps(high)

@@ -1,0 +1,27 @@
+"""Smoke test: the full experiment registry is runnable end to end.
+
+Every experiment function must return a well-formed ExperimentResult;
+the claim-level assertions live in test_experiments.py and the
+benchmark files — here we only verify structural health for the whole
+registry (including any newly added experiment).
+"""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_is_well_formed(experiment_id):
+    result = EXPERIMENTS[experiment_id]()
+    assert result.experiment_id == experiment_id
+    assert result.title
+    assert result.headers
+    assert result.rows, f"{experiment_id} produced no rows"
+    width = len(result.headers)
+    for row in result.rows:
+        assert len(row) == width
+    rendered = result.render()
+    assert experiment_id.upper() in rendered
+    markdown = result.render_markdown()
+    assert markdown.startswith(f"### {experiment_id.upper()}")

@@ -1,0 +1,48 @@
+"""Unit tests for the caching runner."""
+
+from repro.harness.runner import (
+    baseline_config,
+    clear_caches,
+    simulate_workload,
+    workload_trace,
+)
+
+
+class TestCaching:
+    def setup_method(self):
+        clear_caches()
+
+    def teardown_method(self):
+        clear_caches()
+
+    def test_trace_cached_by_identity(self):
+        a = workload_trace("gzip", length=500)
+        b = workload_trace("gzip", length=500)
+        assert a is b
+
+    def test_trace_distinct_per_length(self):
+        a = workload_trace("gzip", length=500)
+        b = workload_trace("gzip", length=600)
+        assert a is not b
+
+    def test_simulation_cached(self):
+        a = simulate_workload("gzip", length=500)
+        b = simulate_workload("gzip", length=500)
+        assert a is b
+
+    def test_config_key_distinguishes_configs(self):
+        base = simulate_workload("gzip", length=500)
+        deep = simulate_workload(
+            "gzip",
+            config=baseline_config().with_overrides(frontend_depth=20),
+            length=500,
+        )
+        assert base is not deep
+        assert deep.cycles > base.cycles
+
+    def test_clear_caches(self):
+        a = simulate_workload("gzip", length=500)
+        clear_caches()
+        b = simulate_workload("gzip", length=500)
+        assert a is not b
+        assert a.cycles == b.cycles  # deterministic regeneration

@@ -1,0 +1,25 @@
+"""Unit tests for the sweep helper."""
+
+from repro.harness.sweep import Sweep, sweep_values
+
+
+class TestSweep:
+    def test_collects_series(self):
+        series = sweep_values(
+            "x", [1, 2, 3], lambda x: {"square": float(x * x), "double": 2.0 * x}
+        )
+        assert series["square"] == [1.0, 4.0, 9.0]
+        assert series["double"] == [2.0, 4.0, 6.0]
+
+    def test_runner_called_in_order(self):
+        seen = []
+
+        def runner(value):
+            seen.append(value)
+            return {"v": value}
+
+        Sweep(parameter="p", values=["a", "b"], runner=runner).run()
+        assert seen == ["a", "b"]
+
+    def test_empty_values(self):
+        assert sweep_values("x", [], lambda x: {"y": 1.0}) == {}

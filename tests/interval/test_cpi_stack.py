@@ -1,0 +1,65 @@
+"""Unit tests for CPI stack construction."""
+
+import pytest
+
+from repro.interval.cpi_stack import build_cpi_stack
+from repro.pipeline.events import LongDMissEvent
+from repro.pipeline.result import SimulationResult
+
+
+class TestCPIStack:
+    def test_components_sum_to_total(self, small_result, base_config):
+        stack = build_cpi_stack(small_result, base_config.dispatch_width)
+        total = stack.base + stack.bpred + stack.icache + stack.long_dcache + stack.other
+        assert total == pytest.approx(small_result.cycles)
+
+    def test_component_cpi_sums_to_cpi(self, small_result, base_config):
+        stack = build_cpi_stack(small_result, base_config.dispatch_width)
+        assert sum(stack.component_cpi().values()) == pytest.approx(stack.cpi)
+
+    def test_fractions_sum_to_one(self, small_result, base_config):
+        stack = build_cpi_stack(small_result, base_config.dispatch_width)
+        assert sum(stack.fractions().values()) == pytest.approx(1.0)
+
+    def test_base_is_n_over_width(self, small_result, base_config):
+        stack = build_cpi_stack(small_result, base_config.dispatch_width)
+        assert stack.base == pytest.approx(
+            small_result.instructions / base_config.dispatch_width
+        )
+
+    def test_bpred_component_matches_penalties(self, small_result, base_config):
+        stack = build_cpi_stack(small_result, base_config.dispatch_width)
+        expected = sum(e.penalty for e in small_result.mispredict_events)
+        assert stack.bpred == pytest.approx(expected)
+
+    def test_overlapping_long_misses_merged(self):
+        events = [
+            LongDMissEvent(seq=0, cycle=100, complete_cycle=350),
+            LongDMissEvent(seq=1, cycle=200, complete_cycle=450),  # overlaps
+            LongDMissEvent(seq=2, cycle=1000, complete_cycle=1250),  # separate
+        ]
+        result = SimulationResult(instructions=100, cycles=2000, events=events)
+        stack = build_cpi_stack(result, 4)
+        assert stack.long_dcache == pytest.approx((450 - 100) + 250)
+
+    def test_contained_long_miss_not_double_counted(self):
+        events = [
+            LongDMissEvent(seq=0, cycle=100, complete_cycle=400),
+            LongDMissEvent(seq=1, cycle=150, complete_cycle=300),  # inside
+        ]
+        result = SimulationResult(instructions=100, cycles=1000, events=events)
+        stack = build_cpi_stack(result, 4)
+        assert stack.long_dcache == pytest.approx(300)
+
+    def test_rows_structure(self, small_result, base_config):
+        stack = build_cpi_stack(small_result, base_config.dispatch_width)
+        rows = stack.rows()
+        assert [name for name, _, _ in rows] == [
+            "base", "bpred", "icache", "long_dcache", "other",
+        ]
+
+    def test_empty_result(self):
+        result = SimulationResult(instructions=0, cycles=0)
+        stack = build_cpi_stack(result, 4)
+        assert stack.cpi == 0.0
+        assert stack.component_cpi() == {}

@@ -1,0 +1,90 @@
+"""Unit tests for window-occupancy reconstruction."""
+
+import pytest
+
+from repro.interval.occupancy import (
+    occupancy_at_dispatch,
+    occupancy_trace,
+    summarize_occupancy,
+)
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+
+def ialu(deps=()):
+    return TraceRecord(OpClass.IALU, deps=deps)
+
+
+class TestTrace:
+    def test_occupancy_never_negative_or_above_rob(self, small_result,
+                                                   base_config):
+        for _cycle, occupancy in occupancy_trace(small_result):
+            assert 0 <= occupancy <= base_config.rob_size
+
+    def test_ends_empty(self, small_result):
+        points = occupancy_trace(small_result)
+        assert points[-1][1] == 0
+
+    def test_requires_timeline(self):
+        result = simulate(
+            Trace([ialu()]), CoreConfig(record_timeline=False)
+        )
+        with pytest.raises(ValueError, match="timeline"):
+            occupancy_trace(result)
+
+    def test_serial_chain_low_occupancy_bound(self):
+        # A serial chain fills the window: occupancy rises to the ROB.
+        records = [ialu((1,) if i else ()) for i in range(600)]
+        config = CoreConfig(rob_size=64)
+        result = simulate(Trace(records), config)
+        peak = max(occ for _, occ in occupancy_trace(result))
+        assert peak == 64
+
+
+class TestSummary:
+    def test_summary_consistency(self, small_result, base_config):
+        summary = summarize_occupancy(small_result, base_config.rob_size)
+        assert 0 <= summary.mean <= base_config.rob_size
+        assert summary.p50 <= summary.p90 <= summary.peak
+        assert 0.0 <= summary.full_fraction <= 1.0
+        assert summary.peak == small_result.rob_peak_occupancy
+
+    def test_rows_render(self, small_result, base_config):
+        rows = summarize_occupancy(small_result, base_config.rob_size).rows()
+        assert len(rows) == 5
+
+    def test_capacity_validation(self, small_result):
+        with pytest.raises(ValueError):
+            summarize_occupancy(small_result, 0)
+
+    def test_long_miss_fills_window(self):
+        records = [TraceRecord(OpClass.LOAD, mem_addr=0, dl2_miss=True)]
+        records.extend(ialu() for _ in range(500))
+        config = CoreConfig(rob_size=32)
+        result = simulate(Trace(records), config)
+        summary = summarize_occupancy(result, 32)
+        # window sits full for most of the 250-cycle stall
+        assert summary.full_fraction > 0.5
+
+
+class TestAtDispatch:
+    def test_matches_event_occupancy(self):
+        """The reconstruction agrees with the core's own recording at
+        mispredicted branches."""
+        records = [ialu((1,) if i else ()) for i in range(100)]
+        records.append(TraceRecord(OpClass.BRANCH, mispredict=True))
+        records.extend(ialu() for _ in range(20))
+        result = simulate(Trace(records), CoreConfig())
+        reconstructed = occupancy_at_dispatch(result)
+        event = result.mispredict_events[0]
+        assert reconstructed[event.seq] == event.window_occupancy
+
+    def test_first_instruction_sees_empty_window(self, small_result):
+        assert occupancy_at_dispatch(small_result)[0] == 0
+
+    def test_bounded_by_rob(self, small_result, base_config):
+        for occupancy in occupancy_at_dispatch(small_result):
+            assert 0 <= occupancy <= base_config.rob_size

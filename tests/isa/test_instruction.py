@@ -1,0 +1,79 @@
+"""Unit tests for Instruction validation."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.registers import int_reg
+
+
+class TestValidate:
+    def test_valid_rrr(self):
+        Instruction(
+            opcode=Opcode.ADD, dest=int_reg(1), sources=(int_reg(2), int_reg(3))
+        ).validate()
+
+    def test_rrr_missing_source(self):
+        inst = Instruction(opcode=Opcode.ADD, dest=int_reg(1), sources=(int_reg(2),))
+        with pytest.raises(ValueError, match="expected 2"):
+            inst.validate()
+
+    def test_missing_dest(self):
+        inst = Instruction(opcode=Opcode.ADD, sources=(int_reg(2), int_reg(3)))
+        with pytest.raises(ValueError, match="destination"):
+            inst.validate()
+
+    def test_store_has_no_dest(self):
+        inst = Instruction(
+            opcode=Opcode.ST,
+            dest=int_reg(1),
+            sources=(int_reg(2), int_reg(3)),
+        )
+        with pytest.raises(ValueError, match="unexpected destination"):
+            inst.validate()
+
+    def test_valid_store(self):
+        Instruction(
+            opcode=Opcode.ST, sources=(int_reg(2), int_reg(3)), imm=8
+        ).validate()
+
+    def test_branch_needs_target_or_label(self):
+        inst = Instruction(opcode=Opcode.BEQ, sources=(int_reg(1), int_reg(2)))
+        with pytest.raises(ValueError, match="without target"):
+            inst.validate()
+
+    def test_branch_with_label_ok(self):
+        Instruction(
+            opcode=Opcode.BEQ, sources=(int_reg(1), int_reg(2)), label="x"
+        ).validate()
+
+    def test_jal_dest_allowed(self):
+        Instruction(opcode=Opcode.JAL, dest=int_reg(1), target=0).validate()
+
+    def test_nop_valid(self):
+        Instruction(opcode=Opcode.NOP).validate()
+
+
+class TestProperties:
+    def test_op_class(self):
+        inst = Instruction(opcode=Opcode.MUL, dest=int_reg(1),
+                           sources=(int_reg(2), int_reg(3)))
+        assert inst.op_class is OpClass.IMUL
+
+    def test_flags(self):
+        load = Instruction(opcode=Opcode.LD, dest=int_reg(1),
+                           sources=(int_reg(2),))
+        assert load.is_load and not load.is_store and not load.is_branch
+        branch = Instruction(opcode=Opcode.BNEZ, sources=(int_reg(1),), label="x")
+        assert branch.is_branch and branch.is_control
+
+    def test_str_is_disassembly(self):
+        inst = Instruction(
+            opcode=Opcode.ADD, dest=int_reg(1), sources=(int_reg(2), int_reg(3))
+        )
+        assert str(inst) == "add r1, r2, r3"
+
+    def test_frozen(self):
+        inst = Instruction(opcode=Opcode.NOP)
+        with pytest.raises(AttributeError):
+            inst.imm = 5

@@ -1,0 +1,65 @@
+"""Unit tests for opcode metadata."""
+
+import pytest
+
+from repro.isa.opcodes import OPCODE_INFO, Opcode, OpClass, lookup_mnemonic
+
+
+class TestOpcodeInfo:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO
+            assert OPCODE_INFO[opcode].opcode is opcode
+
+    def test_lookup_by_mnemonic(self):
+        for opcode in Opcode:
+            assert lookup_mnemonic(opcode.value).opcode is opcode
+
+    def test_lookup_case_insensitive(self):
+        assert lookup_mnemonic("ADD").opcode is Opcode.ADD
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup_mnemonic("frobnicate")
+
+    def test_branch_classification(self):
+        for opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                       Opcode.BEQZ, Opcode.BNEZ):
+            info = OPCODE_INFO[opcode]
+            assert info.is_branch
+            assert info.is_control
+            assert not info.is_jump
+
+    def test_jump_classification(self):
+        for opcode in (Opcode.J, Opcode.JAL, Opcode.JR):
+            info = OPCODE_INFO[opcode]
+            assert info.is_jump
+            assert info.is_control
+            assert not info.is_branch
+
+    def test_memory_classification(self):
+        assert OPCODE_INFO[Opcode.LD].is_load
+        assert OPCODE_INFO[Opcode.FLD].is_load
+        assert OPCODE_INFO[Opcode.ST].is_store
+        assert OPCODE_INFO[Opcode.FST].is_store
+        assert not OPCODE_INFO[Opcode.ADD].is_load
+
+    def test_op_class_memory_property(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.IALU.is_memory
+
+    def test_op_class_control_property(self):
+        assert OpClass.BRANCH.is_control
+        assert OpClass.JUMP.is_control
+        assert not OpClass.LOAD.is_control
+
+    def test_formats_are_known(self):
+        valid = {"rrr", "rri", "ri", "mem", "brr", "br", "j", "jr", "none"}
+        for info in OPCODE_INFO.values():
+            assert info.fmt in valid
+
+    def test_stores_do_not_write_dest(self):
+        assert not OPCODE_INFO[Opcode.ST].writes_dest
+        assert OPCODE_INFO[Opcode.LD].writes_dest
+        assert OPCODE_INFO[Opcode.ADD].writes_dest

@@ -1,0 +1,103 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import int_reg
+
+
+@pytest.fixture
+def loop_program():
+    return assemble(
+        """
+        top:
+            addi r1, r1, 1
+            bne r1, r2, top
+            halt
+        """
+    )
+
+
+class TestAddressing:
+    def test_address_of(self, loop_program):
+        assert loop_program.address_of(0) == loop_program.base_address
+        assert loop_program.address_of(1) == loop_program.base_address + 4
+
+    def test_address_of_out_of_range(self, loop_program):
+        with pytest.raises(IndexError):
+            loop_program.address_of(99)
+
+    def test_index_of_address_round_trip(self, loop_program):
+        for i in range(len(loop_program)):
+            assert loop_program.index_of_address(loop_program.address_of(i)) == i
+
+    def test_index_of_misaligned_raises(self, loop_program):
+        with pytest.raises(ValueError, match="misaligned"):
+            loop_program.index_of_address(loop_program.base_address + 2)
+
+    def test_index_of_outside_raises(self, loop_program):
+        with pytest.raises(ValueError, match="outside"):
+            loop_program.index_of_address(loop_program.base_address + 4 * 100)
+
+    def test_label_address(self, loop_program):
+        assert loop_program.label_address("top") == loop_program.base_address
+
+
+class TestValidation:
+    def test_valid_program_passes(self, loop_program):
+        loop_program.validate()
+
+    def test_target_out_of_range_rejected(self):
+        program = Program(
+            instructions=[
+                Instruction(
+                    opcode=Opcode.BEQ,
+                    sources=(int_reg(1), int_reg(2)),
+                    target=5,
+                )
+            ]
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            program.validate()
+
+    def test_branch_without_target_rejected(self):
+        program = Program(
+            instructions=[
+                Instruction(opcode=Opcode.BEQ, sources=(int_reg(1), int_reg(2)))
+            ]
+        )
+        with pytest.raises(ValueError, match="without target"):
+            program.validate()
+
+    def test_resolve_labels_unknown_raises(self):
+        program = Program(
+            instructions=[
+                Instruction(
+                    opcode=Opcode.J, label="missing"
+                )
+            ]
+        )
+        with pytest.raises(KeyError):
+            program.resolve_labels()
+
+
+class TestIntrospection:
+    def test_static_mix(self, loop_program):
+        mix = loop_program.static_mix()
+        assert mix["ialu"] == 1
+        assert mix["branch"] == 1
+        assert mix["nop"] == 1  # halt is in the NOP class
+
+    def test_find_halt(self, loop_program):
+        assert loop_program.find_halt() == 2
+
+    def test_find_halt_absent(self):
+        program = assemble("nop")
+        assert program.find_halt() is None
+
+    def test_iteration_and_len(self, loop_program):
+        assert len(loop_program) == 3
+        assert len(list(loop_program)) == 3

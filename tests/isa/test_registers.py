@@ -1,0 +1,108 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REGISTER_COUNT,
+    INT_REGISTER_COUNT,
+    REG_ZERO,
+    Register,
+    RegisterFile,
+    fp_reg,
+    int_reg,
+)
+
+
+class TestRegister:
+    def test_int_register_names(self):
+        assert int_reg(0).name == "r0"
+        assert int_reg(31).name == "r31"
+
+    def test_fp_register_names(self):
+        assert fp_reg(0).name == "f0"
+        assert fp_reg(31).name == "f31"
+
+    def test_is_fp(self):
+        assert not int_reg(5).is_fp
+        assert fp_reg(5).is_fp
+
+    def test_bank_index(self):
+        assert fp_reg(7).bank_index == 7
+        assert fp_reg(7).index == INT_REGISTER_COUNT + 7
+
+    def test_parse_round_trip(self):
+        for i in range(INT_REGISTER_COUNT):
+            assert Register.parse(f"r{i}") == int_reg(i)
+        for i in range(FP_REGISTER_COUNT):
+            assert Register.parse(f"f{i}") == fp_reg(i)
+
+    def test_parse_aliases(self):
+        assert Register.parse("zero") == REG_ZERO
+        assert Register.parse("ra") == int_reg(1)
+        assert Register.parse("sp") == int_reg(2)
+
+    def test_parse_case_insensitive(self):
+        assert Register.parse("R5") == int_reg(5)
+
+    @pytest.mark.parametrize("bad", ["x3", "r32", "f32", "r-1", "", "r"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            Register.parse(bad)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            Register(64)
+        with pytest.raises(ValueError):
+            Register(-1)
+
+    def test_helpers_reject_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(32)
+
+    def test_ordering_and_hash(self):
+        assert int_reg(1) < int_reg(2) < fp_reg(0)
+        assert len({int_reg(1), int_reg(1), int_reg(2)}) == 2
+
+
+class TestRegisterFile:
+    def test_read_write_int(self):
+        rf = RegisterFile()
+        rf.write(int_reg(5), 42)
+        assert rf.read(int_reg(5)) == 42
+
+    def test_r0_hardwired_zero(self):
+        rf = RegisterFile()
+        rf.write(REG_ZERO, 99)
+        assert rf.read(REG_ZERO) == 0
+
+    def test_read_write_fp(self):
+        rf = RegisterFile()
+        rf.write(fp_reg(3), 2.5)
+        assert rf.read(fp_reg(3)) == 2.5
+
+    def test_int_wraps_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write(int_reg(1), 1 << 64)
+        assert rf.read(int_reg(1)) == 0
+        rf.write(int_reg(1), (1 << 63))
+        assert rf.read(int_reg(1)) == -(1 << 63)
+
+    def test_banks_are_independent(self):
+        rf = RegisterFile()
+        rf.write(int_reg(4), 7)
+        rf.write(fp_reg(4), 3.5)
+        assert rf.read(int_reg(4)) == 7
+        assert rf.read(fp_reg(4)) == 3.5
+
+    def test_initial_state_zero(self):
+        rf = RegisterFile()
+        assert rf.read(int_reg(10)) == 0
+        assert rf.read(fp_reg(10)) == 0.0
+
+    def test_snapshot_excludes_zeros(self):
+        rf = RegisterFile()
+        rf.write(int_reg(3), 9)
+        snap = rf.snapshot()
+        assert snap == {"r3": 9}

@@ -1,0 +1,116 @@
+"""Unit tests for the cache hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig, MissClass
+
+
+def tiny_hierarchy(**overrides):
+    config = HierarchyConfig(
+        l1i_size=1024,
+        l1i_ways=2,
+        l1d_size=1024,
+        l1d_ways=2,
+        l2_size=8192,
+        l2_ways=4,
+        **overrides,
+    )
+    return CacheHierarchy(config)
+
+
+class TestConfigValidation:
+    def test_default_valid(self):
+        HierarchyConfig()
+
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ValueError, match="latencies"):
+            HierarchyConfig(l1_latency=20, l2_latency=10)
+        with pytest.raises(ValueError):
+            HierarchyConfig(l2_latency=300, memory_latency=250)
+
+
+class TestDataPath:
+    def test_cold_access_is_long_miss(self):
+        hierarchy = tiny_hierarchy()
+        outcome = hierarchy.access_data(0x10000)
+        assert outcome.miss_class is MissClass.LONG
+        assert outcome.latency == hierarchy.config.memory_latency
+
+    def test_warm_access_is_l1_hit(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_data(0x10000)
+        outcome = hierarchy.access_data(0x10000)
+        assert outcome.miss_class is MissClass.L1_HIT
+        assert outcome.latency == hierarchy.config.l1_latency
+
+    def test_l1_evicted_but_l2_resident_is_short_miss(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_data(0x10000)
+        # Walk a footprint larger than L1 but within L2 to evict 0x10000
+        # from L1 while it stays in L2.
+        for i in range(1, 64):
+            hierarchy.access_data(0x10000 + i * 64)
+        outcome = hierarchy.access_data(0x10000)
+        assert outcome.miss_class is MissClass.SHORT
+        assert outcome.latency == hierarchy.config.l2_latency
+
+    def test_memory_read_counted(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_data(0x10000)
+        assert hierarchy.memory.reads == 1
+
+    def test_writeback_path_reaches_l2(self):
+        hierarchy = tiny_hierarchy()
+        # dirty a line, then evict it from L1 by filling its set
+        hierarchy.access_data(0x10000, is_write=True)
+        target_set = 0x10000 >> 6 & (hierarchy.l1d.sets - 1)
+        fills = 0
+        addr = 0x20000
+        while fills < hierarchy.l1d.ways:
+            if (addr >> 6) & (hierarchy.l1d.sets - 1) == target_set:
+                hierarchy.access_data(addr)
+                fills += 1
+            addr += 64
+        # the dirty line must now be present (dirty) in L2
+        assert hierarchy.l2.lookup(0x10000)
+
+
+class TestInstructionPath:
+    def test_cold_fetch_long(self):
+        hierarchy = tiny_hierarchy()
+        outcome = hierarchy.access_instruction(0x1000)
+        assert outcome.miss_class is MissClass.LONG
+
+    def test_warm_fetch_hits(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(0x1000)
+        assert (
+            hierarchy.access_instruction(0x1000).miss_class is MissClass.L1_HIT
+        )
+
+    def test_l1i_and_l1d_are_split(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(0x1000)
+        # data access to the same address must not hit (split L1s)
+        assert hierarchy.access_data(0x1000).miss_class is not MissClass.L1_HIT
+
+    def test_l2_shared_between_i_and_d(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_instruction(0x3000)  # fills L2
+        outcome = hierarchy.access_data(0x3000)
+        assert outcome.miss_class is MissClass.SHORT  # L1D miss, L2 hit
+
+
+class TestMissRates:
+    def test_miss_rates_keys(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access_data(0)
+        rates = hierarchy.miss_rates()
+        assert set(rates) == {"l1i", "l1d", "l2"}
+
+    def test_streaming_pattern_miss_rate(self):
+        hierarchy = tiny_hierarchy()
+        # 8-byte stride: one miss per 64B line -> 1/8 miss rate
+        for i in range(4096):
+            hierarchy.access_data(0x100000 + 8 * i)
+        assert hierarchy.l1d.stats.miss_rate == pytest.approx(1 / 8, abs=0.01)

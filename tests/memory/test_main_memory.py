@@ -1,0 +1,28 @@
+"""Unit tests for the main memory model."""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_read_returns_latency(self):
+        memory = MainMemory(latency=200)
+        assert memory.read(0x1000) == 200
+
+    def test_write_returns_latency(self):
+        memory = MainMemory(latency=200)
+        assert memory.write(0x1000) == 200
+
+    def test_access_counting(self):
+        memory = MainMemory()
+        memory.read(0)
+        memory.read(4)
+        memory.write(8)
+        assert memory.reads == 2
+        assert memory.writes == 1
+        assert memory.accesses == 3
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MainMemory(latency=0)

@@ -1,0 +1,150 @@
+"""Unit tests for the prefetchers."""
+
+import pytest
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig, MissClass
+from repro.memory.prefetch import (
+    NextLinePrefetcher,
+    PrefetchingHierarchyAdapter,
+    StridePrefetcher,
+)
+
+
+def small_cache():
+    return Cache(size_bytes=4096, ways=4, line_bytes=64)
+
+
+class TestNextLine:
+    def test_prefetches_next_line(self):
+        cache = small_cache()
+        prefetcher = NextLinePrefetcher(cache, degree=1)
+        cache.access(0x1000)
+        prefetcher.on_demand_access(0x1000, hit=False)
+        assert cache.lookup(0x1040)
+
+    def test_degree_controls_depth(self):
+        cache = small_cache()
+        prefetcher = NextLinePrefetcher(cache, degree=3)
+        cache.access(0x1000)
+        issued = prefetcher.on_demand_access(0x1000, hit=False)
+        assert issued == [0x1040, 0x1080, 0x10C0]
+
+    def test_no_duplicate_prefetch_of_resident_line(self):
+        cache = small_cache()
+        prefetcher = NextLinePrefetcher(cache)
+        cache.access(0x1040)
+        cache.access(0x1000)
+        assert prefetcher.on_demand_access(0x1000, hit=False) == []
+
+    def test_usefulness_tracked(self):
+        cache = small_cache()
+        prefetcher = NextLinePrefetcher(cache)
+        cache.access(0x1000)
+        prefetcher.on_demand_access(0x1000, hit=False)
+        prefetcher.on_demand_access(0x1040, hit=True)  # the prefetched line
+        assert prefetcher.stats.useful == 1
+        # the access to 0x1040 itself issued a prefetch of 0x1080
+        assert prefetcher.stats.issued == 2
+        assert prefetcher.stats.accuracy == 0.5
+
+    def test_sequential_stream_perfect_accuracy(self):
+        cache = small_cache()
+        prefetcher = NextLinePrefetcher(cache)
+        for i in range(32):
+            address = 0x2000 + 64 * i
+            cache.access(address)
+            prefetcher.on_demand_access(address, hit=False)
+        assert prefetcher.stats.accuracy > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(small_cache(), degree=0)
+
+
+class TestStride:
+    def test_arms_after_two_equal_strides(self):
+        cache = small_cache()
+        prefetcher = StridePrefetcher(cache, degree=1)
+        pc = 0x400
+        issued = []
+        for i in range(4):
+            address = 0x8000 + 256 * i
+            issued = prefetcher.on_demand_access(pc, address, hit=False)
+        assert issued  # armed by now
+        assert cache.lookup(0x8000 + 256 * 4)
+
+    def test_irregular_stream_never_arms(self):
+        cache = small_cache()
+        prefetcher = StridePrefetcher(cache)
+        pc = 0x400
+        for address in (0x1000, 0x5000, 0x2000, 0x9000, 0x3000):
+            prefetcher.on_demand_access(pc, address, hit=False)
+        assert prefetcher.stats.issued == 0
+
+    def test_distinct_pcs_distinct_entries(self):
+        cache = small_cache()
+        prefetcher = StridePrefetcher(cache, degree=1)
+        for i in range(4):
+            prefetcher.on_demand_access(0x400, 0x8000 + 64 * i, hit=False)
+            prefetcher.on_demand_access(0x404, 0x20000 + 128 * i, hit=False)
+        assert prefetcher.stats.issued > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(small_cache(), entries=100)
+        with pytest.raises(ValueError):
+            StridePrefetcher(small_cache(), degree=0)
+
+
+class TestAdapter:
+    def make(self, **kwargs):
+        hierarchy = CacheHierarchy(
+            HierarchyConfig(l1i_size=2048, l1i_ways=2, l1d_size=2048,
+                            l1d_ways=2, l2_size=16384, l2_ways=4)
+        )
+        return (
+            PrefetchingHierarchyAdapter(hierarchy, **kwargs),
+            hierarchy,
+        )
+
+    def test_passthrough_without_prefetchers(self):
+        adapter, hierarchy = self.make()
+        outcome = adapter.access_data(0x9000)
+        assert outcome.miss_class is MissClass.LONG
+        assert hierarchy.l1d.stats.accesses == 1
+
+    def test_stride_prefetching_raises_hit_rate(self):
+        adapter, hierarchy = self.make()
+        adapter.data_prefetcher = StridePrefetcher(hierarchy.l1d, degree=4)
+        baseline_adapter, baseline = self.make()
+        pc = 0x100
+        for i in range(512):
+            address = 0x40000 + 64 * i
+            adapter.access_data(address, pc=pc)
+            baseline_adapter.access_data(address, pc=pc)
+        assert (
+            hierarchy.l1d.stats.miss_rate < baseline.l1d.stats.miss_rate
+        )
+
+    def test_nextline_prefetching_cuts_instruction_misses(self):
+        adapter, hierarchy = self.make()
+        adapter.instruction_prefetcher = NextLinePrefetcher(
+            hierarchy.l1i, degree=2
+        )
+        baseline_adapter, baseline = self.make()
+        for i in range(256):
+            pc = 0x1000 + 64 * i
+            adapter.access_instruction(pc)
+            baseline_adapter.access_instruction(pc)
+        assert (
+            hierarchy.l1i.stats.miss_rate < baseline.l1i.stats.miss_rate
+        )
+
+    def test_exposes_hierarchy_surface(self):
+        adapter, hierarchy = self.make()
+        assert adapter.l1i is hierarchy.l1i
+        assert adapter.l2 is hierarchy.l2
+        assert adapter.config is hierarchy.config
+        adapter.access_data(0)
+        assert "l1d" in adapter.miss_rates()

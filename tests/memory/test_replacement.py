@@ -1,0 +1,123 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy(sets=1, ways=4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        policy.on_access(0, 0)  # refresh way 0
+        assert policy.victim_way(0) == 1
+
+    def test_initial_victim_is_way_zero(self):
+        policy = LRUPolicy(sets=1, ways=4)
+        assert policy.victim_way(0) == 0
+
+    def test_sets_independent(self):
+        policy = LRUPolicy(sets=2, ways=2)
+        policy.on_fill(0, 1)
+        assert policy.victim_way(1) == 0
+
+    def test_repeated_access_stays_mru(self):
+        policy = LRUPolicy(sets=1, ways=2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        for _ in range(5):
+            policy.on_access(0, 0)
+        assert policy.victim_way(0) == 1
+
+
+class TestFIFO:
+    def test_evicts_oldest_fill(self):
+        policy = FIFOPolicy(sets=1, ways=3)
+        policy.on_fill(0, 2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        assert policy.victim_way(0) == 2
+
+    def test_hits_do_not_reorder(self):
+        policy = FIFOPolicy(sets=1, ways=2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_access(0, 0)  # does not refresh
+        assert policy.victim_way(0) == 0
+
+
+class TestRandom:
+    def test_victims_in_range(self):
+        policy = RandomPolicy(sets=1, ways=4, seed=1)
+        for _ in range(100):
+            assert 0 <= policy.victim_way(0) < 4
+
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(sets=1, ways=8, seed=5)
+        b = RandomPolicy(sets=1, ways=8, seed=5)
+        assert [a.victim_way(0) for _ in range(20)] == [
+            b.victim_way(0) for _ in range(20)
+        ]
+
+    def test_covers_all_ways(self):
+        policy = RandomPolicy(sets=1, ways=4, seed=3)
+        assert {policy.victim_way(0) for _ in range(200)} == {0, 1, 2, 3}
+
+
+class TestPLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            PLRUPolicy(sets=1, ways=3)
+
+    def test_victim_avoids_recent_access(self):
+        policy = PLRUPolicy(sets=1, ways=4)
+        policy.on_access(0, 2)
+        assert policy.victim_way(0) != 2
+
+    def test_fills_then_victim_is_untouched_way(self):
+        policy = PLRUPolicy(sets=1, ways=2)
+        policy.on_fill(0, 0)
+        assert policy.victim_way(0) == 1
+        policy.on_fill(0, 1)
+        assert policy.victim_way(0) == 0
+
+    def test_single_way(self):
+        policy = PLRUPolicy(sets=1, ways=1)
+        policy.on_access(0, 0)
+        assert policy.victim_way(0) == 0
+
+    def test_plru_approximates_lru_on_sequential(self):
+        policy = PLRUPolicy(sets=1, ways=4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        # way 0 is the stalest; tree PLRU should pick it
+        assert policy.victim_way(0) == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy),
+        ("fifo", FIFOPolicy),
+        ("random", RandomPolicy),
+        ("plru", PLRUPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 2, 2), LRUPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_policy("mru", 2, 2)
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(sets=0, ways=2)

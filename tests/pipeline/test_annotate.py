@@ -1,0 +1,113 @@
+"""Unit tests for annotation sources."""
+
+from repro.frontend.base import BranchUnit
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.perfect import PerfectPredictor
+from repro.frontend.static import StaticPredictor
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig, MissClass
+from repro.pipeline.annotate import OracleAnnotator, StructuralAnnotator
+from repro.pipeline.config import CoreConfig
+from repro.trace.record import TraceRecord
+
+
+class TestOracleAnnotator:
+    def setup_method(self):
+        self.config = CoreConfig()
+        self.annotator = OracleAnnotator(self.config)
+
+    def test_clean_record(self):
+        ann = self.annotator.annotate(TraceRecord(OpClass.IALU))
+        assert not ann.mispredicted
+        assert ann.icache_latency is None
+        assert ann.dcache_class is None
+
+    def test_mispredicted_branch(self):
+        record = TraceRecord(OpClass.BRANCH, mispredict=True)
+        assert self.annotator.annotate(record).mispredicted
+
+    def test_mispredict_flag_on_non_branch_ignored(self):
+        record = TraceRecord(OpClass.IALU, mispredict=True)
+        assert not self.annotator.annotate(record).mispredicted
+
+    def test_unannotated_branch_is_correct(self):
+        record = TraceRecord(OpClass.BRANCH, mispredict=None)
+        assert not self.annotator.annotate(record).mispredicted
+
+    def test_icache_miss_latency(self):
+        record = TraceRecord(OpClass.IALU, il1_miss=True)
+        assert self.annotator.annotate(record).icache_latency == (
+            self.config.l2_latency
+        )
+
+    def test_load_hit_latency(self):
+        record = TraceRecord(OpClass.LOAD, mem_addr=0)
+        ann = self.annotator.annotate(record)
+        assert ann.dcache_class is MissClass.L1_HIT
+        assert ann.dcache_latency == self.config.l1_latency
+
+    def test_load_short_miss(self):
+        record = TraceRecord(OpClass.LOAD, mem_addr=0, dl1_miss=True)
+        ann = self.annotator.annotate(record)
+        assert ann.dcache_class is MissClass.SHORT
+        assert ann.dcache_latency == self.config.l2_latency
+
+    def test_load_long_miss(self):
+        record = TraceRecord(OpClass.LOAD, mem_addr=0, dl2_miss=True)
+        ann = self.annotator.annotate(record)
+        assert ann.dcache_class is MissClass.LONG
+        assert ann.dcache_latency == self.config.memory_latency
+
+
+class TestStructuralAnnotator:
+    def make(self, predictor=None):
+        config = CoreConfig()
+        unit = BranchUnit(
+            direction=predictor or PerfectPredictor(), btb=BranchTargetBuffer()
+        )
+        hierarchy = CacheHierarchy(
+            HierarchyConfig(l1i_size=1024, l1i_ways=2, l1d_size=1024,
+                            l1d_ways=2, l2_size=8192, l2_ways=4)
+        )
+        return StructuralAnnotator(config, unit, hierarchy), hierarchy
+
+    def test_first_fetch_misses_icache(self):
+        annotator, _ = self.make()
+        ann = annotator.annotate(TraceRecord(OpClass.IALU, pc=0x1000))
+        assert ann.icache_latency is not None
+
+    def test_same_line_fetch_shares_access(self):
+        annotator, hierarchy = self.make()
+        annotator.annotate(TraceRecord(OpClass.IALU, pc=0x1000))
+        before = hierarchy.l1i.stats.accesses
+        annotator.annotate(TraceRecord(OpClass.IALU, pc=0x1004))
+        assert hierarchy.l1i.stats.accesses == before
+
+    def test_refetch_of_warm_line_hits(self):
+        annotator, _ = self.make()
+        annotator.annotate(TraceRecord(OpClass.IALU, pc=0x1000))
+        annotator.annotate(TraceRecord(OpClass.IALU, pc=0x2000))
+        ann = annotator.annotate(TraceRecord(OpClass.IALU, pc=0x1004))
+        assert ann.icache_latency is None
+
+    def test_static_wrong_direction_mispredicts(self):
+        annotator, _ = self.make(predictor=StaticPredictor(predict_taken=False))
+        record = TraceRecord(
+            OpClass.BRANCH, pc=0x1000, taken=True, target=0x2000
+        )
+        assert annotator.annotate(record).mispredicted
+
+    def test_load_drives_dcache(self):
+        annotator, hierarchy = self.make()
+        record = TraceRecord(OpClass.LOAD, pc=0x1000, mem_addr=0x9000)
+        ann = annotator.annotate(record)
+        assert ann.dcache_class is MissClass.LONG
+        ann2 = annotator.annotate(record)
+        assert ann2.dcache_class is MissClass.L1_HIT
+        assert hierarchy.l1d.stats.accesses == 2
+
+    def test_jump_uses_btb(self):
+        annotator, _ = self.make()
+        record = TraceRecord(OpClass.JUMP, pc=0x1000, taken=True, target=0x2000)
+        assert annotator.annotate(record).mispredicted  # cold BTB
+        assert not annotator.annotate(record).mispredicted

@@ -1,0 +1,74 @@
+"""Unit tests for SimulationResult accessors."""
+
+import pytest
+
+from repro.pipeline.events import (
+    BranchMispredictEvent,
+    ICacheMissEvent,
+    LongDMissEvent,
+    MissEventKind,
+)
+from repro.pipeline.result import SimulationResult
+
+
+@pytest.fixture
+def result():
+    events = [
+        BranchMispredictEvent(seq=10, cycle=100, resolve_cycle=130,
+                              refill_cycles=5, window_occupancy=40),
+        ICacheMissEvent(seq=20, cycle=200, latency=10),
+        LongDMissEvent(seq=30, cycle=300, complete_cycle=550),
+        BranchMispredictEvent(seq=40, cycle=400, resolve_cycle=410,
+                              refill_cycles=5, window_occupancy=8),
+    ]
+    return SimulationResult(instructions=1000, cycles=800, events=events)
+
+
+class TestDerived:
+    def test_ipc_cpi_inverse(self, result):
+        assert result.ipc == pytest.approx(1000 / 800)
+        assert result.cpi == pytest.approx(800 / 1000)
+
+    def test_zero_division_guards(self):
+        empty = SimulationResult(instructions=0, cycles=0)
+        assert empty.ipc == 0.0
+        assert empty.cpi == 0.0
+        assert empty.mean_mispredict_penalty == 0.0
+
+    def test_event_filters(self, result):
+        assert len(result.mispredict_events) == 2
+        assert len(result.icache_events) == 1
+        assert len(result.long_dmiss_events) == 1
+
+    def test_mean_penalty(self, result):
+        # penalties: (30+5) and (10+5)
+        assert result.mean_mispredict_penalty == pytest.approx(25.0)
+        assert result.mean_branch_resolution == pytest.approx(20.0)
+
+    def test_summary_keys_and_values(self, result):
+        summary = result.summary()
+        assert summary["instructions"] == 1000.0
+        assert summary["mispredictions"] == 2.0
+        assert summary["icache_misses"] == 1.0
+        assert summary["long_dmisses"] == 1.0
+        assert summary["mean_penalty"] == pytest.approx(25.0)
+
+
+class TestEventProperties:
+    def test_mispredict_event_kind_and_math(self):
+        event = BranchMispredictEvent(
+            seq=1, cycle=10, resolve_cycle=35, refill_cycles=7,
+            window_occupancy=12,
+        )
+        assert event.kind is MissEventKind.BRANCH_MISPREDICT
+        assert event.resolution == 25
+        assert event.penalty == 32
+
+    def test_long_dmiss_latency(self):
+        event = LongDMissEvent(seq=1, cycle=10, complete_cycle=260)
+        assert event.kind is MissEventKind.LONG_DCACHE_MISS
+        assert event.latency == 250
+
+    def test_icache_kind(self):
+        event = ICacheMissEvent(seq=1, cycle=10, latency=10)
+        assert event.kind is MissEventKind.ICACHE_MISS

@@ -1,0 +1,85 @@
+"""Property-based tests for the cache substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+
+ADDRESSES = st.integers(min_value=0, max_value=1 << 20)
+ACCESSES = st.lists(
+    st.tuples(ADDRESSES, st.booleans()), min_size=1, max_size=300
+)
+GEOMETRY = st.sampled_from(
+    [(256, 1, 32), (512, 2, 64), (1024, 4, 64), (2048, 8, 128)]
+)
+POLICY = st.sampled_from(["lru", "fifo", "random", "plru"])
+
+
+def make_cache(geometry, policy):
+    size, ways, line = geometry
+    return Cache(size_bytes=size, ways=ways, line_bytes=line, policy=policy)
+
+
+class TestCacheProperties:
+    @given(accesses=ACCESSES, geometry=GEOMETRY, policy=POLICY)
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_always_balances(self, accesses, geometry, policy):
+        cache = make_cache(geometry, policy)
+        for address, is_write in accesses:
+            cache.access(address, is_write=is_write)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(accesses)
+        assert stats.writebacks <= stats.evictions <= stats.misses
+
+    @given(accesses=ACCESSES, geometry=GEOMETRY, policy=POLICY)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, accesses, geometry, policy):
+        cache = make_cache(geometry, policy)
+        for address, is_write in accesses:
+            cache.access(address, is_write=is_write)
+        assert cache.occupancy <= cache.sets * cache.ways
+
+    @given(address=ADDRESSES, geometry=GEOMETRY, policy=POLICY)
+    @settings(max_examples=60, deadline=None)
+    def test_access_after_fill_hits(self, address, geometry, policy):
+        cache = make_cache(geometry, policy)
+        cache.access(address)
+        assert cache.access(address).hit
+
+    @given(accesses=ACCESSES, geometry=GEOMETRY)
+    @settings(max_examples=40, deadline=None)
+    def test_lru_resident_set_is_most_recent_lines(self, accesses, geometry):
+        """For a direct-mapped LRU cache, the resident line of each set
+        is the most recently accessed line mapping to it."""
+        size, _, line = geometry
+        cache = Cache(size_bytes=size, ways=1, line_bytes=line, policy="lru")
+        last_line_per_set = {}
+        for address, is_write in accesses:
+            cache.access(address, is_write=is_write)
+            set_index, _ = cache._decompose(address)
+            last_line_per_set[set_index] = address - address % line
+        resident = set(cache.resident_lines())
+        assert resident == set(last_line_per_set.values())
+
+    @given(accesses=ACCESSES, geometry=GEOMETRY, policy=POLICY)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_replay(self, accesses, geometry, policy):
+        a = make_cache(geometry, policy)
+        b = make_cache(geometry, policy)
+        for address, is_write in accesses:
+            ra = a.access(address, is_write=is_write)
+            rb = b.access(address, is_write=is_write)
+            assert ra == rb
+
+    @given(accesses=ACCESSES, geometry=GEOMETRY)
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_cache_never_more_misses_fully_assoc(self, accesses, geometry):
+        """LRU inclusion property: with full associativity, doubling
+        capacity can only remove misses (no Belady anomaly for LRU)."""
+        _, _, line = geometry
+        small = Cache(size_bytes=8 * line, ways=8, line_bytes=line, policy="lru")
+        big = Cache(size_bytes=16 * line, ways=16, line_bytes=line, policy="lru")
+        for address, is_write in accesses:
+            small.access(address, is_write=is_write)
+            big.access(address, is_write=is_write)
+        assert big.stats.misses <= small.stats.misses

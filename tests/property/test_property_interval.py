@@ -1,0 +1,87 @@
+"""Property-based tests on interval-analysis invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interval.cpi_stack import build_cpi_stack
+from repro.interval.penalty import measure_penalties
+from repro.interval.segmentation import segment_intervals
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+PROFILES = st.builds(
+    WorkloadProfile,
+    mean_dependence_distance=st.floats(min_value=1.5, max_value=10.0),
+    mispredict_rate=st.floats(min_value=0.0, max_value=0.25),
+    dl1_miss_rate=st.floats(min_value=0.0, max_value=0.2),
+    dl2_miss_rate=st.floats(min_value=0.0, max_value=0.05),
+    il1_mpki=st.floats(min_value=0.0, max_value=15.0),
+    burst_fraction=st.floats(min_value=0.0, max_value=0.5),
+)
+SEEDS = st.integers(min_value=0, max_value=2**31)
+
+
+def run(profile, seed, n=700):
+    config = CoreConfig()
+    trace = generate_trace(profile, n, seed=seed)
+    return trace, config, simulate(trace, config)
+
+
+class TestSegmentationProperties:
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_intervals_partition_stream(self, profile, seed):
+        _, _, result = run(profile, seed)
+        breakdown = segment_intervals(result)
+        position = 0
+        for interval in breakdown.intervals:
+            assert interval.start_seq == position
+            assert interval.end_seq >= interval.start_seq
+            position = interval.end_seq + 1
+        assert position == result.instructions
+
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_event_count_bounded_by_events(self, profile, seed):
+        _, _, result = run(profile, seed)
+        breakdown = segment_intervals(result)
+        assert breakdown.event_count <= len(result.events)
+
+
+class TestPenaltyProperties:
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_decomposition_sums(self, profile, seed):
+        _, config, result = run(profile, seed)
+        report = measure_penalties(result)
+        for item in report.decompositions:
+            assert item.penalty == item.resolution + item.refill
+            assert item.refill == config.frontend_depth
+            assert item.resolution >= 1
+            assert item.gap >= 0
+            assert 0 <= item.window_occupancy <= config.rob_size
+
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_mean_penalty_above_refill_when_events_exist(self, profile, seed):
+        _, config, result = run(profile, seed)
+        report = measure_penalties(result)
+        if report.count:
+            assert report.mean_penalty > config.frontend_depth
+
+
+class TestCPIStackProperties:
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_stack_sums_to_total(self, profile, seed):
+        _, config, result = run(profile, seed)
+        stack = build_cpi_stack(result, config.dispatch_width)
+        total = (
+            stack.base + stack.bpred + stack.icache
+            + stack.long_dcache + stack.other
+        )
+        assert abs(total - result.cycles) < 1e-6
+        fractions = stack.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9

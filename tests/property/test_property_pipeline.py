@@ -1,0 +1,78 @@
+"""Property-based tests on the timing simulator's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+PROFILES = st.builds(
+    WorkloadProfile,
+    mean_dependence_distance=st.floats(min_value=1.5, max_value=12.0),
+    mispredict_rate=st.floats(min_value=0.0, max_value=0.2),
+    dl1_miss_rate=st.floats(min_value=0.0, max_value=0.2),
+    dl2_miss_rate=st.floats(min_value=0.0, max_value=0.05),
+    il1_mpki=st.floats(min_value=0.0, max_value=20.0),
+)
+CONFIGS = st.builds(
+    CoreConfig,
+    dispatch_width=st.integers(min_value=1, max_value=8),
+    issue_width=st.integers(min_value=1, max_value=8),
+    commit_width=st.integers(min_value=1, max_value=8),
+    rob_size=st.sampled_from([16, 32, 64, 128]),
+    frontend_depth=st.integers(min_value=1, max_value=20),
+)
+SEEDS = st.integers(min_value=0, max_value=2**31)
+
+
+class TestPipelineProperties:
+    @given(profile=PROFILES, config=CONFIGS, seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_invariants(self, profile, config, seed):
+        trace = generate_trace(profile, 800, seed=seed)
+        result = simulate(trace, config)
+
+        # every instruction committed exactly once
+        assert result.instructions == 800
+        # cycle count bounded below by width and dataflow limits
+        assert result.cycles >= 800 / config.dispatch_width
+        assert result.rob_peak_occupancy <= config.rob_size
+        # per-instruction ordering
+        for i in range(800):
+            assert result.dispatch_cycle[i] < result.issue_cycle[i]
+            assert result.issue_cycle[i] < result.complete_cycle[i]
+            assert result.complete_cycle[i] <= result.commit_cycle[i]
+        # commits in program order
+        commits = result.commit_cycle
+        assert all(a <= b for a, b in zip(commits, commits[1:]))
+
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_penalty_always_at_least_refill(self, profile, seed):
+        config = CoreConfig()
+        trace = generate_trace(profile, 800, seed=seed)
+        result = simulate(trace, config)
+        for event in result.mispredict_events:
+            assert event.penalty >= config.frontend_depth + 1
+            assert event.resolution >= 1
+
+    @given(profile=PROFILES, seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_wider_machine_never_slower(self, profile, seed):
+        trace = generate_trace(profile, 600, seed=seed)
+        narrow = simulate(trace, CoreConfig(dispatch_width=2, issue_width=2,
+                                            commit_width=2))
+        wide = simulate(trace, CoreConfig(dispatch_width=8, issue_width=8,
+                                          commit_width=8))
+        assert wide.cycles <= narrow.cycles
+
+    @given(profile=PROFILES, seed=SEEDS,
+           depth=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_deeper_frontend_never_faster(self, profile, seed, depth):
+        trace = generate_trace(profile, 600, seed=seed)
+        shallow = simulate(trace, CoreConfig(frontend_depth=depth))
+        deep = simulate(trace, CoreConfig(frontend_depth=depth + 10))
+        assert deep.cycles >= shallow.cycles

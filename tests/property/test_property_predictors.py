@@ -1,0 +1,87 @@
+"""Property-based tests for the branch predictors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.bimodal import BimodalPredictor, SaturatingCounter
+from repro.frontend.gshare import GSharePredictor
+from repro.frontend.local import LocalPredictor
+from repro.frontend.perceptron import PerceptronPredictor
+from repro.frontend.perfect import PerfectPredictor
+from repro.frontend.tournament import TournamentPredictor
+
+OUTCOMES = st.lists(st.booleans(), min_size=1, max_size=400)
+PCS = st.lists(
+    st.integers(min_value=0, max_value=1 << 20).map(lambda x: x * 4),
+    min_size=1,
+    max_size=400,
+)
+
+
+def all_predictors():
+    return [
+        BimodalPredictor(entries=256),
+        GSharePredictor(entries=256, history_bits=8),
+        LocalPredictor(history_entries=64, history_bits=6, pattern_entries=64),
+        TournamentPredictor(
+            global_component=GSharePredictor(entries=256, history_bits=8),
+            local_component=LocalPredictor(
+                history_entries=64, history_bits=6, pattern_entries=64
+            ),
+            chooser_entries=256,
+        ),
+        PerceptronPredictor(entries=64, history_bits=8),
+    ]
+
+
+class TestPredictorProperties:
+    @given(outcomes=OUTCOMES)
+    @settings(max_examples=40, deadline=None)
+    def test_stats_balance_for_all_predictors(self, outcomes):
+        for predictor in all_predictors():
+            for outcome in outcomes:
+                predictor.predict_and_update(0x1000, outcome)
+            stats = predictor.stats
+            assert stats.predictions == len(outcomes)
+            assert 0 <= stats.correct <= stats.predictions
+            assert 0.0 <= stats.accuracy <= 1.0
+
+    @given(outcomes=OUTCOMES)
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_predictor_never_wrong(self, outcomes):
+        predictor = PerfectPredictor()
+        for outcome in outcomes:
+            assert predictor.predict_and_update(0x10, outcome)
+
+    @given(outcomes=OUTCOMES)
+    @settings(max_examples=30, deadline=None)
+    def test_counter_stays_in_range(self, outcomes):
+        counter = SaturatingCounter(bits=2)
+        for outcome in outcomes:
+            counter.train(outcome)
+            assert 0 <= counter.value <= 3
+
+    @given(outcomes=OUTCOMES, pcs=PCS)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, outcomes, pcs):
+        for make in (
+            lambda: BimodalPredictor(entries=128),
+            lambda: GSharePredictor(entries=128, history_bits=6),
+        ):
+            a, b = make(), make()
+            for outcome, pc in zip(outcomes, pcs):
+                assert a.predict_and_update(pc, outcome) == (
+                    b.predict_and_update(pc, outcome)
+                )
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_constant_stream_eventually_perfect(self, data):
+        direction = data.draw(st.booleans())
+        for predictor in all_predictors():
+            for _ in range(64):
+                predictor.predict_and_update(0x40, direction)
+            predictor.reset_stats()
+            for _ in range(32):
+                predictor.predict_and_update(0x40, direction)
+            assert predictor.stats.accuracy == 1.0

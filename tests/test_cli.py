@@ -1,0 +1,148 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert "pointer_chase" in out
+        assert "f16" in out
+
+
+class TestSimulate:
+    def test_workload_simulation(self, capsys):
+        assert main([
+            "simulate", "--workload", "gzip", "--length", "3000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "instructions      : 3000" in out
+        assert "mean penalty" in out
+        assert "CPI stack" in out
+
+    def test_kernel_simulation(self, capsys):
+        assert main(["simulate", "--kernel", "fibonacci"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_structural_kernel(self, capsys):
+        assert main([
+            "simulate", "--kernel", "branchy_search", "--structural",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mispredictions" in out
+
+    def test_config_flags_respected(self, capsys):
+        main(["simulate", "--workload", "gzip", "--length", "3000",
+              "--frontend-depth", "20"])
+        deep = capsys.readouterr().out
+        main(["simulate", "--workload", "gzip", "--length", "3000"])
+        shallow = capsys.readouterr().out
+
+        def cycles(text):
+            for line in text.splitlines():
+                if line.startswith("cycles"):
+                    return int(line.split(":")[1])
+            raise AssertionError("no cycles line")
+
+        assert cycles(deep) > cycles(shallow)
+
+    def test_inorder_flag_slower(self, capsys):
+        main(["simulate", "--workload", "gzip", "--length", "3000",
+              "--inorder"])
+        in_order = capsys.readouterr().out
+        main(["simulate", "--workload", "gzip", "--length", "3000"])
+        out_of_order = capsys.readouterr().out
+
+        def ipc(text):
+            for line in text.splitlines():
+                if line.startswith("IPC"):
+                    return float(line.split(":")[1])
+            raise AssertionError("no IPC line")
+
+        assert ipc(in_order) <= ipc(out_of_order)
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "nonesuch"])
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["simulate"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "gzip", "--kernel", "fibonacci"])
+
+
+class TestDecompose:
+    def test_decompose_workload(self, capsys):
+        assert main([
+            "decompose", "--workload", "twolf", "--length", "5000",
+            "--max-events", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "C1 frontend refill" in out
+        assert "C5 short (L1) D-cache misses" in out
+
+
+class TestTraceRoundTrip:
+    def test_trace_and_info(self, tmp_path, capsys):
+        path = tmp_path / "t.trc"
+        assert main([
+            "trace", "--workload", "mcf", "--length", "2000",
+            "--out", str(path),
+        ]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["trace-info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "instructions        : 2000" in out
+        assert "dataflow IPC" in out
+
+    def test_simulate_from_file(self, tmp_path, capsys):
+        path = tmp_path / "t.trc"
+        main(["trace", "--workload", "gzip", "--length", "2000",
+              "--out", str(path)])
+        capsys.readouterr()
+        assert main(["simulate", "--trace", str(path)]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_runs_t1(self, capsys):
+        assert main(["experiment", "t1"]) == 0
+        assert "Baseline processor configuration" in capsys.readouterr().out
+
+    def test_markdown_mode(self, capsys):
+        assert main(["experiment", "t1", "--markdown"]) == 0
+        assert "| parameter | value |" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "f99"])
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "t1"]) == 0
+        out = capsys.readouterr().out
+        assert "### T1" in out
+        assert "| parameter | value |" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "t1", "--out", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "### T1" in text
+
+
+class TestSuiteCommand:
+    def test_suite_small(self, capsys):
+        assert main(["suite", "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "twolf" in out
+        assert "penalty/frontend" in out

@@ -1,0 +1,76 @@
+"""Unit tests for binary trace serialization."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.io import load_trace, save_trace
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+from repro.trace.synthetic import generate_trace
+
+
+class TestRoundTrip:
+    def test_synthetic_trace_round_trip(self, tmp_path):
+        trace = generate_trace(WorkloadProfile(name="io-test"), 2000, seed=5)
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        assert loaded.records == trace.records
+
+    def test_all_flag_combinations(self, tmp_path):
+        records = [
+            TraceRecord(OpClass.IALU, pc=4, deps=(1,)),
+            TraceRecord(OpClass.BRANCH, pc=8, taken=True, target=0x40,
+                        mispredict=True),
+            TraceRecord(OpClass.BRANCH, pc=12, taken=False, mispredict=False),
+            TraceRecord(OpClass.LOAD, pc=16, mem_addr=0x2000, dl1_miss=True,
+                        dl2_miss=False),
+            TraceRecord(OpClass.LOAD, pc=20, mem_addr=0x3000, dl2_miss=True,
+                        il1_miss=True),
+            TraceRecord(OpClass.STORE, pc=24, mem_addr=0x4000,
+                        deps=(3, 1)),
+            TraceRecord(OpClass.JUMP, pc=28, taken=True, target=0x1000),
+            TraceRecord(OpClass.NOP, pc=32),
+        ]
+        path = tmp_path / "flags.bin"
+        save_trace(Trace(records, name="flags"), path)
+        loaded = load_trace(path)
+        assert loaded.records == records
+
+    def test_tri_state_none_preserved(self, tmp_path):
+        records = [TraceRecord(OpClass.BRANCH, mispredict=None)]
+        path = tmp_path / "tri.bin"
+        save_trace(Trace(records), path)
+        assert load_trace(path)[0].mispredict is None
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        save_trace(Trace(name="empty"), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+
+class TestErrors:
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="magic"):
+            load_trace(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        trace = generate_trace(WorkloadProfile(), 100, seed=1)
+        path = tmp_path / "trunc.bin"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_oversized_dep_distance_rejected(self, tmp_path):
+        record = TraceRecord(OpClass.IALU, deps=(70_000,))
+        with pytest.raises(ValueError, match="distance"):
+            save_trace(Trace([record]), tmp_path / "big.bin")

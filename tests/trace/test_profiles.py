@@ -1,0 +1,104 @@
+"""Unit tests for WorkloadProfile validation and derived quantities."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.trace.profiles import DEFAULT_MIX, WorkloadProfile
+
+
+class TestValidation:
+    def test_default_profile_valid(self):
+        WorkloadProfile()
+
+    def test_mix_must_sum_to_one(self):
+        bad = dict(DEFAULT_MIX)
+        bad[OpClass.IALU] += 0.1
+        with pytest.raises(ValueError, match="sum"):
+            WorkloadProfile(mix=bad)
+
+    def test_negative_mix_fraction_rejected(self):
+        bad = dict(DEFAULT_MIX)
+        bad[OpClass.IALU] -= 2 * bad[OpClass.LOAD]
+        bad[OpClass.LOAD] = -bad[OpClass.LOAD]
+        with pytest.raises(ValueError):
+            WorkloadProfile(mix=bad)
+
+    def test_nop_in_mix_rejected(self):
+        bad = dict(DEFAULT_MIX)
+        bad[OpClass.IALU] -= 0.1
+        bad[OpClass.NOP] = 0.1
+        with pytest.raises(ValueError, match="NOP"):
+            WorkloadProfile(mix=bad)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mean_dependence_distance", 0.5),
+            ("mispredict_rate", 1.5),
+            ("dl1_miss_rate", -0.1),
+            ("burst_fraction", 2.0),
+            ("burst_persistence", -1.0),
+            ("il1_mpki", 2000.0),
+            ("stride_fraction", 1.5),
+        ],
+    )
+    def test_out_of_range_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            WorkloadProfile(**{field: value})
+
+    def test_miss_rates_cannot_exceed_one_combined(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(dl1_miss_rate=0.7, dl2_miss_rate=0.4)
+
+
+class TestDerived:
+    def test_dependence_p(self):
+        assert WorkloadProfile(
+            mean_dependence_distance=4.0
+        ).dependence_p == pytest.approx(0.25)
+
+    def test_chain_count_rounding(self):
+        assert WorkloadProfile(mean_dependence_distance=1.2).chain_count == 1
+        assert WorkloadProfile(mean_dependence_distance=3.6).chain_count == 4
+
+    def test_mispredictions_per_ki(self):
+        profile = WorkloadProfile(mispredict_rate=0.05)
+        expected = 1000 * profile.branch_fraction * 0.05
+        assert profile.mispredictions_per_ki == pytest.approx(expected)
+
+    def test_miss_events_per_ki_sums_components(self):
+        profile = WorkloadProfile()
+        assert profile.miss_events_per_ki == pytest.approx(
+            profile.mispredictions_per_ki
+            + profile.il1_mpki
+            + profile.long_dmisses_per_ki
+        )
+
+    def test_with_overrides_returns_new_profile(self):
+        base = WorkloadProfile(name="a")
+        derived = base.with_overrides(mispredict_rate=0.2)
+        assert derived.mispredict_rate == 0.2
+        assert base.mispredict_rate != 0.2
+        assert derived.name == "a"
+
+
+class TestBurstScaling:
+    def test_long_run_average_preserved(self):
+        profile = WorkloadProfile(
+            mispredict_rate=0.06, burst_fraction=0.2, burst_factor=5.0
+        )
+        low = profile.scaled_mispredict_rate(in_burst=False)
+        high = profile.scaled_mispredict_rate(in_burst=True)
+        average = 0.8 * low + 0.2 * high
+        assert average == pytest.approx(0.06)
+
+    def test_burst_rate_exceeds_base(self):
+        profile = WorkloadProfile(burst_factor=4.0, burst_fraction=0.1)
+        assert profile.scaled_mispredict_rate(True) > profile.mispredict_rate
+        assert profile.scaled_mispredict_rate(False) < profile.mispredict_rate
+
+    def test_rate_capped_at_one(self):
+        profile = WorkloadProfile(
+            mispredict_rate=0.9, burst_factor=10.0, burst_fraction=0.5
+        )
+        assert profile.scaled_mispredict_rate(True) <= 1.0

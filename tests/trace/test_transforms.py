@@ -1,0 +1,133 @@
+"""Unit tests for trace transformations."""
+
+import pytest
+
+from repro.interval.penalty import measure_penalties
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.stream import Trace
+from repro.trace.synthetic import generate_trace
+from repro.trace.transforms import (
+    interleave,
+    truncate,
+    with_perfect_branches,
+    with_perfect_dcache,
+    with_perfect_frontend,
+    with_perfect_icache,
+    without_short_misses,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WorkloadProfile(name="tf"), 8000, seed=3)
+
+
+class TestPerfectBranches:
+    def test_no_mispredictions_remain(self, trace):
+        ideal = with_perfect_branches(trace)
+        assert not ideal.mispredicted_indices()
+
+    def test_other_annotations_preserved(self, trace):
+        ideal = with_perfect_branches(trace)
+        for a, b in zip(trace.records, ideal.records):
+            assert a.il1_miss == b.il1_miss
+            assert a.dl1_miss == b.dl1_miss
+            assert a.op_class == b.op_class
+            assert a.deps == b.deps
+
+    def test_paired_counterfactual_is_faster(self, trace):
+        config = CoreConfig()
+        base = simulate(trace, config)
+        ideal = simulate(with_perfect_branches(trace), config)
+        assert ideal.cycles < base.cycles
+        assert not ideal.mispredict_events
+
+    def test_name_suffix(self, trace):
+        assert with_perfect_branches(trace).name.endswith("+perfect-bp")
+
+
+class TestPerfectCaches:
+    def test_perfect_icache(self, trace):
+        ideal = with_perfect_icache(trace)
+        assert not any(r.il1_miss for r in ideal.records)
+
+    def test_perfect_dcache_removes_all_miss_classes(self, trace):
+        ideal = with_perfect_dcache(trace)
+        for record in ideal.records:
+            if record.is_load:
+                assert not record.dl1_miss
+                assert not record.dl2_miss
+
+    def test_without_short_misses_keeps_long(self, trace):
+        thinned = without_short_misses(trace)
+        original_long = sum(
+            1 for r in trace.records if r.is_load and r.dl2_miss
+        )
+        remaining_long = sum(
+            1 for r in thinned.records if r.is_load and r.dl2_miss
+        )
+        assert remaining_long == original_long
+        assert not any(
+            r.dl1_miss for r in thinned.records if r.is_load
+        )
+
+    def test_short_miss_counterfactual_shrinks_resolution(self, trace):
+        """Removing short misses is contributor C5 measured directly."""
+        config = CoreConfig()
+        base = measure_penalties(simulate(trace, config))
+        thinned = measure_penalties(
+            simulate(without_short_misses(trace), config)
+        )
+        assert thinned.mean_resolution < base.mean_resolution
+
+    def test_perfect_frontend_combines(self, trace):
+        ideal = with_perfect_frontend(trace)
+        assert not ideal.mispredicted_indices()
+        assert not any(r.il1_miss for r in ideal.records)
+        assert "ideal-frontend" in ideal.name
+
+
+class TestStructural:
+    def test_truncate(self, trace):
+        short = truncate(trace, 100)
+        assert len(short) == 100
+        assert short.records == trace.records[:100]
+
+    def test_truncate_negative_raises(self, trace):
+        with pytest.raises(ValueError):
+            truncate(trace, -1)
+
+    def test_truncate_beyond_length(self, trace):
+        assert len(truncate(trace, 10**9)) == len(trace)
+
+    def test_interleave_preserves_per_stream_dataflow(self):
+        a = generate_trace(WorkloadProfile(name="a"), 2000, seed=1)
+        b = generate_trace(WorkloadProfile(name="b"), 2000, seed=2)
+        mixed = interleave([a, b])
+        assert len(mixed) == 4000
+        mixed.validate()
+        # doubled distances: stream-a record at 2i depends on 2i - 2d
+        for i in (10, 100, 500):
+            assert mixed.records[2 * i].deps == tuple(
+                min(2 * d, 0xFFFF) for d in a.records[i].deps
+            )
+
+    def test_interleave_raises_ilp(self):
+        serial = WorkloadProfile(
+            name="s", mean_dependence_distance=1.0, chain_dep_fraction=1.0
+        )
+        a = generate_trace(serial, 3000, seed=1)
+        b = generate_trace(serial, 3000, seed=2)
+        mixed = interleave([a, b])
+        assert mixed.dataflow_ipc() > 1.5 * a.dataflow_ipc()
+
+    def test_interleave_empty_raises(self):
+        with pytest.raises(ValueError):
+            interleave([])
+
+    def test_interleave_single_stream_identity_lengths(self, trace):
+        mixed = interleave([trace])
+        assert len(mixed) == len(trace)
+        assert mixed.records[5].deps == trace.records[5].deps

@@ -1,0 +1,56 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.util.tabulate import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]], float_fmt=".2f")
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["a"], ["longer"]])
+        rows = text.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b", "c"], [["str", 3, 2.5]])
+        assert "str" in text and "3" in text and "2.500" in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_float_format(self):
+        text = format_markdown_table(["x"], [[0.5]], float_fmt=".1f")
+        assert "| 0.5 |" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,50 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestValidation:
+    def test_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+    def test_non_negative_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_in_range_inclusive(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_in_range_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_in_range("x", value, 0.0, 1.0)
+
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024])
+    def test_power_of_two_accepts(self, value):
+        check_power_of_two("x", value)
+
+    @pytest.mark.parametrize("value", [0, 3, 6, -4])
+    def test_power_of_two_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", value)
+
+    def test_message_includes_name_and_value(self):
+        with pytest.raises(ValueError, match="rob_size.*-3"):
+            check_positive("rob_size", -3)

@@ -1,0 +1,27 @@
+"""Unit tests for suite-level trace generation."""
+
+from repro.workloads.generator import DEFAULT_SEED, default_suite, suite_traces
+
+
+class TestSuiteTraces:
+    def test_default_suite_complete(self):
+        assert len(default_suite()) == 12
+
+    def test_traces_for_selected_names(self):
+        traces = suite_traces(length=500, names=["gzip", "mcf"])
+        assert set(traces) == {"gzip", "mcf"}
+        assert all(len(t) == 500 for t in traces.values())
+
+    def test_deterministic_per_name(self):
+        a = suite_traces(length=300, names=["gcc"])["gcc"]
+        b = suite_traces(length=300, names=["gcc"])["gcc"]
+        assert a.records == b.records
+
+    def test_names_get_distinct_streams(self):
+        traces = suite_traces(length=300, names=["gzip", "bzip2"])
+        assert traces["gzip"].records != traces["bzip2"].records
+
+    def test_seed_changes_stream(self):
+        a = suite_traces(length=300, seed=DEFAULT_SEED, names=["vpr"])["vpr"]
+        b = suite_traces(length=300, seed=DEFAULT_SEED + 1, names=["vpr"])["vpr"]
+        assert a.records != b.records

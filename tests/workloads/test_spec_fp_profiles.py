@@ -1,0 +1,87 @@
+"""Unit tests for the SPEC-FP-like profile extension."""
+
+import pytest
+
+from repro.interval.penalty import measure_penalties
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.synthetic import generate_trace
+from repro.workloads.spec_profiles import (
+    ALL_PROFILES,
+    SPEC_FP_PROFILES,
+    SPEC_PROFILES,
+    spec_fp_names,
+    spec_profile,
+)
+
+
+class TestSuiteStructure:
+    def test_six_fp_benchmarks(self):
+        assert len(SPEC_FP_PROFILES) == 6
+
+    def test_no_name_collision_with_int_suite(self):
+        assert not set(SPEC_FP_PROFILES) & set(SPEC_PROFILES)
+        assert len(ALL_PROFILES) == len(SPEC_PROFILES) + len(SPEC_FP_PROFILES)
+
+    def test_lookup_spans_both_suites(self):
+        assert spec_profile("swim").name == "swim"
+        assert spec_profile("mcf").name == "mcf"
+
+    def test_fp_names_order(self):
+        assert spec_fp_names() == list(SPEC_FP_PROFILES)
+
+    def test_mixes_valid(self):
+        for profile in SPEC_FP_PROFILES.values():
+            assert sum(profile.mix.values()) == pytest.approx(1.0)
+
+
+class TestFPCharacter:
+    def test_fp_heavy_mixes(self):
+        for profile in SPEC_FP_PROFILES.values():
+            fp_share = (
+                profile.mix[OpClass.FADD]
+                + profile.mix[OpClass.FMUL]
+                + profile.mix[OpClass.FDIV]
+            )
+            assert fp_share > 0.15
+
+    def test_fewer_branches_than_int_suite(self):
+        fp_branches = max(p.branch_fraction for p in SPEC_FP_PROFILES.values())
+        int_branches = max(p.branch_fraction for p in SPEC_PROFILES.values())
+        assert fp_branches < int_branches
+
+    def test_loop_branches_highly_predictable(self):
+        for name in ("swim", "mgrid", "applu"):
+            assert SPEC_FP_PROFILES[name].mispredict_rate <= 0.012
+
+    def test_art_is_memory_bound(self):
+        assert SPEC_FP_PROFILES["art"].dl2_miss_rate >= 0.04
+
+
+class TestBehaviour:
+    def test_each_generates_and_simulates(self):
+        config = CoreConfig()
+        for name, profile in SPEC_FP_PROFILES.items():
+            trace = generate_trace(profile, 5000, seed=1)
+            trace.validate()
+            result = simulate(trace, config)
+            assert result.instructions == 5000
+
+    def test_fp_penalties_large_despite_rare_mispredicts(self):
+        """FP codes mispredict rarely, but when they do the long FP
+        chains make the penalty large — the paper's C4 at work."""
+        config = CoreConfig()
+        trace = generate_trace(SPEC_FP_PROFILES["swim"], 30_000, seed=4)
+        result = simulate(trace, config)
+        report = measure_penalties(result)
+        if report.count:
+            assert report.mean_penalty > 2 * config.frontend_depth
+
+    def test_swim_mispredicts_less_than_twolf(self):
+        swim = generate_trace(SPEC_FP_PROFILES["swim"], 20_000, seed=2)
+        twolf = generate_trace(SPEC_PROFILES["twolf"], 20_000, seed=2)
+        assert (
+            swim.statistics().mispredictions_per_ki
+            < twolf.statistics().mispredictions_per_ki
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for the SPEC-like profile suite."""
+
+import pytest
+
+from repro.trace.synthetic import generate_trace
+from repro.workloads.spec_profiles import SPEC_PROFILES, spec_names, spec_profile
+
+
+class TestSuiteStructure:
+    def test_twelve_benchmarks(self):
+        assert len(SPEC_PROFILES) == 12
+
+    def test_expected_names_present(self):
+        for name in ("gzip", "gcc", "mcf", "crafty", "twolf", "vortex"):
+            assert name in SPEC_PROFILES
+
+    def test_all_profiles_validate(self):
+        # WorkloadProfile validates in __post_init__; constructing the
+        # dict already proved it. Check mixes sum to one explicitly.
+        for profile in SPEC_PROFILES.values():
+            assert sum(profile.mix.values()) == pytest.approx(1.0)
+
+    def test_profile_names_match_keys(self):
+        for name, profile in SPEC_PROFILES.items():
+            assert profile.name == name
+
+    def test_spec_profile_lookup(self):
+        assert spec_profile("mcf").name == "mcf"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            spec_profile("linpack")
+
+    def test_spec_names_order(self):
+        assert spec_names() == list(SPEC_PROFILES)
+
+
+class TestBehaviouralAxes:
+    """The suite must span the axes the paper's characterization varies."""
+
+    def test_mcf_is_memory_bound(self):
+        mcf = spec_profile("mcf")
+        others = [p for n, p in SPEC_PROFILES.items() if n != "mcf"]
+        assert mcf.dl2_miss_rate > max(p.dl2_miss_rate for p in others)
+
+    def test_icache_heavy_workloads(self):
+        for name in ("gcc", "perlbmk", "vortex"):
+            assert spec_profile(name).il1_mpki >= 5.0
+
+    def test_twolf_mispredicts_most(self):
+        twolf = spec_profile("twolf")
+        assert twolf.mispredict_rate == max(
+            p.mispredict_rate for p in SPEC_PROFILES.values()
+        )
+
+    def test_ilp_range_spans(self):
+        distances = [p.mean_dependence_distance for p in SPEC_PROFILES.values()]
+        assert min(distances) <= 3.5
+        assert max(distances) >= 6.0
+
+    def test_eon_has_fp_mix(self):
+        from repro.isa.opcodes import OpClass
+
+        assert spec_profile("eon").mix[OpClass.FADD] > 0.05
+
+    def test_each_profile_generates(self):
+        for name, profile in SPEC_PROFILES.items():
+            trace = generate_trace(profile, 2000, seed=1)
+            assert len(trace) == 2000
+            trace.validate()
