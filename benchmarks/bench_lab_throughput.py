@@ -1,0 +1,82 @@
+"""Throughput benchmarks for the repro.lab execution subsystem.
+
+Two claims are measured here:
+
+1. **Parallel speedup** — dispatching independent simulation jobs over
+   a 4-worker process pool beats serial execution. The ratio is always
+   printed; the >= 2x assertion only fires on machines with at least
+   four cores (a single-core container cannot demonstrate parallelism,
+   only measure its overhead).
+2. **Warm-cache speedup** — a second run of the same jobs against a
+   populated content-addressed store is at least 5x faster than the
+   cold run, because every job short-circuits to a store hit.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lab_throughput.py -v -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.lab.jobs import SimJob
+from repro.lab.pool import run_jobs
+
+WORKLOADS = ["gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk"]
+LENGTH = 20_000
+
+
+def _jobs():
+    return [SimJob(workload=name, length=LENGTH) for name in WORKLOADS]
+
+
+def _timed_run(jobs, workers, store_root, use_cache):
+    start = time.perf_counter()
+    results, telemetry = run_jobs(
+        jobs,
+        workers=workers,
+        store_root=store_root,
+        use_cache=use_cache,
+        write_manifest=False,
+    )
+    elapsed = time.perf_counter() - start
+    assert all(r.ok for r in results)
+    return elapsed, telemetry
+
+
+class TestParallelSpeedup:
+    def test_four_workers_vs_one(self, tmp_path):
+        jobs = _jobs()
+        serial_s, _ = _timed_run(jobs, 1, tmp_path / "serial", False)
+        parallel_s, _ = _timed_run(jobs, 4, tmp_path / "parallel", False)
+        speedup = serial_s / parallel_s
+        cores = os.cpu_count() or 1
+        print(
+            f"\nlab pool: {len(jobs)} jobs x {LENGTH} insns | "
+            f"serial {serial_s:.2f}s, 4 workers {parallel_s:.2f}s, "
+            f"speedup {speedup:.2f}x ({cores} cores)"
+        )
+        if cores >= 4:
+            assert speedup >= 2.0, (
+                f"expected >= 2x speedup with 4 workers on {cores} cores, "
+                f"got {speedup:.2f}x"
+            )
+
+
+class TestWarmCacheSpeedup:
+    def test_second_run_hits_store(self, tmp_path):
+        jobs = _jobs()
+        cold_s, cold = _timed_run(jobs, 1, tmp_path, True)
+        warm_s, warm = _timed_run(jobs, 1, tmp_path, True)
+        assert cold.cached == 0
+        assert warm.cached == len(jobs)
+        speedup = cold_s / warm_s
+        print(
+            f"\nlab store: cold {cold_s:.2f}s, warm {warm_s:.2f}s, "
+            f"speedup {speedup:.1f}x"
+        )
+        assert speedup >= 5.0, (
+            f"expected >= 5x warm-cache speedup, got {speedup:.1f}x"
+        )

@@ -10,6 +10,10 @@ Examples::
     python -m repro trace --workload gzip --length 50000 --out gzip.trc
     python -m repro trace-info gzip.trc
     python -m repro list
+    python -m repro lab run --workers 4        # parallel, store-cached
+    python -m repro lab run f2 f3 --no-cache
+    python -m repro lab status
+    python -m repro lab gc --max-age-days 30
 """
 
 from __future__ import annotations
@@ -237,6 +241,84 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lab_run(args: argparse.Namespace) -> int:
+    """Run experiments through the lab pool + persistent store."""
+    from repro.harness.experiments import EXPERIMENTS
+    from repro.lab import run_experiments
+
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i.lower() not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {unknown}; see `python -m repro list`"
+        )
+    results, telemetry = run_experiments(
+        ids,
+        workers=args.workers,
+        store_root=args.cache_dir,
+        use_cache=not args.no_cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    for experiment_id, result in zip(ids, results):
+        if result is None:
+            print(f"== {experiment_id.upper()}: FAILED (see manifest) ==")
+        elif args.markdown:
+            print(result.render_markdown())
+        else:
+            print(result.render())
+        print()
+    print(telemetry.summary())
+    for failure in telemetry.failures():
+        last_line = (failure.error or "").strip().splitlines()
+        print(f"  FAILED {failure.label}: {last_line[-1] if last_line else '?'}")
+    return 1 if telemetry.failed else 0
+
+
+def cmd_lab_status(args: argparse.Namespace) -> int:
+    """Describe the persistent result store and recent runs."""
+    import json
+
+    from repro.lab import ResultStore
+
+    store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+    info = store.describe()
+    print(f"store root : {info['root']}")
+    print(f"objects    : {info['objects']} "
+          f"({info['size_bytes'] / 1e6:.2f} MB)")
+    print(f"manifests  : {info['manifests']}")
+    print(f"code salt  : {info['salt']}")
+    for path in store.manifests()[: args.limit]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        counters = manifest.get("counters", {})
+        print(
+            f"  run {manifest.get('run_id')}: "
+            f"{counters.get('total', 0)} jobs, "
+            f"{counters.get('cached', 0)} cached, "
+            f"{counters.get('failed', 0)} failed, "
+            f"{manifest.get('elapsed_s', 0.0):.2f}s, "
+            f"workers={manifest.get('workers')}"
+        )
+    return 0
+
+
+def cmd_lab_gc(args: argparse.Namespace) -> int:
+    """Evict stored results by age/count, or clear the store."""
+    from repro.lab import ResultStore
+
+    store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+    max_age_s = args.max_age_days * 86_400.0 if args.max_age_days else None
+    removed = store.gc(
+        max_entries=args.max_entries, max_age_s=max_age_s, clear=args.all
+    )
+    print(f"removed {removed} object(s); {store.count()} remain")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
 
@@ -311,13 +393,64 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list", help="list workloads, kernels, experiments")
     p.set_defaults(func=cmd_list)
 
+    p = sub.add_parser(
+        "lab",
+        help="parallel experiment execution with the persistent "
+        "result store",
+    )
+    lab_sub = p.add_subparsers(dest="lab_command", required=True)
+
+    q = lab_sub.add_parser(
+        "run", help="run experiments through the worker pool"
+    )
+    q.add_argument("experiments", nargs="*",
+                   help="experiment ids (default: all)")
+    q.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: all cores; 1 = serial)")
+    q.add_argument("--no-cache", action="store_true",
+                   help="skip the persistent result store entirely")
+    q.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    q.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds")
+    q.add_argument("--retries", type=int, default=0,
+                   help="retries per failing job (default 0)")
+    q.add_argument("--markdown", action="store_true")
+    q.set_defaults(func=cmd_lab_run)
+
+    q = lab_sub.add_parser("status", help="describe the result store")
+    q.add_argument("--cache-dir")
+    q.add_argument("--limit", type=int, default=5,
+                   help="recent run manifests to show (default 5)")
+    q.set_defaults(func=cmd_lab_status)
+
+    q = lab_sub.add_parser("gc", help="evict stored results")
+    q.add_argument("--cache-dir")
+    q.add_argument("--max-entries", type=int, default=None,
+                   help="keep only the newest N objects")
+    q.add_argument("--max-age-days", type=float, default=None,
+                   help="drop objects older than this many days")
+    q.add_argument("--all", action="store_true",
+                   help="clear every stored object")
+    q.set_defaults(func=cmd_lab_gc)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (head,
+        # less q). Detach stdout so the interpreter's shutdown flush
+        # does not raise again, and exit as the consumer intended.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

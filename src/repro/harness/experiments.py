@@ -1027,6 +1027,26 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return runner()
 
 
-def run_all() -> List[ExperimentResult]:
-    """Run the full table/figure suite in DESIGN.md order."""
-    return [EXPERIMENTS[key]() for key in EXPERIMENTS]
+def run_all(
+    workers: int = 1, use_cache: bool = True
+) -> List[ExperimentResult]:
+    """Run the full table/figure suite in DESIGN.md order.
+
+    Execution goes through :mod:`repro.lab`: results are served from
+    the persistent store when warm, and ``workers > 1`` fans the
+    experiments out across a process pool. Any failed experiment job
+    raises (use :func:`repro.lab.run_experiments` directly for
+    failure-tolerant batches).
+    """
+    from repro.lab import run_experiments
+
+    results, telemetry = run_experiments(
+        list(EXPERIMENTS), workers=workers, use_cache=use_cache
+    )
+    failures = telemetry.failures()
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} experiment job(s) failed; first: "
+            f"{failures[0].label}\n{failures[0].error}"
+        )
+    return results

@@ -1,28 +1,55 @@
 """Cached workload generation and simulation for the harness.
 
-Experiments share traces and baseline simulations; caching them keeps
-the full table/figure suite fast enough to run under pytest-benchmark.
-Caches key on (workload, length, seed) for traces and additionally on
-the configuration's overridden fields for simulations.
+Experiments share traces and baseline simulations. Two layers of
+caching keep the table/figure suite fast:
+
+- **in-process** — bounded :class:`~repro.util.lru.LRUCache` maps for
+  traces and simulation results (the old unbounded dicts grew without
+  limit across long sweeps);
+- **persistent** — the :mod:`repro.lab.store` content-addressed store
+  under ``.repro-cache/``, so repeated pytest/benchmark invocations
+  reuse simulations across processes. Set ``REPRO_NO_CACHE=1`` to
+  disable it, ``REPRO_CACHE_DIR`` to relocate it.
+
+Simulation keys come from the lab's canonical config digest
+(:func:`repro.lab.store.config_digest`), so a key can never collide
+between differing configurations nor depend on field order. Traces are
+only cached in memory: they regenerate deterministically and would
+double the store's footprint for no reuse win.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import os
+from typing import Dict, Optional
 
+from repro.lab.codec import result_from_payload, result_to_payload
+from repro.lab.store import (
+    ResultStore,
+    caching_disabled,
+    config_digest,
+    default_store_root,
+    job_key,
+)
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import simulate
 from repro.pipeline.result import SimulationResult
 from repro.trace.stream import Trace
 from repro.trace.synthetic import generate_trace
+from repro.util.lru import LRUCache
 from repro.util.rng import derive_seed
 from repro.workloads.spec_profiles import SPEC_PROFILES
 
 DEFAULT_LENGTH = 60_000
 DEFAULT_SEED = 2006
 
-_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
-_sim_cache: Dict[Tuple[str, int, int, str], SimulationResult] = {}
+#: In-memory cache bounds (override via environment for big sweeps).
+TRACE_CACHE_CAPACITY = int(os.environ.get("REPRO_TRACE_CACHE_CAP", "64"))
+SIM_CACHE_CAPACITY = int(os.environ.get("REPRO_SIM_CACHE_CAP", "256"))
+
+_trace_cache: LRUCache = LRUCache(TRACE_CACHE_CAPACITY)
+_sim_cache: LRUCache = LRUCache(SIM_CACHE_CAPACITY)
+_store: Optional[ResultStore] = None
 
 
 def baseline_config() -> CoreConfig:
@@ -31,18 +58,23 @@ def baseline_config() -> CoreConfig:
 
 
 def _config_key(config: CoreConfig) -> str:
-    """Stable cache key for a configuration."""
-    fu = ";".join(
-        f"{op.value}:{spec.count},{spec.latency},{spec.issue_interval}"
-        for op, spec in sorted(config.fu_specs.items(), key=lambda kv: kv[0].value)
-    )
-    return (
-        f"{config.dispatch_width}/{config.issue_width}/{config.commit_width}"
-        f"|rob={config.rob_size}|fe={config.frontend_depth}"
-        f"|mem={config.l1_latency},{config.l2_latency},{config.memory_latency}"
-        f"|wp={config.dispatch_wrong_path}|pol={config.issue_policy}"
-        f"|seed={config.seed}|{fu}"
-    )
+    """Stable cache key for a configuration (the lab's canonical digest)."""
+    return config_digest(config)
+
+
+def _persistent_store() -> Optional[ResultStore]:
+    """The process-wide result store, or None when caching is off.
+
+    Re-resolved when ``REPRO_CACHE_DIR`` changes so tests can redirect
+    the store without reloading the module.
+    """
+    global _store
+    if caching_disabled():
+        return None
+    root = default_store_root()
+    if _store is None or _store.root != root:
+        _store = ResultStore(root=root)
+    return _store
 
 
 def workload_trace(
@@ -50,12 +82,12 @@ def workload_trace(
 ) -> Trace:
     """Deterministic synthetic trace for one suite workload (cached)."""
     key = (name, length, seed)
-    if key not in _trace_cache:
+    trace = _trace_cache.get(key)
+    if trace is None:
         profile = SPEC_PROFILES[name]
-        _trace_cache[key] = generate_trace(
-            profile, length, seed=derive_seed(seed, name)
-        )
-    return _trace_cache[key]
+        trace = generate_trace(profile, length, seed=derive_seed(seed, name))
+        _trace_cache[key] = trace
+    return trace
 
 
 def simulate_workload(
@@ -64,16 +96,63 @@ def simulate_workload(
     length: int = DEFAULT_LENGTH,
     seed: int = DEFAULT_SEED,
 ) -> SimulationResult:
-    """Simulate one suite workload under ``config`` (cached)."""
+    """Simulate one suite workload under ``config`` (cached).
+
+    Lookup order: in-process LRU, then the persistent store, then a
+    real simulation (which populates both layers).
+    """
     if config is None:
         config = baseline_config()
     key = (name, length, seed, _config_key(config))
-    if key not in _sim_cache:
-        _sim_cache[key] = simulate(workload_trace(name, length, seed), config)
-    return _sim_cache[key]
+    result = _sim_cache.get(key)
+    if result is not None:
+        return result
+
+    store = _persistent_store()
+    persist_key = job_key("sim-ooo", name, length, seed, config)
+    if store is not None:
+        payload = store.get(persist_key)
+        if payload is not None:
+            result = result_from_payload(payload)
+            _sim_cache[key] = result
+            return result
+
+    result = simulate(workload_trace(name, length, seed), config)
+    _sim_cache[key] = result
+    if store is not None:
+        store.put(
+            persist_key,
+            result_to_payload(result),
+            meta={"workload": name, "length": length, "seed": seed},
+        )
+    return result
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction counters for both in-memory caches."""
+    return {
+        "trace": {
+            "size": len(_trace_cache),
+            "capacity": _trace_cache.capacity,
+            "hits": _trace_cache.hits,
+            "misses": _trace_cache.misses,
+            "evictions": _trace_cache.evictions,
+        },
+        "sim": {
+            "size": len(_sim_cache),
+            "capacity": _sim_cache.capacity,
+            "hits": _sim_cache.hits,
+            "misses": _sim_cache.misses,
+            "evictions": _sim_cache.evictions,
+        },
+    }
 
 
 def clear_caches() -> None:
-    """Drop all cached traces and simulations (tests use this)."""
+    """Drop the in-memory caches (tests use this).
+
+    The persistent store is left alone; use ``repro lab gc`` or
+    :meth:`repro.lab.store.ResultStore.gc` to clear it.
+    """
     _trace_cache.clear()
     _sim_cache.clear()

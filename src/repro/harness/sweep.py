@@ -1,9 +1,49 @@
-"""Parameter sweep helper used by the sensitivity experiments."""
+"""Parameter sweep helper used by the sensitivity experiments.
+
+A sweep point that raises no longer aborts the sweep: the exception is
+captured per point, the metric series get a NaN placeholder at that
+index, and every other point's measurement survives. Callers that want
+the old fail-fast behavior pass ``strict=True``.
+
+Declarative sweeps over :class:`~repro.pipeline.config.CoreConfig`
+fields should prefer :class:`repro.lab.jobs.SweepJob`, which expands
+into content-addressed jobs the lab pool can cache and parallelize;
+this helper remains for ad-hoc callable-based sweeps.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+import math
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class SweepFailure:
+    """One failed sweep point: the value and the captured traceback."""
+
+    index: int
+    value: object
+    error: str
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced.
+
+    ``series`` has one entry per point per metric, NaN where the point
+    failed; ``failures`` records what went wrong where.
+    """
+
+    parameter: str
+    values: List[object] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    failures: List[SweepFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 @dataclass
@@ -18,19 +58,54 @@ class Sweep:
     values: Sequence[object]
     runner: Callable[[object], Dict[str, float]]
 
-    def run(self) -> Dict[str, List[float]]:
-        series: Dict[str, List[float]] = {}
-        for value in self.values:
-            metrics = self.runner(value)
-            for key, measurement in metrics.items():
-                series.setdefault(key, []).append(measurement)
-        return series
+    def run_detailed(self, strict: bool = False) -> SweepOutcome:
+        """Run every point, isolating per-point failures.
+
+        Per-point metrics dicts are collected first and the series
+        assembled afterwards, so a metric that only appears in later
+        points still gets NaN padding for the earlier ones.
+        """
+        values = list(self.values)
+        outcome = SweepOutcome(parameter=self.parameter, values=values)
+        measured: List[Optional[Dict[str, float]]] = []
+        for index, value in enumerate(values):
+            try:
+                measured.append(dict(self.runner(value)))
+            except Exception:
+                if strict:
+                    raise
+                measured.append(None)
+                outcome.failures.append(
+                    SweepFailure(
+                        index=index, value=value, error=traceback.format_exc()
+                    )
+                )
+        keys: List[str] = []
+        for metrics in measured:
+            if metrics:
+                for key in metrics:
+                    if key not in keys:
+                        keys.append(key)
+        for key in keys:
+            outcome.series[key] = [
+                metrics[key] if metrics is not None and key in metrics
+                else math.nan
+                for metrics in measured
+            ]
+        return outcome
+
+    def run(self, strict: bool = False) -> Dict[str, List[float]]:
+        """Metric series keyed by name (NaN at failed points)."""
+        return self.run_detailed(strict=strict).series
 
 
 def sweep_values(
     parameter: str,
     values: Sequence[object],
     runner: Callable[[object], Dict[str, float]],
+    strict: bool = False,
 ) -> Dict[str, List[float]]:
     """Functional shortcut for :class:`Sweep`."""
-    return Sweep(parameter=parameter, values=values, runner=runner).run()
+    return Sweep(parameter=parameter, values=values, runner=runner).run(
+        strict=strict
+    )

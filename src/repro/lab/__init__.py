@@ -1,0 +1,74 @@
+"""repro.lab — parallel experiment execution with a persistent result store.
+
+The lab is the execution layer every experiment and sweep runs through:
+
+- :mod:`repro.lab.store` — a content-addressed on-disk result store
+  (JSON objects under ``.repro-cache/``) keyed by a stable hash of the
+  machine configuration, the workload identity, and a code-version
+  salt, with hit/miss/eviction accounting.
+- :mod:`repro.lab.jobs` — declarative :class:`SimJob` /
+  :class:`ExperimentJob` / :class:`SweepJob` specs with per-job
+  timeout, bounded retry with backoff, and error capture.
+- :mod:`repro.lab.pool` — a ``multiprocessing``-based worker pool that
+  fans independent jobs across cores, degrading gracefully to serial
+  execution when ``workers=1`` or the platform cannot fork.
+- :mod:`repro.lab.telemetry` — per-job wall-time / cache-hit / retry
+  counters and the run manifest written next to the results.
+
+Typical use::
+
+    from repro.lab import run_experiments
+    results, telemetry = run_experiments(["f2", "f3"], workers=4)
+"""
+
+from repro.lab.codec import (
+    experiment_from_payload,
+    experiment_to_payload,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.lab.jobs import (
+    ExperimentJob,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    SimJob,
+    SweepJob,
+    execute_job,
+)
+from repro.lab.pool import run_experiments, run_jobs
+from repro.lab.store import (
+    CODE_SALT,
+    ResultStore,
+    StoreStats,
+    canonical_config,
+    config_digest,
+    default_store_root,
+    job_key,
+)
+from repro.lab.telemetry import JobRecord, RunTelemetry
+
+__all__ = [
+    "CODE_SALT",
+    "ExperimentJob",
+    "JobRecord",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "ResultStore",
+    "RunTelemetry",
+    "SimJob",
+    "StoreStats",
+    "SweepJob",
+    "canonical_config",
+    "config_digest",
+    "default_store_root",
+    "execute_job",
+    "experiment_from_payload",
+    "experiment_to_payload",
+    "job_key",
+    "result_from_payload",
+    "result_to_payload",
+    "run_experiments",
+    "run_jobs",
+]

@@ -1,0 +1,291 @@
+"""Declarative job specs and the single-job execution engine.
+
+A job is a picklable description of one unit of work — *what* to run,
+never *how*. The same spec hashes to the same store key on every
+machine, which is what makes results content-addressable:
+
+- :class:`SimJob` — simulate one workload under one configuration
+  (out-of-order or in-order core).
+- :class:`ExperimentJob` — run one registered experiment (t1..f21).
+- :class:`SweepJob` — a one-dimensional parameter sweep that expands
+  into :class:`SimJob` points.
+
+:func:`execute_job` is the engine the pool's workers call: store
+lookup, bounded retry with exponential backoff, error capture (a
+failing job degrades to a recorded failure, never an exception), and
+wall-time accounting. It is a module-level function so it pickles by
+reference into worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lab import codec
+from repro.lab.store import ResultStore, job_key
+from repro.pipeline.config import CoreConfig
+
+#: Job lifecycle states recorded in results and manifests.
+class JobStatus:
+    OK = "ok"
+    CACHED = "cached"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Base spec: identity plus failure policy.
+
+    ``timeout_s`` bounds one attempt's wall time (enforced by the pool
+    when running in worker processes; best-effort in serial mode).
+    ``retries`` is the number of *additional* attempts after the first;
+    ``backoff_s`` doubles per retry.
+    """
+
+    label: str = ""
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.05
+
+    def key(self) -> str:
+        raise NotImplementedError
+
+    def execute(self) -> Any:
+        """Do the work; returns a codec-encodable value."""
+        raise NotImplementedError
+
+    def decode(self, payload: Dict[str, Any]) -> Any:
+        """Rebuild the rich result object from a stored payload."""
+        return codec.value_from_payload(payload)
+
+
+@dataclass(frozen=True)
+class SimJob(JobSpec):
+    """Simulate one suite workload under one configuration."""
+
+    workload: str = ""
+    length: int = 60_000
+    seed: int = 2006
+    config: CoreConfig = field(default_factory=CoreConfig)
+    core: str = "ooo"  # "ooo" | "inorder"
+
+    def __post_init__(self) -> None:
+        if self.core not in ("ooo", "inorder"):
+            raise ValueError(f"core must be 'ooo' or 'inorder', got {self.core!r}")
+        if not self.workload:
+            raise ValueError("SimJob needs a workload name")
+        if not self.label:
+            object.__setattr__(
+                self, "label", f"sim:{self.core}:{self.workload}"
+            )
+
+    def key(self) -> str:
+        return job_key(
+            kind=f"sim-{self.core}",
+            workload=self.workload,
+            length=self.length,
+            seed=self.seed,
+            config=self.config,
+        )
+
+    def execute(self) -> Any:
+        # Imported lazily so job specs stay cheap to pickle and the
+        # simulator is only loaded inside the process that runs them.
+        from repro.pipeline.core import simulate
+        from repro.trace.synthetic import generate_trace
+        from repro.util.rng import derive_seed
+        from repro.workloads.spec_profiles import ALL_PROFILES
+
+        try:
+            profile = ALL_PROFILES[self.workload]
+        except KeyError:
+            raise ValueError(f"unknown workload {self.workload!r}") from None
+        trace = generate_trace(
+            profile, self.length, seed=derive_seed(self.seed, self.workload)
+        )
+        if self.core == "inorder":
+            from repro.pipeline.inorder import simulate_inorder
+
+            return simulate_inorder(trace, self.config)
+        return simulate(trace, self.config)
+
+
+@dataclass(frozen=True)
+class ExperimentJob(JobSpec):
+    """Run one registered experiment (``t1``..``t3``, ``f1``..``f21``)."""
+
+    experiment_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ValueError("ExperimentJob needs an experiment id")
+        if not self.label:
+            object.__setattr__(self, "label", f"exp:{self.experiment_id}")
+
+    def key(self) -> str:
+        # Experiments bake in their own workloads/lengths/seeds; the
+        # baseline config plus the id (in ``extra``) addresses them.
+        from repro.harness.runner import DEFAULT_LENGTH, DEFAULT_SEED
+
+        return job_key(
+            kind="experiment",
+            workload="suite",
+            length=DEFAULT_LENGTH,
+            seed=DEFAULT_SEED,
+            config=CoreConfig(),
+            extra={"experiment_id": self.experiment_id.lower()},
+        )
+
+    def execute(self) -> Any:
+        from repro.harness.experiments import run_experiment
+
+        return run_experiment(self.experiment_id)
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """A one-dimensional sweep declared as data.
+
+    ``parameter`` must be a :class:`CoreConfig` field name; each value
+    in ``values`` yields one :class:`SimJob` with that field overridden
+    on ``base_config``. Expansion is eager and deterministic so the
+    whole sweep is content-addressed point by point.
+    """
+
+    parameter: str
+    values: Sequence[Any]
+    workload: str
+    length: int = 60_000
+    seed: int = 2006
+    base_config: CoreConfig = field(default_factory=CoreConfig)
+    core: str = "ooo"
+    timeout_s: Optional[float] = None
+    retries: int = 0
+
+    def expand(self) -> List[SimJob]:
+        jobs = []
+        for value in self.values:
+            config = self.base_config.with_overrides(**{self.parameter: value})
+            jobs.append(
+                SimJob(
+                    label=f"sweep:{self.workload}:{self.parameter}={value}",
+                    workload=self.workload,
+                    length=self.length,
+                    seed=self.seed,
+                    config=config,
+                    core=self.core,
+                    timeout_s=self.timeout_s,
+                    retries=self.retries,
+                )
+            )
+        return jobs
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: status, payload, and accounting.
+
+    ``payload`` is the stored JSON form (decode with
+    ``spec.decode(payload)``); on failure it is None and ``error``
+    carries the formatted traceback of the final attempt.
+    """
+
+    key: str
+    label: str
+    status: str
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    wall_s: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (JobStatus.OK, JobStatus.CACHED)
+
+    def value(self, spec: JobSpec) -> Any:
+        if self.payload is None:
+            raise RuntimeError(
+                f"job {self.label} has no payload (status={self.status})"
+            )
+        return spec.decode(self.payload)
+
+
+def _attempt_with_retries(spec: JobSpec) -> Tuple[Any, int]:
+    """Run ``spec.execute`` with bounded retry; returns (value, attempts)."""
+    attempts = 0
+    delay = spec.backoff_s
+    while True:
+        attempts += 1
+        try:
+            return spec.execute(), attempts
+        except Exception:
+            if attempts > spec.retries:
+                raise
+            time.sleep(delay)
+            delay *= 2
+
+
+def execute_job(
+    spec: JobSpec,
+    store_root: Optional[str] = None,
+    use_cache: bool = True,
+) -> JobResult:
+    """Run one job end to end: store lookup, retries, error capture.
+
+    Never raises for job failures — the exception is recorded in the
+    returned :class:`JobResult` so a sweep's other points survive.
+    Runs identically in the parent (serial mode) and in pool workers.
+    """
+    key = spec.key()
+    started = time.perf_counter()
+    store = None
+    if use_cache and store_root is not None:
+        store = ResultStore(root=store_root)
+        payload = store.get(key)
+        if payload is not None:
+            return JobResult(
+                key=key,
+                label=spec.label,
+                status=JobStatus.CACHED,
+                payload=payload,
+                attempts=0,
+                wall_s=time.perf_counter() - started,
+                cache_hit=True,
+            )
+    try:
+        value, attempts = _attempt_with_retries(spec)
+    except Exception:
+        return JobResult(
+            key=key,
+            label=spec.label,
+            status=JobStatus.FAILED,
+            error=traceback.format_exc(),
+            attempts=spec.retries + 1,
+            wall_s=time.perf_counter() - started,
+        )
+    payload = codec.payload_from_value(value)
+    if store is not None:
+        store.put(key, payload, meta={"label": spec.label})
+    return JobResult(
+        key=key,
+        label=spec.label,
+        status=JobStatus.OK,
+        payload=payload,
+        attempts=attempts,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+__all__ = [
+    "ExperimentJob",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "SimJob",
+    "SweepJob",
+    "execute_job",
+]

@@ -1,0 +1,220 @@
+"""The worker pool: fan independent jobs out across cores.
+
+Independent simulations are embarrassingly parallel; the pool is a
+``ProcessPoolExecutor`` front end over :func:`repro.lab.jobs.execute_job`
+with the operational behaviors a long characterization run needs:
+
+- **cache short-circuit** — the parent consults the store before
+  dispatching, so warm jobs never pay a process round-trip;
+- **chunked dispatch** — jobs without individual timeouts are grouped
+  into chunks to amortize pickling/IPC overhead;
+- **per-job timeouts** — jobs with ``timeout_s`` are dispatched
+  individually and a timeout degrades to a recorded failure;
+- **graceful fallback** — ``workers=1``, a single-core box, or a
+  platform where process pools cannot start all run the same jobs
+  serially in-process with identical results.
+
+Workers re-open the store read/write by root path; object writes are
+atomic, so concurrent puts of the same key are benign.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lab.jobs import (
+    ExperimentJob,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    execute_job,
+)
+from repro.lab.store import ResultStore, caching_disabled, default_store_root
+from repro.lab.telemetry import RunTelemetry
+
+#: Chunks per worker when batching timeout-free jobs; small enough to
+#: load-balance, large enough to amortize process round-trips.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Worker count: explicit value, else all available cores."""
+    if workers is None:
+        return os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def _execute_chunk(
+    specs: List[JobSpec], store_root: Optional[str], use_cache: bool
+) -> List[JobResult]:
+    """Worker-side entry point: run one chunk of jobs sequentially."""
+    return [execute_job(spec, store_root, use_cache) for spec in specs]
+
+
+def _chunked(items: List[Any], chunk_count: int) -> List[List[Any]]:
+    if not items:
+        return []
+    size = max(1, (len(items) + chunk_count - 1) // chunk_count)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _timeout_failure(spec: JobSpec, key: str) -> JobResult:
+    return JobResult(
+        key=key,
+        label=spec.label,
+        status=JobStatus.FAILED,
+        error=(
+            f"TimeoutError: job exceeded its {spec.timeout_s}s budget; "
+            "recorded as a failure and the run continued"
+        ),
+        attempts=1,
+    )
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    workers: Optional[int] = None,
+    store_root: Optional[Union[str, os.PathLike]] = None,
+    use_cache: bool = True,
+    telemetry: Optional[RunTelemetry] = None,
+    write_manifest: bool = True,
+) -> Tuple[List[JobResult], RunTelemetry]:
+    """Run every job; returns results in job order plus the telemetry.
+
+    A failing or timed-out job becomes a ``failed`` :class:`JobResult`;
+    the batch always completes. When caching is active (the default;
+    disable with ``use_cache=False`` or ``REPRO_NO_CACHE=1``) results
+    are served from and written to the content-addressed store, and a
+    run manifest is written under ``<store root>/runs/``.
+    """
+    jobs = list(jobs)
+    workers = resolve_workers(workers)
+    if use_cache and caching_disabled():
+        use_cache = False
+    if use_cache and store_root is None:
+        store_root = default_store_root()
+    store = ResultStore(root=store_root) if use_cache else None
+    root_arg = str(store_root) if use_cache else None
+
+    if telemetry is None:
+        telemetry = RunTelemetry()
+    telemetry.workers = workers
+
+    results: Dict[int, JobResult] = {}
+
+    # Cache short-circuit in the parent: warm keys never hit the pool.
+    pending: List[Tuple[int, JobSpec]] = []
+    for index, spec in enumerate(jobs):
+        if store is not None:
+            payload = store.get(spec.key())
+            if payload is not None:
+                results[index] = JobResult(
+                    key=spec.key(),
+                    label=spec.label,
+                    status=JobStatus.CACHED,
+                    payload=payload,
+                    cache_hit=True,
+                )
+                continue
+        pending.append((index, spec))
+
+    if pending:
+        if workers <= 1:
+            for index, spec in pending:
+                results[index] = execute_job(spec, root_arg, use_cache)
+        else:
+            try:
+                _run_parallel(pending, workers, root_arg, use_cache, results)
+            except (OSError, ValueError, RuntimeError, NotImplementedError):
+                # Process pools can be unavailable (no /dev/shm, seccomp,
+                # missing semaphores); the jobs still run, just serially.
+                for index, spec in pending:
+                    if index not in results:
+                        results[index] = execute_job(spec, root_arg, use_cache)
+
+    ordered = [results[i] for i in range(len(jobs))]
+    for result in ordered:
+        telemetry.record(result)
+    telemetry.finish()
+    if store is not None and write_manifest:
+        telemetry.write_manifest(store)
+    return ordered, telemetry
+
+
+def _run_parallel(
+    pending: List[Tuple[int, JobSpec]],
+    workers: int,
+    store_root: Optional[str],
+    use_cache: bool,
+    results: Dict[int, JobResult],
+) -> None:
+    """Dispatch pending jobs across a process pool, filling ``results``."""
+    with_timeout = [(i, s) for i, s in pending if s.timeout_s is not None]
+    without_timeout = [(i, s) for i, s in pending if s.timeout_s is None]
+    max_workers = min(workers, max(1, len(pending)))
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        chunk_futures = []
+        for chunk in _chunked(without_timeout, max_workers * _CHUNKS_PER_WORKER):
+            specs = [spec for _, spec in chunk]
+            indices = [index for index, _ in chunk]
+            chunk_futures.append(
+                (indices, executor.submit(_execute_chunk, specs, store_root, use_cache))
+            )
+        timed_futures = [
+            (index, spec, executor.submit(execute_job, spec, store_root, use_cache))
+            for index, spec in with_timeout
+        ]
+        for indices, future in chunk_futures:
+            for index, result in zip(indices, future.result()):
+                results[index] = result
+        for index, spec, future in timed_futures:
+            try:
+                results[index] = future.result(timeout=spec.timeout_s)
+            except FutureTimeout:
+                results[index] = _timeout_failure(spec, spec.key())
+            except Exception as exc:  # worker died (e.g. OOM-killed)
+                results[index] = JobResult(
+                    key=spec.key(),
+                    label=spec.label,
+                    status=JobStatus.FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=1,
+                )
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    workers: Optional[int] = None,
+    store_root: Optional[Union[str, os.PathLike]] = None,
+    use_cache: bool = True,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+) -> Tuple[List[Optional[Any]], RunTelemetry]:
+    """Run registered experiments through the lab.
+
+    Returns one decoded
+    :class:`~repro.harness.experiment.ExperimentResult` per id (None
+    for a failed experiment — inspect ``telemetry.failures()``), plus
+    the run telemetry.
+    """
+    jobs = [
+        ExperimentJob(
+            experiment_id=experiment_id, timeout_s=timeout_s, retries=retries
+        )
+        for experiment_id in experiment_ids
+    ]
+    job_results, telemetry = run_jobs(
+        jobs,
+        workers=workers,
+        store_root=store_root,
+        use_cache=use_cache,
+    )
+    decoded: List[Optional[Any]] = []
+    for spec, result in zip(jobs, job_results):
+        decoded.append(result.value(spec) if result.ok else None)
+    return decoded, telemetry
+
+
+__all__ = ["resolve_workers", "run_experiments", "run_jobs"]

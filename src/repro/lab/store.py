@@ -1,0 +1,277 @@
+"""Persistent content-addressed result store.
+
+Every simulation and experiment result the lab produces is addressed by
+a SHA-256 digest of *what produced it*: the canonical form of the
+:class:`~repro.pipeline.config.CoreConfig`, the workload identity
+(name, length, seed), the job kind, and a code-version salt. Two
+configurations that differ in any field hash differently; the same
+configuration built with its fields in a different order hashes
+identically (the canonical form sorts everything). Bumping
+:data:`SCHEMA_VERSION` — or releasing a new ``repro`` version —
+invalidates every stored object at once, which is the only safe answer
+to "the simulator's semantics changed".
+
+Layout on disk (default root ``.repro-cache/``, overridable with the
+``REPRO_CACHE_DIR`` environment variable)::
+
+    .repro-cache/
+      objects/<digest[:2]>/<digest>.json   # one result per object
+      runs/<run_id>.json                   # manifests (telemetry.py)
+
+Objects are written atomically (temp file + ``os.replace``) so
+concurrent worker processes never observe torn writes; last writer
+wins, which is harmless because the content is a pure function of the
+key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro import __version__
+from repro.pipeline.config import CoreConfig
+
+#: Bump when simulator or payload semantics change in a way that makes
+#: previously stored results stale. Combined with the package version
+#: into :data:`CODE_SALT`, which is folded into every job key.
+SCHEMA_VERSION = 1
+
+CODE_SALT = f"repro-{__version__}/lab-schema-{SCHEMA_VERSION}"
+
+_ENV_ROOT = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+def default_store_root() -> Path:
+    """Store root honouring ``REPRO_CACHE_DIR`` (default .repro-cache)."""
+    return Path(os.environ.get(_ENV_ROOT, ".repro-cache"))
+
+
+def caching_disabled() -> bool:
+    """True when ``REPRO_NO_CACHE`` requests a store-free run."""
+    return os.environ.get(_ENV_DISABLE, "") not in ("", "0")
+
+
+def canonical_config(config: CoreConfig) -> Dict[str, Any]:
+    """Order-independent, JSON-ready form of a configuration.
+
+    Fields are emitted in sorted name order and ``fu_specs`` is
+    flattened to ``{op-class value: [count, latency, issue_interval]}``
+    in sorted op-class order, so dict insertion order can never leak
+    into the digest.
+    """
+    out: Dict[str, Any] = {}
+    for f in sorted(dataclasses.fields(config), key=lambda f: f.name):
+        value = getattr(config, f.name)
+        if f.name == "fu_specs":
+            value = {
+                op.value: [spec.count, spec.latency, spec.issue_interval]
+                for op, spec in sorted(
+                    value.items(), key=lambda kv: kv[0].value
+                )
+            }
+        out[f.name] = value
+    return out
+
+
+def _digest(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_digest(config: CoreConfig) -> str:
+    """Stable SHA-256 digest of a configuration's canonical form."""
+    return _digest(canonical_config(config))
+
+
+def job_key(
+    kind: str,
+    workload: str,
+    length: int,
+    seed: int,
+    config: CoreConfig,
+    salt: str = CODE_SALT,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Content address of one unit of work.
+
+    ``kind`` separates job families ("sim", "sim-inorder",
+    "experiment", ...); ``extra`` carries any job-specific parameters
+    that must participate in the address.
+    """
+    return _digest(
+        {
+            "kind": kind,
+            "workload": workload,
+            "length": length,
+            "seed": seed,
+            "config": canonical_config(config),
+            "salt": salt,
+            "extra": extra or {},
+        }
+    )
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/eviction accounting for one :class:`ResultStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed JSON object store under ``root``.
+
+    ``max_entries`` (optional) turns :meth:`put` into an evicting
+    write: once the object count exceeds the bound, the oldest objects
+    (by modification time) are removed and counted in
+    :attr:`stats.evictions <StoreStats.evictions>`.
+    """
+
+    root: Path = field(default_factory=default_store_root)
+    max_entries: Optional[int] = None
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self._object_path(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Payload stored under ``key``, or None (counted as a miss)."""
+        path = self._object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                obj = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return obj.get("payload")
+
+    def put(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        obj = {
+            "key": key,
+            "salt": CODE_SALT,
+            "stored_at": time.time(),
+            "meta": meta or {},
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(obj, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        if self.max_entries is not None:
+            self.stats.evictions += self.gc(max_entries=self.max_entries)
+        return path
+
+    def iter_objects(self) -> Iterator[Path]:
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            yield path
+
+    def count(self) -> int:
+        return sum(1 for _ in self.iter_objects())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.iter_objects())
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        clear: bool = False,
+    ) -> int:
+        """Remove objects; returns the number removed.
+
+        ``clear`` drops everything; ``max_age_s`` drops objects older
+        than that many seconds; ``max_entries`` keeps only the newest N
+        by modification time.
+        """
+        objects = list(self.iter_objects())
+        doomed: List[Path] = []
+        if clear:
+            doomed = objects
+        else:
+            if max_age_s is not None:
+                cutoff = time.time() - max_age_s
+                doomed.extend(p for p in objects if p.stat().st_mtime < cutoff)
+            if max_entries is not None and len(objects) > max_entries:
+                survivors = [p for p in objects if p not in set(doomed)]
+                survivors.sort(key=lambda p: p.stat().st_mtime)
+                doomed.extend(survivors[: len(survivors) - max_entries])
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def manifests(self) -> List[Path]:
+        """Run manifests, newest first."""
+        if not self.runs_dir.is_dir():
+            return []
+        return sorted(
+            self.runs_dir.glob("*.json"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Status summary for ``repro lab status``."""
+        return {
+            "root": str(self.root),
+            "objects": self.count(),
+            "size_bytes": self.size_bytes(),
+            "manifests": len(self.manifests()),
+            "salt": CODE_SALT,
+            "stats": self.stats.as_dict(),
+        }

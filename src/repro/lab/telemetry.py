@@ -1,0 +1,153 @@
+"""Run telemetry: per-job counters and the on-disk run manifest.
+
+Every pool run aggregates one :class:`RunTelemetry`. It answers the
+operational questions (how long, how parallel, how warm was the cache,
+what failed and why) and serializes to a JSON manifest under
+``<store root>/runs/`` so a run's provenance survives the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.lab.jobs import JobResult, JobStatus
+from repro.lab.store import CODE_SALT, ResultStore
+
+
+@dataclass
+class JobRecord:
+    """Manifest row for one job."""
+
+    key: str
+    label: str
+    status: str
+    wall_s: float
+    attempts: int
+    cache_hit: bool
+    error: Optional[str] = None
+
+    @classmethod
+    def from_result(cls, result: JobResult) -> "JobRecord":
+        return cls(
+            key=result.key,
+            label=result.label,
+            status=result.status,
+            wall_s=result.wall_s,
+            attempts=result.attempts,
+            cache_hit=result.cache_hit,
+            error=result.error,
+        )
+
+
+@dataclass
+class RunTelemetry:
+    """Counters and job records for one lab run."""
+
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    workers: int = 1
+    started_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    records: List[JobRecord] = field(default_factory=list)
+
+    def record(self, result: JobResult) -> None:
+        self.records.append(JobRecord.from_result(result))
+
+    def finish(self) -> None:
+        self.finished_at = time.time()
+
+    # -- derived counters -------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r.status == JobStatus.OK)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.status == JobStatus.FAILED)
+
+    @property
+    def retries(self) -> int:
+        return sum(max(0, r.attempts - 1) for r in self.records)
+
+    @property
+    def job_wall_s(self) -> float:
+        """Summed per-job wall time (> elapsed when running parallel)."""
+        return sum(r.wall_s for r in self.records)
+
+    @property
+    def elapsed_s(self) -> float:
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return end - self.started_at
+
+    def failures(self) -> List[JobRecord]:
+        return [r for r in self.records if r.status == JobStatus.FAILED]
+
+    # -- rendering / persistence ------------------------------------------
+
+    def summary(self) -> str:
+        """One-line operator summary (the CLI prints this)."""
+        return (
+            f"run {self.run_id}: {self.total} jobs "
+            f"({self.ok} ran, {self.cached} cache hits, "
+            f"{self.failed} failed, {self.retries} retries) "
+            f"in {self.elapsed_s:.2f}s wall "
+            f"({self.job_wall_s:.2f}s of job time, "
+            f"workers={self.workers})"
+        )
+
+    def as_manifest(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "salt": CODE_SALT,
+            "workers": self.workers,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_s": self.elapsed_s,
+            "counters": {
+                "total": self.total,
+                "ok": self.ok,
+                "cached": self.cached,
+                "failed": self.failed,
+                "retries": self.retries,
+                "job_wall_s": self.job_wall_s,
+            },
+            "jobs": [
+                {
+                    "key": r.key,
+                    "label": r.label,
+                    "status": r.status,
+                    "wall_s": r.wall_s,
+                    "attempts": r.attempts,
+                    "cache_hit": r.cache_hit,
+                    "error": r.error,
+                }
+                for r in self.records
+            ],
+        }
+
+    def write_manifest(self, store: ResultStore) -> Path:
+        """Write the manifest under ``<store root>/runs/``; returns its path."""
+        store.runs_dir.mkdir(parents=True, exist_ok=True)
+        path = store.runs_dir / f"{self.run_id}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.as_manifest(), handle, indent=1)
+        os.replace(tmp, path)
+        return path
+
+
+__all__ = ["JobRecord", "RunTelemetry"]

@@ -10,10 +10,13 @@ Experiment F20 quantifies that contrast.
 
 The model: instructions issue strictly in program order, up to
 ``issue_width`` per cycle, when (a) their producers have completed
-(full bypass), (b) a functional unit is free, and (c) the frontend has
-delivered them. There is no window; a stalled instruction stalls
-everything younger. Miss events are logged with the same types as the
-OoO core, so the entire interval-analysis layer works unchanged.
+(full bypass), (b) a functional unit is free, (c) the frontend has
+delivered them, and (d) a scoreboard entry is free — at most
+``rob_size`` instructions may be in flight (issued but not yet retired
+in order), so outstanding long misses buffer exactly as much work as
+the out-of-order machine's window, not infinitely. Miss events are
+logged with the same types as the OoO core, so the entire
+interval-analysis layer works unchanged.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ class InOrderCore:
 
         fus = FunctionalUnits(config.fu_specs)
         comp: List[int] = [0] * n
+        retire: List[int] = [0] * n  # in-order retirement times
         record_timeline = config.record_timeline
         dispatch_cycle = [0] * n
         issue_cycle = [0] * n if record_timeline else None
@@ -86,6 +90,10 @@ class InOrderCore:
 
             # Operand readiness (full bypass: ready at producer completion).
             ready = earliest
+            # Scoreboard capacity: at most rob_size in flight, so the
+            # oldest-but-rob_size instruction must have retired.
+            if seq >= config.rob_size:
+                ready = max(ready, retire[seq - config.rob_size])
             for dist in record.deps:
                 producer = seq - dist
                 if producer >= 0:
@@ -99,6 +107,7 @@ class InOrderCore:
             if record.is_load and annotation.dcache_class is not None:
                 done += annotation.dcache_latency
             comp[seq] = done
+            retire[seq] = done if seq == 0 else max(retire[seq - 1], done)
 
             # In-order issue bandwidth: width per cycle, no younger
             # instruction issues earlier.

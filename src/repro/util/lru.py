@@ -1,0 +1,71 @@
+"""A small bounded LRU mapping used by the harness caches.
+
+The harness used to memoize traces and simulations in unbounded dicts;
+long sweeps (hundreds of distinct configurations) made those grow
+without limit. :class:`LRUCache` keeps the dict interface the harness
+needs (``in``, ``[]``, ``[]=``, ``clear``, ``len``) while evicting the
+least-recently-used entry once ``capacity`` is exceeded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    Both reads and writes refresh an entry's recency. ``capacity`` must
+    be positive; eviction counts are kept in :attr:`evictions` so cache
+    sizing can be audited (the lab telemetry reads it).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def __getitem__(self, key: K) -> V:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Recency-refreshing lookup that records hit/miss counts."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -97,7 +97,10 @@ class TestIntervalBehaviour:
         assert rows[-1][2] <= 2.0 * rows[-2][2]
 
 
+@pytest.mark.slow
 class TestSensitivities:
+    """F6-F9 re-simulate fresh sweeps (no cache reuse): slow-marked."""
+
     def test_f6_resolution_falls_with_ilp(self):
         result = run_f6()
         resolutions = result.column("mean resolution")
@@ -212,6 +215,7 @@ class TestExtensions:
             assert pen_ino < 15.0
             assert ipc_ooo > ipc_ino
 
+    @pytest.mark.slow
     def test_f21_all_contributors_move_the_penalty(self):
         result = run_experiment("f21")
         for label, _low, _high, swing in result.rows:

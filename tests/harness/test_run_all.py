@@ -10,6 +10,10 @@ import pytest
 
 from repro.harness.experiments import EXPERIMENTS
 
+# Runs every experiment end to end (~minutes): slow-marked; the tier-1
+# gate covers the registry through the targeted tests instead.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
 def test_experiment_is_well_formed(experiment_id):

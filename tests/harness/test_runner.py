@@ -1,11 +1,15 @@
 """Unit tests for the caching runner."""
 
+import repro.harness.runner as runner
 from repro.harness.runner import (
     baseline_config,
+    cache_stats,
     clear_caches,
     simulate_workload,
     workload_trace,
 )
+from repro.lab.store import ResultStore
+from repro.util.lru import LRUCache
 
 
 class TestCaching:
@@ -46,3 +50,66 @@ class TestCaching:
         b = simulate_workload("gzip", length=500)
         assert a is not b
         assert a.cycles == b.cycles  # deterministic regeneration
+
+
+class TestBoundedCaches:
+    def test_trace_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(runner, "_trace_cache", LRUCache(2))
+        for length in (300, 400, 500):
+            workload_trace("gzip", length=length)
+        stats = cache_stats()["trace"]
+        assert stats["capacity"] == 2
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+
+    def test_sim_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.setattr(runner, "_sim_cache", LRUCache(2))
+        for length in (300, 400, 500):
+            simulate_workload("gzip", length=length)
+        stats = cache_stats()["sim"]
+        assert stats["size"] == 2
+        assert stats["evictions"] == 1
+
+    def test_stats_count_hits_and_misses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.setattr(runner, "_sim_cache", LRUCache(4))
+        simulate_workload("gzip", length=300)
+        simulate_workload("gzip", length=300)
+        stats = cache_stats()["sim"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+
+class TestPersistentBacking:
+    def test_store_survives_in_memory_clear(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_caches()
+        a = simulate_workload("gzip", length=400)
+        clear_caches()
+        b = simulate_workload("gzip", length=400)
+        store = ResultStore(root=tmp_path)
+        assert store.count() == 1  # second call was a store hit, not a put
+        assert a is not b
+        assert a.cycles == b.cycles
+        assert a.events == b.events
+
+    def test_no_cache_env_skips_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        clear_caches()
+        simulate_workload("gzip", length=400)
+        assert ResultStore(root=tmp_path).count() == 0
+
+    def test_distinct_configs_get_distinct_objects(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_caches()
+        simulate_workload("gzip", length=400)
+        simulate_workload(
+            "gzip",
+            config=baseline_config().with_overrides(rob_size=64),
+            length=400,
+        )
+        assert ResultStore(root=tmp_path).count() == 2

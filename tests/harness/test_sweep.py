@@ -1,5 +1,9 @@
 """Unit tests for the sweep helper."""
 
+import math
+
+import pytest
+
 from repro.harness.sweep import Sweep, sweep_values
 
 
@@ -23,3 +27,55 @@ class TestSweep:
 
     def test_empty_values(self):
         assert sweep_values("x", [], lambda x: {"y": 1.0}) == {}
+
+
+class TestFailureIsolation:
+    @staticmethod
+    def _flaky(value):
+        if value == 2:
+            raise ValueError("point 2 exploded")
+        return {"y": float(value)}
+
+    def test_failed_point_becomes_nan_others_survive(self):
+        outcome = Sweep(
+            parameter="x", values=[1, 2, 3], runner=self._flaky
+        ).run_detailed()
+        assert outcome.series["y"][0] == 1.0
+        assert math.isnan(outcome.series["y"][1])
+        assert outcome.series["y"][2] == 3.0
+
+    def test_failure_is_recorded_with_context(self):
+        outcome = Sweep(
+            parameter="x", values=[1, 2, 3], runner=self._flaky
+        ).run_detailed()
+        assert not outcome.ok
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert failure.index == 1
+        assert failure.value == 2
+        assert "point 2 exploded" in failure.error
+
+    def test_strict_mode_still_raises(self):
+        with pytest.raises(ValueError, match="point 2 exploded"):
+            sweep_values("x", [1, 2, 3], self._flaky, strict=True)
+
+    def test_late_metric_gets_nan_padding(self):
+        def runner(value):
+            metrics = {"y": float(value)}
+            if value >= 2:
+                metrics["extra"] = 10.0 * value
+            return metrics
+
+        series = Sweep(parameter="x", values=[1, 2], runner=runner).run()
+        assert math.isnan(series["extra"][0])
+        assert series["extra"][1] == 20.0
+
+    def test_all_points_fail(self):
+        def runner(value):
+            raise RuntimeError("nope")
+
+        outcome = Sweep(
+            parameter="x", values=[1, 2], runner=runner
+        ).run_detailed()
+        assert len(outcome.failures) == 2
+        assert outcome.series == {}

