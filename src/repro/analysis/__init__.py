@@ -1,0 +1,43 @@
+"""repro.analysis — static analysis and runtime sanitizing.
+
+Two complementary guards for the paper's methodology:
+
+- :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an
+  AST-based lint engine with a simulator-discipline rule pack
+  (deterministic RNG, no wall-clock in the timing model, no float
+  equality in the accounting layer, frozen configs, ...). CI gates on
+  a clean ``repro lint src/``.
+- :mod:`repro.analysis.sanitizer` — a runtime invariant sanitizer
+  (``REPRO_SANITIZE=1`` or ``--sanitize``) that checks ROB occupancy
+  bounds, commit monotonicity, per-instruction stage ordering, and the
+  CPI-stack accounting identity during real runs, collecting
+  violations into structured reports the lab records in its manifests.
+"""
+
+from repro.analysis.engine import (
+    LintReport,
+    LintViolation,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule_catalogue,
+)
+from repro.analysis.sanitizer import (
+    InvariantViolation,
+    Sanitizer,
+    SanitizerReport,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "LintReport",
+    "LintViolation",
+    "Rule",
+    "Sanitizer",
+    "SanitizerReport",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "rule_catalogue",
+]

@@ -1,0 +1,297 @@
+"""The AST lint engine: rule registry, suppressions, reporters.
+
+The engine is deliberately small: a :class:`Rule` visits one parsed
+module and yields :class:`LintViolation` records; the engine owns file
+discovery, ``# repro: noqa`` suppression handling, rule scoping by
+directory, and rendering. Rules never read the filesystem themselves —
+they receive a :class:`FileContext` with the parsed tree and source.
+
+Suppression syntax (checked per physical line of the violation):
+
+- ``# repro: noqa`` — suppress every rule on that line;
+- ``# repro: noqa[RULE1,RULE2]`` — suppress the named rules only;
+- ``# repro: noqa-file[RULE1]`` — anywhere in the file, suppress the
+  named rules for the whole file (``# repro: noqa-file`` for all).
+
+Suppressions are an escape hatch, not a default: CI gates on a clean
+``repro lint src/``, so every ``noqa`` in the tree should carry a
+justification comment next to it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+_NOQA_LINE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[\w\s,.-]+)\])?")
+_NOQA_FILE = re.compile(r"#\s*repro:\s*noqa-file(?:\[(?P<rules>[\w\s,.-]+)\])?")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule hit: where, which rule, and what to do about it."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str  # as reported (relative when discovered under a root)
+    tree: ast.Module
+    source: str
+    lines: Tuple[str, ...]
+
+    def parts(self) -> Tuple[str, ...]:
+        return PurePosixPath(self.path.replace("\\", "/")).parts
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scope`` restricts the rule to files whose path contains one of
+    the named directories (``None`` = every file); ``exempt`` lists
+    path suffixes the rule never fires on (e.g. the one blessed RNG
+    module).
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        posix = "/".join(ctx.parts())
+        for suffix in self.exempt:
+            if posix.endswith(suffix):
+                return False
+        if self.scope is None:
+            return True
+        return any(part in self.scope for part in ctx.parts()[:-1])
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> LintViolation:
+        return LintViolation(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: Registry of every known rule, keyed by rule id (populated by
+#: :func:`register`; ``repro.analysis.rules`` fills it on import).
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    RULE_REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule (importing the default pack)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [cls() for _, cls in sorted(RULE_REGISTRY.items())]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    violations: List[LintViolation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def render_human(self) -> str:
+        out = [v.render() for v in sorted(
+            self.violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+        )]
+        for path, error in self.parse_errors:
+            out.append(f"{path}: parse error: {error}")
+        out.append(
+            f"{len(self.violations)} violation(s), {self.suppressed} "
+            f"suppressed, {self.files_checked} file(s) checked"
+        )
+        return "\n".join(out)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "parse_errors": [
+                    {"path": p, "error": e} for p, e in self.parse_errors
+                ],
+                "violations": [v.as_payload() for v in self.violations],
+            },
+            indent=1,
+        )
+
+
+def _file_suppressions(lines: Sequence[str]) -> Optional[set]:
+    """Rules suppressed for the whole file (None = nothing; empty set =
+    everything)."""
+    suppressed: Optional[set] = None
+    for line in lines:
+        match = _NOQA_FILE.search(line)
+        if not match:
+            continue
+        names = match.group("rules")
+        if names is None:
+            return set()  # blanket file suppression
+        if suppressed is None:
+            suppressed = set()
+        suppressed.update(n.strip() for n in names.split(",") if n.strip())
+    return suppressed
+
+
+def _line_suppresses(line: str, rule_id: str) -> bool:
+    match = _NOQA_LINE.search(line)
+    if not match:
+        return False
+    names = match.group("rules")
+    if names is None:
+        return True
+    return rule_id in {n.strip() for n in names.split(",")}
+
+
+def lint_source(
+    source: str, path: str, rules: Optional[Sequence[Rule]] = None
+) -> LintReport:
+    """Lint one in-memory module; the unit the file walker builds on."""
+    report = LintReport(files_checked=1)
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_errors.append((path, str(exc)))
+        return report
+    lines = tuple(source.splitlines())
+    ctx = FileContext(path=path, tree=tree, source=source, lines=lines)
+    file_suppressed = _file_suppressions(lines)
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if file_suppressed is not None and (
+                not file_suppressed or violation.rule in file_suppressed
+            ):
+                report.suppressed += 1
+                continue
+            line_idx = violation.line - 1
+            if 0 <= line_idx < len(lines) and _line_suppresses(
+                lines[line_idx], violation.rule
+            ):
+                report.suppressed += 1
+                continue
+            report.violations.append(violation)
+    return report
+
+
+def discover_files(paths: Iterable[str]) -> List[Tuple[Path, str]]:
+    """Expand files/directories into (absolute, reported) python paths."""
+    found: List[Tuple[Path, str]] = []
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            for path in sorted(base.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                found.append((path, str(path)))
+        elif base.suffix == ".py":
+            found.append((base, str(base)))
+    return found
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> LintReport:
+    """Lint every python file under ``paths``; returns one merged report."""
+    if rules is None:
+        rules = all_rules()
+    merged = LintReport()
+    for path, reported in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            merged.parse_errors.append((reported, str(exc)))
+            continue
+        report = lint_source(source, reported, rules)
+        merged.violations.extend(report.violations)
+        merged.suppressed += report.suppressed
+        merged.parse_errors.extend(report.parse_errors)
+        merged.files_checked += 1
+    merged.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return merged
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Id/name/description/scope rows for docs and ``lint --list``."""
+    rows = []
+    for rule in all_rules():
+        rows.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "description": rule.description,
+                "scope": ", ".join(rule.scope) if rule.scope else "everywhere",
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "LintViolation",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_catalogue",
+]

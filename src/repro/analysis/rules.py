@@ -1,0 +1,413 @@
+"""The default rule pack: simulator-specific discipline as lint rules.
+
+Each rule encodes an invariant the paper's methodology depends on —
+deterministic simulation (RNG001, CLK001, ORD001), exact accounting
+(FLT001), immutable configuration identity for the content-addressed
+store (CFG001), and library hygiene that keeps sweeps debuggable
+(MUT001, EXC001, PRT001). Every rule registers into
+:data:`repro.analysis.engine.RULE_REGISTRY` on import.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import FileContext, LintViolation, Rule, register
+
+#: Hot, determinism-critical packages the scoped rules police.
+SIM_SCOPE: Tuple[str, ...] = ("pipeline", "interval", "frontend")
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute/name chain (``a.b.c``), else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Stochastic draws must come from ``repro.util.rng``.
+
+    ``random`` and ``numpy.random`` default to process-entropy seeding,
+    and even seeded ``random.Random`` may change algorithms across
+    Python versions — either silently changes every trace, miss
+    pattern, and therefore every measured penalty.
+    """
+
+    id = "RNG001"
+    name = "unseeded-random"
+    description = (
+        "no stdlib random / numpy.random outside util/rng.py; use a "
+        "seeded SplitMix stream"
+    )
+    exempt = ("util/rng.py",)
+
+    _MODULES = {"random", "numpy.random"}
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in self._MODULES:
+                        yield self.violation(
+                            ctx, node,
+                            f"import of {alias.name!r}; draw from "
+                            "repro.util.rng.SplitMix instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module in self._MODULES:
+                    yield self.violation(
+                        ctx, node,
+                        f"import from {module!r}; draw from "
+                        "repro.util.rng.SplitMix instead",
+                    )
+                elif module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.violation(
+                        ctx, node,
+                        "import of numpy.random; draw from "
+                        "repro.util.rng.SplitMix instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted in ("np.random", "numpy.random"):
+                    yield self.violation(
+                        ctx, node,
+                        f"use of {dotted}; draw from "
+                        "repro.util.rng.SplitMix instead",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock reads inside the simulation packages.
+
+    Simulated time must be a pure function of the trace and the
+    configuration. Wall-clock reads in the timing model (even "just
+    for logging") make results machine- and load-dependent; measure
+    wall time at the harness boundary via ``repro.util.timing``.
+    """
+
+    id = "CLK001"
+    name = "wall-clock"
+    description = (
+        "no time.*/datetime wall-clock reads in pipeline/, interval/, "
+        "frontend/; use repro.util.timing at the harness boundary"
+    )
+    scope = SIM_SCOPE
+
+    _CALLS = {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+    _FROM_IMPORTS = {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "process_time"),
+        ("datetime", "datetime"),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    if (module, alias.name) in self._FROM_IMPORTS:
+                        yield self.violation(
+                            ctx, node,
+                            f"wall-clock import {module}.{alias.name} in a "
+                            "simulation package",
+                        )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted in self._CALLS:
+                    yield self.violation(
+                        ctx, node,
+                        f"wall-clock read {dotted}() in a simulation package",
+                    )
+
+
+def _is_floaty(node: ast.AST) -> bool:
+    """Conservatively: expressions that are textually float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields a float
+        return _is_floaty(node.left) or _is_floaty(node.right)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """No ``==``/``!=`` against float values in the accounting layer.
+
+    The CPI-stack identity is verified to 1e-9, not to equality;
+    exact float comparison in the interval layer either works by
+    accident or breaks on the first refactor that reassociates a sum.
+    """
+
+    id = "FLT001"
+    name = "float-equality"
+    description = (
+        "no float == / != in interval/; compare with math.isclose or an "
+        "explicit tolerance"
+    )
+    scope = ("interval",)
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left) or _is_floaty(right):
+                    yield self.violation(
+                        ctx, node,
+                        "exact float comparison; use math.isclose or an "
+                        "explicit tolerance",
+                    )
+                    break
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default arguments.
+
+    A shared default list/dict/set leaks state between calls — in a
+    sweep that means between experiment points, which is exactly the
+    cross-contamination the lab's process isolation exists to prevent.
+    """
+
+    id = "MUT001"
+    name = "mutable-default"
+    description = "no mutable (list/dict/set) default arguments"
+
+    _CTORS = {"list", "dict", "set", "bytearray"}
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._CTORS
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        ctx, default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside",
+                    )
+
+
+@register
+class SetIterationRule(Rule):
+    """No direct iteration over sets in the hot simulation packages.
+
+    Set iteration order depends on element hashes and insertion
+    history; iterating an event set directly can reorder tie-breaking
+    decisions between runs or Python builds. Iterate a list/deque/heap,
+    or wrap in ``sorted(...)``.
+    """
+
+    id = "ORD001"
+    name = "set-iteration"
+    description = (
+        "no iteration over sets in pipeline/ or interval/ hot paths; "
+        "use sorted(...) or an ordered container"
+    )
+    scope = ("pipeline", "interval")
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _set_names_in(self, func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            value = None
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None or not self._is_set_expr(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            set_names = self._set_names_in(func)
+            for node in ast.walk(func):
+                iters: List[ast.AST] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if self._is_set_expr(it) or (
+                        isinstance(it, ast.Name) and it.id in set_names
+                    ):
+                        yield self.violation(
+                            ctx, it,
+                            "iteration over a set in a hot path; order is "
+                            "hash-dependent — use sorted(...) or an ordered "
+                            "container",
+                        )
+
+
+@register
+class FrozenConfigRule(Rule):
+    """Configuration dataclasses must be frozen.
+
+    The lab's content-addressed store keys results by a canonical
+    digest of the configuration; a mutable config could drift between
+    digest time and run time, silently mis-filing results.
+    """
+
+    id = "CFG001"
+    name = "frozen-config"
+    description = "@dataclass classes named *Config must set frozen=True"
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config"):
+                continue
+            dataclass_deco = None
+            frozen = False
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                name = _dotted(target) or ""
+                if name.split(".")[-1] == "dataclass":
+                    dataclass_deco = deco
+                    if isinstance(deco, ast.Call):
+                        for kw in deco.keywords:
+                            if (
+                                kw.arg == "frozen"
+                                and isinstance(kw.value, ast.Constant)
+                                and kw.value.value is True
+                            ):
+                                frozen = True
+            if dataclass_deco is not None and not frozen:
+                yield self.violation(
+                    ctx, node,
+                    f"config dataclass {node.name} is not frozen; store "
+                    "keys assume immutable configs",
+                )
+
+
+@register
+class BareExceptRule(Rule):
+    """No bare ``except:`` clauses.
+
+    A bare except swallows KeyboardInterrupt and SystemExit, turning a
+    stuck sweep unkillable and hiding the traceback the lab's error
+    capture would otherwise record.
+    """
+
+    id = "EXC001"
+    name = "bare-except"
+    description = "no bare except:; catch a concrete exception type"
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    ctx, node,
+                    "bare except; name the exception type (it also hides "
+                    "KeyboardInterrupt)",
+                )
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """No ``print`` outside the CLI layer.
+
+    Library output belongs in return values; stray prints corrupt the
+    machine-readable output of ``repro lint --format=json`` and the
+    lab's captured job logs.
+    """
+
+    id = "PRT001"
+    name = "print-in-library"
+    description = "no print() outside cli.py/__main__.py"
+    exempt = ("cli.py", "__main__.py")
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    ctx, node,
+                    "print() in library code; return the text or use the "
+                    "CLI layer",
+                )
+
+
+__all__ = [
+    "BareExceptRule",
+    "FloatEqualityRule",
+    "FrozenConfigRule",
+    "MutableDefaultRule",
+    "PrintInLibraryRule",
+    "SIM_SCOPE",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

@@ -14,6 +14,10 @@ Examples::
     python -m repro lab run f2 f3 --no-cache
     python -m repro lab status
     python -m repro lab gc --max-age-days 30
+    python -m repro lint src/                  # AST rule pack, CI gate
+    python -m repro lint src/ --format=json
+    python -m repro simulate --workload mcf --sanitize
+    python -m repro analyze <run-id>           # sanitizer results of a run
 """
 
 from __future__ import annotations
@@ -137,6 +141,10 @@ def cmd_suite(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from(args)
     trace = _trace_from(args)
+    if args.sanitize:
+        from repro.analysis import sanitizer
+
+        sanitizer.enable()
     annotator = None
     if args.structural:
         annotator = StructuralAnnotator(
@@ -166,6 +174,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"({report.penalty_over_refill:.1f}x frontend)")
     print("CPI stack         : "
           + "  ".join(f"{k}={v:.3f}" for k, v in stack.component_cpi().items()))
+    if args.sanitize:
+        from repro.analysis import sanitizer
+
+        report = sanitizer.drain_report()
+        if report is not None:
+            print(report.render())
+            if not report.ok:
+                return 1
     return 0
 
 
@@ -252,6 +268,11 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown experiment(s) {unknown}; see `python -m repro list`"
         )
+    if args.sanitize:
+        # Exported to the environment so pool workers inherit it.
+        from repro.analysis import sanitizer
+
+        sanitizer.enable()
     results, telemetry = run_experiments(
         ids,
         workers=args.workers,
@@ -272,7 +293,12 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
     for failure in telemetry.failures():
         last_line = (failure.error or "").strip().splitlines()
         print(f"  FAILED {failure.label}: {last_line[-1] if last_line else '?'}")
-    return 1 if telemetry.failed else 0
+    for record in telemetry.records:
+        if record.sanitizer_violations:
+            for violation in record.sanitizer["violations"]:
+                print(f"  SANITIZER {record.label}: {violation['check']}: "
+                      f"{violation['message']}")
+    return 1 if telemetry.failed or telemetry.sanitizer_violations else 0
 
 
 def cmd_lab_status(args: argparse.Namespace) -> int:
@@ -319,6 +345,86 @@ def cmd_lab_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST rule pack over source paths; exit 1 on violations."""
+    from repro.analysis import lint_paths, rule_catalogue
+
+    if args.list_rules:
+        for row in rule_catalogue():
+            print(f"{row['id']} ({row['name']}; scope: {row['scope']})")
+            print(f"    {row['description']}")
+        return 0
+    paths = args.paths or ["src"]
+    report = lint_paths(paths)
+    text = (
+        report.render_json() if args.format == "json"
+        else report.render_human()
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0 if report.ok else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Show a lab run's sanitizer results from its manifest."""
+    import json
+
+    from repro.lab import ResultStore
+
+    path = None
+    if args.run.endswith(".json"):
+        path = args.run
+    else:
+        store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+        matches = [
+            p for p in store.manifests()
+            if p.name.startswith(args.run) or args.run == "latest"
+        ]
+        if not matches:
+            raise SystemExit(
+                f"no run manifest matching {args.run!r} under "
+                f"{store.runs_dir}"
+            )
+        path = str(matches[0])
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read manifest {path}: {exc}")
+    counters = manifest.get("counters", {})
+    print(f"run        : {manifest.get('run_id')}")
+    print(f"jobs       : {counters.get('total', 0)} "
+          f"({counters.get('ok', 0)} ran, {counters.get('cached', 0)} cached, "
+          f"{counters.get('failed', 0)} failed)")
+    print(f"sanitized  : {counters.get('sanitized', 0)} job(s), "
+          f"{counters.get('sanitizer_violations', 0)} violation(s)")
+    violations = 0
+    for job in manifest.get("jobs", []):
+        sanitizer = job.get("sanitizer")
+        if sanitizer is None:
+            continue
+        status = "clean" if sanitizer.get("ok") else "VIOLATIONS"
+        print(f"  {job.get('label')}: {status} "
+              f"({sanitizer.get('checks_run', 0)} checks, "
+              f"{sanitizer.get('runs', 0)} runs)")
+        for violation in sanitizer.get("violations", []):
+            violations += 1
+            where = []
+            if violation.get("cycle") is not None:
+                where.append(f"cycle {violation['cycle']}")
+            if violation.get("seq") is not None:
+                where.append(f"seq {violation['seq']}")
+            suffix = f" [{', '.join(where)}]" if where else ""
+            print(f"    {violation['check']}: {violation['message']}{suffix}")
+    if counters.get("sanitized", 0) == 0:
+        print("(no sanitizer data; run with --sanitize or REPRO_SANITIZE=1)")
+    return 1 if violations else 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
 
@@ -358,6 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use real predictor/cache substrates")
     p.add_argument("--inorder", action="store_true",
                    help="use the scoreboarded in-order core")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run cycle-level invariant checks and report them")
     _add_config_flags(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -390,6 +498,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="output path (default: stdout)")
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the simulator-discipline AST rule pack (CI gates on "
+        "a clean src/)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src)")
+    p.add_argument("--format", choices=("human", "json"), default="human")
+    p.add_argument("--output", help="write the report here instead of stdout")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="show a lab run's sanitizer results from its manifest",
+    )
+    p.add_argument("run",
+                   help="run id (or prefix), 'latest', or a manifest path")
+    p.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    p.set_defaults(func=cmd_analyze)
+
     p = sub.add_parser("list", help="list workloads, kernels, experiments")
     p.set_defaults(func=cmd_list)
 
@@ -416,6 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job timeout in seconds")
     q.add_argument("--retries", type=int, default=0,
                    help="retries per failing job (default 0)")
+    q.add_argument("--sanitize", action="store_true",
+                   help="run invariant checks in every job (recorded in "
+                   "the run manifest; exit 1 on violations)")
     q.add_argument("--markdown", action="store_true")
     q.set_defaults(func=cmd_lab_run)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.pipeline.events import (
     BranchMispredictEvent,
     ICacheMissEvent,
@@ -117,7 +118,7 @@ def build_cpi_stack(
             merged_end = end
 
     other = result.cycles - base - bpred - icache - long_dcache
-    return CPIStack(
+    stack = CPIStack(
         instructions=result.instructions,
         total_cycles=result.cycles,
         base=base,
@@ -126,3 +127,7 @@ def build_cpi_stack(
         long_dcache=long_dcache,
         other=other,
     )
+    san = _sanitizer.current()
+    if san is not None:
+        san.check_cpi_stack(stack)
+    return stack

@@ -26,14 +26,15 @@ error.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.interval.ilp import backward_slice_latency
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.result import SimulationResult
 from repro.trace.stream import Trace
+from repro.util.timing import Stopwatch
 
 
 @dataclass
@@ -143,7 +144,7 @@ class FastIntervalSimulator:
 
     def estimate(self, trace: Trace) -> FastEstimate:
         """Run the one-pass estimate; returns cycles and components."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         config = self.config
         n = len(trace.records)
         latency = self._steady_latency(trace)
@@ -186,7 +187,7 @@ class FastIntervalSimulator:
                 previous_long = seq
             last_event = seq
 
-        return FastEstimate(
+        estimate = FastEstimate(
             instructions=n,
             base_cycles=base_cycles,
             mispredict_cycles=mispredict_cycles,
@@ -196,8 +197,12 @@ class FastIntervalSimulator:
             icache_count=icache_count,
             long_dmiss_count=long_count,
             resolutions=resolutions,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=watch.elapsed,
         )
+        san = _sanitizer.current()
+        if san is not None:
+            san.check_fast_estimate(estimate, config.frontend_depth)
+        return estimate
 
 
 def compare_with_detailed(
@@ -211,9 +216,9 @@ def compare_with_detailed(
     from repro.interval.penalty import measure_penalties
     from repro.pipeline.core import simulate
 
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     detailed = simulate(trace, config)
-    detailed_seconds = time.perf_counter() - t0
+    detailed_seconds = watch.elapsed
 
     fast = FastIntervalSimulator(config).estimate(trace)
     report = measure_penalties(detailed)

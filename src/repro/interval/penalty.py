@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.interval.segmentation import segment_intervals
 from repro.pipeline.events import BranchMispredictEvent, MissEventKind
 from repro.pipeline.result import SimulationResult
@@ -111,9 +112,12 @@ def measure_penalties(result: SimulationResult) -> PenaltyReport:
             )
         )
     report = PenaltyReport(decompositions=decompositions, frontend_depth=refill)
+    san = _sanitizer.current()
     for item in decompositions:
         report.resolution_stats.add(item.resolution)
         report.penalty_histogram.add(item.penalty)
+        if san is not None:
+            san.check_penalty_decomposition(item)
     return report
 
 

@@ -24,6 +24,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.lab import codec
 from repro.lab.store import ResultStore, job_key
 from repro.pipeline.config import CoreConfig
@@ -201,6 +202,9 @@ class JobResult:
     attempts: int = 0
     wall_s: float = 0.0
     cache_hit: bool = False
+    #: Sanitizer report payload (``REPRO_SANITIZE=1`` runs only; None
+    #: when sanitizing was off or the result came from the store).
+    sanitizer: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -256,9 +260,13 @@ def execute_job(
                 wall_s=time.perf_counter() - started,
                 cache_hit=True,
             )
+    # Start this job's sanitizer window clean so violations from a
+    # previous job in the same worker never bleed into this report.
+    _sanitizer.drain_report()
     try:
         value, attempts = _attempt_with_retries(spec)
     except Exception:
+        report = _sanitizer.drain_report()
         return JobResult(
             key=key,
             label=spec.label,
@@ -266,7 +274,9 @@ def execute_job(
             error=traceback.format_exc(),
             attempts=spec.retries + 1,
             wall_s=time.perf_counter() - started,
+            sanitizer=report.as_payload() if report else None,
         )
+    report = _sanitizer.drain_report()
     payload = codec.payload_from_value(value)
     if store is not None:
         store.put(key, payload, meta={"label": spec.label})
@@ -277,6 +287,7 @@ def execute_job(
         payload=payload,
         attempts=attempts,
         wall_s=time.perf_counter() - started,
+        sanitizer=report.as_payload() if report else None,
     )
 
 

@@ -31,6 +31,7 @@ class JobRecord:
     attempts: int
     cache_hit: bool
     error: Optional[str] = None
+    sanitizer: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_result(cls, result: JobResult) -> "JobRecord":
@@ -42,7 +43,14 @@ class JobRecord:
             attempts=result.attempts,
             cache_hit=result.cache_hit,
             error=result.error,
+            sanitizer=result.sanitizer,
         )
+
+    @property
+    def sanitizer_violations(self) -> int:
+        if not self.sanitizer:
+            return 0
+        return len(self.sanitizer.get("violations", []))
 
 
 @dataclass
@@ -89,6 +97,16 @@ class RunTelemetry:
         return sum(r.wall_s for r in self.records)
 
     @property
+    def sanitized(self) -> int:
+        """Jobs that ran with the invariant sanitizer active."""
+        return sum(1 for r in self.records if r.sanitizer is not None)
+
+    @property
+    def sanitizer_violations(self) -> int:
+        """Total invariant violations across all sanitized jobs."""
+        return sum(r.sanitizer_violations for r in self.records)
+
+    @property
     def elapsed_s(self) -> float:
         end = self.finished_at if self.finished_at is not None else time.time()
         return end - self.started_at
@@ -100,7 +118,7 @@ class RunTelemetry:
 
     def summary(self) -> str:
         """One-line operator summary (the CLI prints this)."""
-        return (
+        text = (
             f"run {self.run_id}: {self.total} jobs "
             f"({self.ok} ran, {self.cached} cache hits, "
             f"{self.failed} failed, {self.retries} retries) "
@@ -108,6 +126,12 @@ class RunTelemetry:
             f"({self.job_wall_s:.2f}s of job time, "
             f"workers={self.workers})"
         )
+        if self.sanitized:
+            text += (
+                f"; sanitizer: {self.sanitized} job(s) checked, "
+                f"{self.sanitizer_violations} violation(s)"
+            )
+        return text
 
     def as_manifest(self) -> Dict[str, Any]:
         return {
@@ -124,6 +148,8 @@ class RunTelemetry:
                 "failed": self.failed,
                 "retries": self.retries,
                 "job_wall_s": self.job_wall_s,
+                "sanitized": self.sanitized,
+                "sanitizer_violations": self.sanitizer_violations,
             },
             "jobs": [
                 {
@@ -134,6 +160,7 @@ class RunTelemetry:
                     "attempts": r.attempts,
                     "cache_hit": r.cache_hit,
                     "error": r.error,
+                    "sanitizer": r.sanitizer,
                 }
                 for r in self.records
             ],

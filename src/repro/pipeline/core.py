@@ -30,6 +30,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.isa.opcodes import OpClass
 from repro.memory.hierarchy import MissClass
 from repro.pipeline.annotate import Annotation, Annotator, OracleAnnotator
@@ -66,8 +67,11 @@ class SuperscalarCore:
         if n == 0:
             return SimulationResult(instructions=0, cycles=0)
 
+        san = _sanitizer.current()
+        if san is not None:
+            san.begin_run()
         fus = FunctionalUnits(config.fu_specs)
-        rob = ReorderBuffer(config.rob_size)
+        rob = ReorderBuffer(config.rob_size, sanitizer=san)
         issue_rng = (
             SplitMix(derive_seed(config.seed, "issue"))
             if config.issue_policy == "random"
@@ -193,6 +197,8 @@ class SuperscalarCore:
                     continue
                 committed += 1
                 last_commit_cycle = cycle
+                if san is not None:
+                    san.check_commit(cycle, seq=seq)
                 if record_timeline:
                     commit_cycle[seq] = cycle
 
@@ -226,6 +232,8 @@ class SuperscalarCore:
                 ticket_of[seq] = ticket
                 ticket_seq[ticket] = seq
                 rob.dispatch(ticket)
+                if san is not None:
+                    san.check_occupancy(cycle, len(rob), config.rob_size)
                 dispatch_of[seq] = cycle
                 if record_timeline:
                     dispatch_cycle[seq] = cycle
@@ -266,6 +274,8 @@ class SuperscalarCore:
                     next_ticket += 1
                     ghost_class[ticket] = source.op_class
                     rob.dispatch(ticket)
+                    if san is not None:
+                        san.check_occupancy(cycle, len(rob), config.rob_size)
                     heapq.heappush(ready_events, (cycle + 1, ticket, _GHOST))
                     dispatched += 1
 
@@ -351,7 +361,7 @@ class SuperscalarCore:
             cycle = max(cycle + 1, min(next_cycles))
 
         total_cycles = last_commit_cycle + 1
-        return SimulationResult(
+        result = SimulationResult(
             instructions=n,
             cycles=total_cycles,
             events=events,
@@ -363,6 +373,9 @@ class SuperscalarCore:
             rob_peak_occupancy=rob.peak_occupancy,
             squashed_ghosts=squashed_ghost_count,
         )
+        if san is not None:
+            san.seal_run(result, config)
+        return result
 
 
 def simulate(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.memory.hierarchy import MissClass
 from repro.pipeline.annotate import Annotator, OracleAnnotator
 from repro.pipeline.config import CoreConfig
@@ -55,6 +56,9 @@ class InOrderCore:
         if n == 0:
             return SimulationResult(instructions=0, cycles=0)
 
+        san = _sanitizer.current()
+        if san is not None:
+            san.begin_run()
         fus = FunctionalUnits(config.fu_specs)
         comp: List[int] = [0] * n
         retire: List[int] = [0] * n  # in-order retirement times
@@ -108,6 +112,10 @@ class InOrderCore:
                 done += annotation.dcache_latency
             comp[seq] = done
             retire[seq] = done if seq == 0 else max(retire[seq - 1], done)
+            if san is not None:
+                # Retirement is the in-order commit point; the window of
+                # issued-but-unretired instructions is bounded by rob_size.
+                san.check_commit(retire[seq], seq=seq)
 
             # In-order issue bandwidth: width per cycle, no younger
             # instruction issues earlier.
@@ -144,7 +152,7 @@ class InOrderCore:
                 )
                 frontend_ready = done + config.frontend_depth
 
-        return SimulationResult(
+        result = SimulationResult(
             instructions=n,
             cycles=last_commit + 1,
             events=events,
@@ -155,6 +163,9 @@ class InOrderCore:
             fu_issue_counts=fus.issue_counts(),
             rob_peak_occupancy=0,
         )
+        if san is not None:
+            san.seal_run(result, config)
+        return result
 
 
 def simulate_inorder(

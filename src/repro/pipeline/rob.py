@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitizer import Sanitizer
 
 
 class ReorderBuffer:
@@ -11,12 +14,18 @@ class ReorderBuffer:
 
     Entries are dynamic sequence numbers. Completion is marked out of
     order; commit removes completed entries strictly in order.
+
+    When a :class:`~repro.analysis.sanitizer.Sanitizer` is attached,
+    structural misuse (overflowing dispatch, out-of-order dispatch) is
+    recorded as a structured violation instead of raising, so a buggy
+    sweep point reports instead of killing the whole run.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, sanitizer: "Optional[Sanitizer]" = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.sanitizer = sanitizer
         self._entries: Deque[int] = deque()
         self._completed: set = set()
         self.peak_occupancy = 0
@@ -39,10 +48,23 @@ class ReorderBuffer:
     def dispatch(self, seq: int) -> None:
         """Insert a newly dispatched instruction (program order)."""
         if self.is_full:
-            raise RuntimeError("dispatch into a full ROB")
+            if self.sanitizer is None:
+                raise RuntimeError("dispatch into a full ROB")
+            self.sanitizer.record(
+                "rob-overflow",
+                f"dispatch of {seq} into a full ROB "
+                f"(occupancy {len(self._entries)}/{self.capacity})",
+                seq=seq,
+            )
         if self._entries and seq <= self._entries[-1]:
-            raise ValueError(
-                f"dispatch out of order: {seq} after {self._entries[-1]}"
+            if self.sanitizer is None:
+                raise ValueError(
+                    f"dispatch out of order: {seq} after {self._entries[-1]}"
+                )
+            self.sanitizer.record(
+                "rob-order",
+                f"dispatch out of order: {seq} after {self._entries[-1]}",
+                seq=seq,
             )
         self._entries.append(seq)
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))

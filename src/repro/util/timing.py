@@ -1,0 +1,38 @@
+"""Wall-clock measurement at the harness boundary.
+
+The lint rule CLK001 bans direct ``time.*`` reads inside the
+simulation packages (``pipeline/``, ``interval/``, ``frontend/``):
+simulated time must be a pure function of trace + configuration.
+Speedup and throughput numbers are still wanted, so this module is the
+one blessed doorway — a monotonic :class:`Stopwatch` that simulation
+code may *carry* (it never influences simulated results) and tests can
+substitute with a fake clock to make timing-dependent assertions
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The default clock: monotonic, high-resolution, unaffected by NTP.
+default_clock: Callable[[], float] = time.perf_counter
+
+
+class Stopwatch:
+    """Measure an elapsed wall-time span via an injectable clock."""
+
+    def __init__(self, clock: Callable[[], float] = default_clock):
+        self._clock = clock
+        self._started = clock()
+
+    def restart(self) -> None:
+        self._started = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return self._clock() - self._started
+
+
+__all__ = ["Stopwatch", "default_clock"]

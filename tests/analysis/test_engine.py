@@ -1,0 +1,122 @@
+"""Engine mechanics: discovery, suppressions, reporters, scoping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    LintViolation,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule_catalogue,
+)
+
+BARE_EXCEPT = (
+    "try:\n"
+    "    x = 1\n"
+    "except:\n"
+    "    pass\n"
+)
+
+
+def test_detects_injected_violation_with_rule_file_and_line(tmp_path):
+    """Acceptance: an injected violation reports rule id, file, line."""
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except:\n"  # line 4
+        "        return 2\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([str(tmp_path)])
+    assert len(report.violations) == 1
+    violation = report.violations[0]
+    assert violation.rule == "EXC001"
+    assert violation.path == str(fixture)
+    assert violation.line == 4
+
+
+def test_line_noqa_suppresses_all_rules():
+    source = BARE_EXCEPT.replace("except:", "except:  # repro: noqa")
+    report = lint_source(source, "lib.py")
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_line_noqa_with_rule_id_suppresses_only_that_rule():
+    source = BARE_EXCEPT.replace("except:", "except:  # repro: noqa[EXC001]")
+    assert lint_source(source, "lib.py").ok
+    wrong = BARE_EXCEPT.replace("except:", "except:  # repro: noqa[PRT001]")
+    report = lint_source(wrong, "lib.py")
+    assert [v.rule for v in report.violations] == ["EXC001"]
+
+
+def test_file_level_noqa_suppresses_everywhere():
+    source = "# repro: noqa-file[EXC001]\n" + BARE_EXCEPT + BARE_EXCEPT
+    report = lint_source(source, "lib.py")
+    assert report.ok
+    assert report.suppressed == 2
+
+
+def test_blanket_file_noqa_suppresses_all_rules():
+    source = "# repro: noqa-file\n" + BARE_EXCEPT + "print('x')\n"
+    report = lint_source(source, "lib.py")
+    assert report.ok
+    assert report.suppressed == 2
+
+
+def test_parse_error_is_reported_not_raised():
+    report = lint_source("def broken(:\n", "bad.py")
+    assert not report.ok
+    assert report.parse_errors and report.parse_errors[0][0] == "bad.py"
+
+
+def test_json_reporter_round_trips():
+    report = lint_source(BARE_EXCEPT, "lib.py")
+    payload = json.loads(report.render_json())
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    [violation] = payload["violations"]
+    assert violation["rule"] == "EXC001"
+    assert violation["line"] == 3
+
+
+def test_human_reporter_mentions_path_line_and_rule():
+    report = lint_source(BARE_EXCEPT, "somewhere/lib.py")
+    text = report.render_human()
+    assert "somewhere/lib.py:3:" in text
+    assert "EXC001" in text
+
+
+def test_discovery_skips_pycache(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("except:", encoding="utf-8")
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    report = lint_paths([str(tmp_path)])
+    assert report.files_checked == 1
+    assert report.ok
+
+
+def test_rule_catalogue_covers_the_whole_pack():
+    catalogue = rule_catalogue()
+    ids = {row["id"] for row in catalogue}
+    assert ids == {rule.id for rule in all_rules()}
+    assert len(ids) >= 8
+
+
+def test_violation_render_is_clickable():
+    violation = LintViolation(
+        rule="EXC001", path="a/b.py", line=3, col=1, message="m"
+    )
+    assert violation.render() == "a/b.py:3:1: EXC001 m"
+
+
+@pytest.mark.parametrize("rule_id", ["RNG001", "CLK001", "FLT001", "MUT001",
+                                     "ORD001", "CFG001", "EXC001", "PRT001"])
+def test_expected_rule_ids_registered(rule_id):
+    assert rule_id in {rule.id for rule in all_rules()}

@@ -1,0 +1,16 @@
+"""The merged tree must satisfy its own lint pack (acceptance gate)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_repro_lint_src_is_clean():
+    report = lint_paths([str(SRC)])
+    assert report.files_checked > 50
+    assert not report.parse_errors
+    assert report.ok, "\n" + report.render_human()

@@ -1,0 +1,205 @@
+"""Per-rule positive and negative cases for the default pack."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import lint_source
+
+
+def rules_hit(source: str, path: str) -> list:
+    return [v.rule for v in lint_source(source, path).violations]
+
+
+# -- RNG001 ----------------------------------------------------------------
+
+def test_rng_flags_stdlib_random_import():
+    assert "RNG001" in rules_hit("import random\n", "src/repro/trace/x.py")
+
+
+def test_rng_flags_from_random_import():
+    assert "RNG001" in rules_hit(
+        "from random import shuffle\n", "src/repro/trace/x.py"
+    )
+
+
+def test_rng_flags_numpy_random_attribute():
+    source = "import numpy as np\ny = np.random.rand(3)\n"
+    assert "RNG001" in rules_hit(source, "src/repro/workloads/x.py")
+
+
+def test_rng_exempts_the_blessed_module():
+    assert "RNG001" not in rules_hit("import random\n", "src/repro/util/rng.py")
+
+
+def test_rng_allows_splitmix():
+    source = "from repro.util.rng import SplitMix\nr = SplitMix(7)\n"
+    assert rules_hit(source, "src/repro/trace/x.py") == []
+
+
+# -- CLK001 ----------------------------------------------------------------
+
+def test_clk_flags_time_time_in_pipeline():
+    source = "import time\nt = time.time()\n"
+    assert "CLK001" in rules_hit(source, "src/repro/pipeline/x.py")
+
+
+def test_clk_flags_perf_counter_in_interval():
+    source = "import time\nt = time.perf_counter()\n"
+    assert "CLK001" in rules_hit(source, "src/repro/interval/x.py")
+
+
+def test_clk_flags_datetime_now_in_frontend():
+    source = "import datetime\nt = datetime.datetime.now()\n"
+    assert "CLK001" in rules_hit(source, "src/repro/frontend/x.py")
+
+
+def test_clk_flags_from_import():
+    source = "from time import perf_counter\n"
+    assert "CLK001" in rules_hit(source, "src/repro/pipeline/x.py")
+
+
+def test_clk_ignores_wall_clock_outside_sim_packages():
+    source = "import time\nt = time.time()\n"
+    assert rules_hit(source, "src/repro/lab/x.py") == []
+
+
+def test_clk_allows_the_timing_doorway():
+    source = "from repro.util.timing import Stopwatch\nw = Stopwatch()\n"
+    assert rules_hit(source, "src/repro/interval/x.py") == []
+
+
+# -- FLT001 ----------------------------------------------------------------
+
+def test_flt_flags_float_literal_equality():
+    assert "FLT001" in rules_hit(
+        "ok = x == 0.5\n", "src/repro/interval/x.py"
+    )
+
+
+def test_flt_flags_float_cast_inequality():
+    assert "FLT001" in rules_hit(
+        "bad = float(x) != y\n", "src/repro/interval/x.py"
+    )
+
+
+def test_flt_flags_division_result_equality():
+    assert "FLT001" in rules_hit(
+        "bad = (a / b) == c\n", "src/repro/interval/x.py"
+    )
+
+
+def test_flt_allows_int_equality_and_ordering():
+    source = "a = x == 0\nb = y <= 0.5\n"
+    assert rules_hit(source, "src/repro/interval/x.py") == []
+
+
+def test_flt_scoped_to_interval_only():
+    assert rules_hit("ok = x == 0.5\n", "src/repro/pipeline/x.py") == []
+
+
+# -- MUT001 ----------------------------------------------------------------
+
+def test_mut_flags_list_default():
+    assert "MUT001" in rules_hit("def f(a, b=[]):\n    pass\n", "x.py")
+
+
+def test_mut_flags_dict_call_default():
+    assert "MUT001" in rules_hit("def f(b=dict()):\n    pass\n", "x.py")
+
+
+def test_mut_flags_kwonly_set_default():
+    assert "MUT001" in rules_hit("def f(*, b={1}):\n    pass\n", "x.py")
+
+
+def test_mut_allows_none_and_tuples():
+    assert rules_hit("def f(a=None, b=(1, 2)):\n    pass\n", "x.py") == []
+
+
+# -- ORD001 ----------------------------------------------------------------
+
+def test_ord_flags_for_over_set_call():
+    source = "def f(xs):\n    for x in set(xs):\n        pass\n"
+    assert "ORD001" in rules_hit(source, "src/repro/pipeline/x.py")
+
+
+def test_ord_flags_iteration_over_local_set_variable():
+    source = (
+        "def f():\n"
+        "    pending = set()\n"
+        "    for x in pending:\n"
+        "        pass\n"
+    )
+    assert "ORD001" in rules_hit(source, "src/repro/interval/x.py")
+
+
+def test_ord_flags_comprehension_over_set_literal():
+    source = "def f():\n    return [x for x in {1, 2, 3}]\n"
+    assert "ORD001" in rules_hit(source, "src/repro/pipeline/x.py")
+
+
+def test_ord_allows_sorted_sets_and_membership():
+    source = (
+        "def f(xs):\n"
+        "    seen = set()\n"
+        "    for x in sorted(set(xs)):\n"
+        "        if x in seen:\n"
+        "            pass\n"
+    )
+    assert rules_hit(source, "src/repro/pipeline/x.py") == []
+
+
+def test_ord_not_enforced_outside_hot_packages():
+    source = "def f(xs):\n    for x in set(xs):\n        pass\n"
+    assert rules_hit(source, "src/repro/harness/x.py") == []
+
+
+# -- CFG001 ----------------------------------------------------------------
+
+def test_cfg_flags_unfrozen_config_dataclass():
+    source = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class SweepConfig:\n"
+        "    x: int = 0\n"
+    )
+    assert "CFG001" in rules_hit(source, "x.py")
+
+
+def test_cfg_allows_frozen_config():
+    source = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class SweepConfig:\n"
+        "    x: int = 0\n"
+    )
+    assert rules_hit(source, "x.py") == []
+
+
+def test_cfg_ignores_non_dataclass_and_non_config_names():
+    source = (
+        "from dataclasses import dataclass\n"
+        "class PlainConfig:\n"
+        "    pass\n"
+        "@dataclass\n"
+        "class Result:\n"
+        "    x: int = 0\n"
+    )
+    assert rules_hit(source, "x.py") == []
+
+
+# -- EXC001 / PRT001 -------------------------------------------------------
+
+def test_exc_flags_bare_except_only():
+    source = (
+        "try:\n    pass\nexcept:\n    pass\n"
+        "try:\n    pass\nexcept ValueError:\n    pass\n"
+    )
+    assert rules_hit(source, "x.py") == ["EXC001"]
+
+
+def test_prt_flags_print_in_library():
+    assert "PRT001" in rules_hit("print('hi')\n", "src/repro/lab/x.py")
+
+
+def test_prt_exempts_cli_and_main():
+    assert rules_hit("print('hi')\n", "src/repro/cli.py") == []
+    assert rules_hit("print('hi')\n", "src/repro/__main__.py") == []

@@ -1,0 +1,54 @@
+"""Sanitized sweep over the full experiment set (slow tier).
+
+Runs every registered experiment through the lab pool with
+``REPRO_SANITIZE=1`` against a throwaway store, then asserts the run
+manifest records the sanitizer coverage and zero invariant violations
+— the ISSUE's end-to-end acceptance gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.harness.experiments import EXPERIMENTS
+from repro.lab.pool import run_experiments
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def clean_sanitizer_state(monkeypatch):
+    sanitizer.reset()
+    monkeypatch.setenv(sanitizer.ENV_VAR, "1")
+    yield
+    sanitizer.reset()
+
+
+def test_full_experiment_set_runs_clean_under_the_sanitizer(tmp_path):
+    ids = list(EXPERIMENTS)
+    results, telemetry = run_experiments(
+        ids, workers=2, store_root=tmp_path / "store"
+    )
+
+    assert len(results) == len(ids)
+    assert not telemetry.failures(), telemetry.summary()
+    assert telemetry.sanitizer_violations == 0, telemetry.summary()
+
+    # Simulation-bearing experiments must actually have been checked;
+    # pure table experiments legitimately report no sanitizer window.
+    sanitized = [r for r in telemetry.records if r.sanitizer is not None]
+    assert sanitized, "no job attached a sanitizer report"
+    for record in sanitized:
+        assert record.sanitizer["ok"] is True
+        assert record.sanitizer["checks_run"] > 0
+        assert record.sanitizer["violations"] == []
+
+    # The persisted manifest carries the same accounting.
+    manifests = sorted((tmp_path / "store" / "runs").glob("*.json"))
+    assert manifests
+    manifest = json.loads(manifests[-1].read_text(encoding="utf-8"))
+    assert manifest["counters"]["sanitized"] == len(sanitized)
+    assert manifest["counters"]["sanitizer_violations"] == 0
