@@ -1,0 +1,101 @@
+"""Overhead guard for the observability hooks.
+
+Two properties protect the simulator's throughput:
+
+* **Disabled is (nearly) free.** With no pillar enabled, the hooks
+  reduce to a handful of ``is not None`` branches per simulated cycle.
+  We time exactly that guard pattern over the run's cycle count and
+  assert it fits inside the 3% budget of the simulation itself — a
+  conservative upper bound that does not depend on comparing two noisy
+  end-to-end timings.
+* **Enabled stays proportionate.** With tracing + metrics on, the extra
+  work is per miss event (sparse), not per cycle; the end-to-end ratio
+  against a disabled run must stay under a generous bound.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.obs import runtime as obs_runtime
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+from repro.util.timing import default_clock
+
+N = 20_000
+ROUNDS = 5
+DISABLED_BUDGET = 0.03
+ENABLED_BOUND = 1.5
+
+#: Hooks evaluated per main-loop iteration when everything is disabled
+#: (tracer/metrics handles plus the profiler's clock guard).
+GUARDS_PER_CYCLE = 5
+
+
+def _median_sim_seconds(trace, config) -> float:
+    times = []
+    for _ in range(ROUNDS):
+        start = default_clock()
+        simulate(trace, config)
+        times.append(default_clock() - start)
+    return statistics.median(times)
+
+
+def test_disabled_hooks_fit_the_three_percent_budget(capsys):
+    obs_runtime.reset()
+    trace = generate_trace(WorkloadProfile(name="overhead"), N, seed=41)
+    config = CoreConfig()
+    cycles = simulate(trace, config).cycles
+    sim_seconds = _median_sim_seconds(trace, config)
+
+    tracer = metrics = prof = clock = None
+    sink = 0
+    start = default_clock()
+    for _ in range(cycles):
+        if tracer is not None:
+            sink += 1
+        if metrics is not None:
+            sink += 1
+        if prof is not None:
+            sink += 1
+        if clock is not None:
+            sink += 1
+        if tracer is not None:
+            sink += 1
+    guard_seconds = default_clock() - start
+    assert sink == 0
+
+    ratio = guard_seconds / sim_seconds
+    with capsys.disabled():
+        print(
+            f"\n[obs overhead] {GUARDS_PER_CYCLE} guards x {cycles} cycles: "
+            f"{guard_seconds * 1e3:.2f} ms vs {sim_seconds * 1e3:.1f} ms "
+            f"simulate = {ratio:.2%} (budget {DISABLED_BUDGET:.0%})"
+        )
+    assert ratio < DISABLED_BUDGET
+
+
+def test_enabled_tracing_cost_stays_proportionate(capsys):
+    trace = generate_trace(WorkloadProfile(name="overhead"), N, seed=41)
+    config = CoreConfig()
+
+    obs_runtime.reset()
+    disabled = _median_sim_seconds(trace, config)
+
+    obs_runtime.enable_tracing()
+    obs_runtime.enable_metrics()
+    try:
+        enabled = _median_sim_seconds(trace, config)
+    finally:
+        obs_runtime.reset()
+
+    ratio = enabled / disabled
+    with capsys.disabled():
+        print(
+            f"\n[obs overhead] tracing+metrics on: {enabled * 1e3:.1f} ms vs "
+            f"{disabled * 1e3:.1f} ms off = {ratio:.2f}x "
+            f"(bound {ENABLED_BOUND}x)"
+        )
+    assert ratio < ENABLED_BOUND

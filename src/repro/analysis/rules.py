@@ -400,10 +400,117 @@ class PrintInLibraryRule(Rule):
                 )
 
 
+@register
+class DirectPhaseTimingRule(Rule):
+    """Harness-side wall timing must go through the obs layer.
+
+    The lab and harness measure phases with ``repro.util.timing`` /
+    ``repro.obs.phases`` so every measurement shares one clock and
+    lands in the profiler's report. Ad-hoc ``time.perf_counter()``
+    pairs drift out of the report and get copy-pasted wrong
+    (``time.time`` and ``time.sleep`` are unaffected — they are
+    timestamps and pacing, not phase timing).
+    """
+
+    id = "OBS001"
+    name = "direct-phase-timing"
+    description = (
+        "no direct time.perf_counter/monotonic/process_time phase "
+        "timing in lab/ or harness/; use util.timing.Stopwatch or "
+        "obs.phases"
+    )
+    scope = ("lab", "harness")
+    exempt = ("util/timing.py", "obs/phases.py")
+
+    _TIMERS = {
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if (node.module or "") != "time":
+                    continue
+                for alias in node.names:
+                    if alias.name in self._TIMERS:
+                        yield self.violation(
+                            ctx, node,
+                            f"direct import of time.{alias.name}; time "
+                            "phases with util.timing.Stopwatch or "
+                            "obs.phases.PhaseProfiler",
+                        )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted and dotted.startswith("time.") and (
+                    dotted.split(".", 1)[1] in self._TIMERS
+                ):
+                    yield self.violation(
+                        ctx, node,
+                        f"direct {dotted}() phase timing; use "
+                        "util.timing.Stopwatch or obs.phases.PhaseProfiler",
+                    )
+
+
+@register
+class MetricNameRule(Rule):
+    """Metric names must follow the ``subsystem.noun_unit`` convention.
+
+    The metrics registry validates names at runtime, but a misnamed
+    metric on a cold path only explodes the first time that path runs
+    with metrics enabled — in the middle of someone's overnight sweep.
+    This catches literal names at lint time instead.
+    """
+
+    id = "OBS002"
+    name = "metric-name"
+    description = (
+        "literal metric names passed to .counter()/.gauge()/"
+        ".histogram() must match subsystem.noun_unit "
+        "(e.g. core.penalty_cycles)"
+    )
+
+    _FACTORIES = {"counter", "gauge", "histogram"}
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        from repro.obs.metrics import METRIC_NAME_RE
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._FACTORIES
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            if METRIC_NAME_RE.match(first.value) is None:
+                yield self.violation(
+                    ctx, first,
+                    f"metric name {first.value!r} does not match "
+                    "subsystem.noun_unit (lowercase, dotted, "
+                    "unit-suffixed: e.g. core.penalty_cycles)",
+                )
+
+
 __all__ = [
     "BareExceptRule",
+    "DirectPhaseTimingRule",
     "FloatEqualityRule",
     "FrozenConfigRule",
+    "MetricNameRule",
     "MutableDefaultRule",
     "PrintInLibraryRule",
     "SIM_SCOPE",

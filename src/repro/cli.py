@@ -6,18 +6,26 @@ Examples::
     python -m repro suite --length 20000   # characterize the suite
     python -m repro simulate --workload twolf --rob 256
     python -m repro simulate --kernel branchy_search --structural
+    python -m repro simulate --workload mcf --trace-out mcf.json
     python -m repro decompose --workload mcf
     python -m repro trace --workload gzip --length 50000 --out gzip.trc
     python -m repro trace-info gzip.trc
     python -m repro list
     python -m repro lab run --workers 4        # parallel, store-cached
     python -m repro lab run f2 f3 --no-cache
+    python -m repro lab run f2 --metrics       # merged metrics manifest
     python -m repro lab status
     python -m repro lab gc --max-age-days 30
     python -m repro lint src/                  # AST rule pack, CI gate
     python -m repro lint src/ --format=json
     python -m repro simulate --workload mcf --sanitize
     python -m repro analyze <run-id>           # sanitizer results of a run
+    python -m repro obs trace --workload gzip --out gzip-trace.json
+    python -m repro obs metrics <run-id>       # merged metrics of a run
+    python -m repro profile --workload mcf     # where does wall time go
+
+Every subcommand accepts ``-q/--quiet`` to suppress progress output;
+the command's actual results still print.
 """
 
 from __future__ import annotations
@@ -42,6 +50,32 @@ from repro.trace.synthetic import generate_trace
 from repro.util.tabulate import format_table
 from repro.workloads.kernels import KERNEL_BUILDERS, build_kernel
 from repro.workloads.spec_profiles import ALL_PROFILES, SPEC_FP_PROFILES, SPEC_PROFILES
+
+
+class Console:
+    """The one output doorway for the CLI (the PRT001-exempt module).
+
+    ``result`` lines are what the command was run for and always print;
+    ``info`` lines are progress/operational chatter that ``-q/--quiet``
+    suppresses.
+    """
+
+    def __init__(self, quiet: bool = False) -> None:
+        self.quiet = quiet
+
+    def result(self, text: str = "") -> None:
+        print(text)
+
+    def info(self, text: str = "", flush: bool = False) -> None:
+        if not self.quiet:
+            print(text, flush=flush)
+
+
+def _console(args: argparse.Namespace) -> Console:
+    console = getattr(args, "console", None)
+    if console is None:
+        console = Console(quiet=bool(getattr(args, "quiet", False)))
+    return console
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -94,21 +128,61 @@ def _trace_from(args: argparse.Namespace) -> Trace:
     return load_trace(args.trace)
 
 
+def _trace_label(args: argparse.Namespace) -> str:
+    for attr in ("workload", "kernel", "trace"):
+        value = getattr(args, attr, None)
+        if value:
+            return f"repro-sim:{value}"
+    return "repro-sim"
+
+
+def _export_trace(args: argparse.Namespace, console: Console) -> None:
+    """Drain the ambient tracer into the files ``args`` asked for."""
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.tracer import RecordingTracer
+
+    tracer = obs_runtime.drain_trace()
+    if tracer is None:
+        tracer = RecordingTracer()  # an empty run still exports validly
+    counts = tracer.counts()
+    summary = "  ".join(
+        f"{kind}={counts.get(kind, 0)}"
+        for kind in ("bpred", "icache", "long_dmiss")
+    )
+    console.info(
+        f"trace spans: {summary}  instants={len(tracer.instants)}"
+    )
+    out = getattr(args, "trace_out", None)
+    if out:
+        written = write_chrome_trace(tracer, out, label=_trace_label(args))
+        console.info(
+            f"wrote {written} Chrome trace events to {out} "
+            "(load in Perfetto or chrome://tracing)"
+        )
+    jsonl = getattr(args, "trace_jsonl", None)
+    if jsonl:
+        lines = write_jsonl(tracer, jsonl)
+        console.info(f"wrote {lines} JSONL records to {jsonl}")
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness.experiments import run_experiment
 
+    console = _console(args)
     try:
         result = run_experiment(args.experiment_id)
     except ValueError as exc:
         raise SystemExit(str(exc))
     if args.markdown:
-        print(result.render_markdown())
+        console.result(result.render_markdown())
     else:
-        print(result.render())
+        console.result(result.render())
     return 0
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
+    console = _console(args)
     config = _config_from(args)
     rows = []
     for name, profile in SPEC_PROFILES.items():
@@ -125,7 +199,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
                 report.penalty_over_refill,
             ]
         )
-    print(
+    console.result(
         format_table(
             ["workload", "IPC", "mispred/ki", "resolution", "penalty",
              "penalty/frontend"],
@@ -139,12 +213,18 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    console = _console(args)
     config = _config_from(args)
     trace = _trace_from(args)
     if args.sanitize:
         from repro.analysis import sanitizer
 
         sanitizer.enable()
+    tracing = bool(args.trace_out or args.trace_jsonl)
+    if tracing:
+        from repro.obs import runtime as obs_runtime
+
+        obs_runtime.enable_tracing()
     annotator = None
     if args.structural:
         annotator = StructuralAnnotator(
@@ -162,30 +242,39 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         result = simulate(trace, config, annotator=annotator)
     report = measure_penalties(result)
     stack = build_cpi_stack(result, config.dispatch_width)
-    print(f"instructions      : {result.instructions}")
-    print(f"cycles            : {result.cycles}")
-    print(f"IPC               : {result.ipc:.3f}")
-    print(f"mispredictions    : {report.count}")
-    print(f"I-cache misses    : {len(result.icache_events)}")
-    print(f"long D-misses     : {len(result.long_dmiss_events)}")
+    console.result(f"instructions      : {result.instructions}")
+    console.result(f"cycles            : {result.cycles}")
+    console.result(f"IPC               : {result.ipc:.3f}")
+    console.result(f"mispredictions    : {report.count}")
+    console.result(f"I-cache misses    : {len(result.icache_events)}")
+    console.result(f"long D-misses     : {len(result.long_dmiss_events)}")
     if report.count:
-        print(f"mean resolution   : {report.mean_resolution:.1f} cycles")
-        print(f"mean penalty      : {report.mean_penalty:.1f} cycles "
-              f"({report.penalty_over_refill:.1f}x frontend)")
-    print("CPI stack         : "
-          + "  ".join(f"{k}={v:.3f}" for k, v in stack.component_cpi().items()))
+        console.result(
+            f"mean resolution   : {report.mean_resolution:.1f} cycles")
+        console.result(
+            f"mean penalty      : {report.mean_penalty:.1f} cycles "
+            f"({report.penalty_over_refill:.1f}x frontend)")
+    console.result(
+        "CPI stack         : "
+        + "  ".join(f"{k}={v:.3f}" for k, v in stack.component_cpi().items()))
+    if tracing:
+        from repro.obs import runtime as obs_runtime
+
+        _export_trace(args, console)
+        obs_runtime.reset()
     if args.sanitize:
         from repro.analysis import sanitizer
 
-        report = sanitizer.drain_report()
-        if report is not None:
-            print(report.render())
-            if not report.ok:
+        san_report = sanitizer.drain_report()
+        if san_report is not None:
+            console.result(san_report.render())
+            if not san_report.ok:
                 return 1
     return 0
 
 
 def cmd_decompose(args: argparse.Namespace) -> int:
+    console = _console(args)
     config = _config_from(args)
     trace = _trace_from(args)
     result = simulate(trace, config)
@@ -193,40 +282,45 @@ def cmd_decompose(args: argparse.Namespace) -> int:
         trace, result, config, max_events=args.max_events
     )
     if not breakdown.count:
-        print("no mispredictions to decompose")
+        console.result("no mispredictions to decompose")
         return 0
-    print(f"mispredictions sliced: {breakdown.count}")
+    console.result(f"mispredictions sliced: {breakdown.count}")
     for name, value in breakdown.rows():
-        print(f"  {name:<45} {value:8.2f}")
+        console.result(f"  {name:<45} {value:8.2f}")
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    console = _console(args)
     if args.workload not in ALL_PROFILES:
         raise SystemExit(f"unknown workload {args.workload!r}")
     trace = generate_trace(
         ALL_PROFILES[args.workload], args.length, seed=args.seed
     )
     save_trace(trace, args.out)
-    print(f"wrote {len(trace)} records to {args.out}")
+    console.info(f"wrote {len(trace)} records to {args.out}")
     return 0
 
 
 def cmd_trace_info(args: argparse.Namespace) -> int:
+    console = _console(args)
     trace = load_trace(args.trace_file)
     stats = trace.statistics()
-    print(f"name                : {trace.name}")
-    print(f"instructions        : {stats.instruction_count}")
-    print("mix                 : "
-          + "  ".join(f"{k}={v:.3f}" for k, v in sorted(stats.mix.items())))
-    print(f"branches            : {stats.branch_count} "
-          f"(taken {stats.taken_fraction:.2f})")
-    print(f"mispredictions/ki   : {stats.mispredictions_per_ki:.2f}")
-    print(f"IL1 misses/ki       : {stats.il1_misses_per_ki:.2f}")
-    print(f"DL1/DL2 miss rates  : {stats.dl1_miss_rate:.3f} / "
-          f"{stats.dl2_miss_rate:.3f}")
-    print(f"mean dep distance   : {stats.mean_dependence_distance:.2f}")
-    print(f"dataflow IPC        : {trace.dataflow_ipc():.2f}")
+    console.result(f"name                : {trace.name}")
+    console.result(f"instructions        : {stats.instruction_count}")
+    console.result(
+        "mix                 : "
+        + "  ".join(f"{k}={v:.3f}" for k, v in sorted(stats.mix.items())))
+    console.result(f"branches            : {stats.branch_count} "
+                   f"(taken {stats.taken_fraction:.2f})")
+    console.result(
+        f"mispredictions/ki   : {stats.mispredictions_per_ki:.2f}")
+    console.result(f"IL1 misses/ki       : {stats.il1_misses_per_ki:.2f}")
+    console.result(f"DL1/DL2 miss rates  : {stats.dl1_miss_rate:.3f} / "
+                   f"{stats.dl2_miss_rate:.3f}")
+    console.result(
+        f"mean dep distance   : {stats.mean_dependence_distance:.2f}")
+    console.result(f"dataflow IPC        : {trace.dataflow_ipc():.2f}")
     return 0
 
 
@@ -234,6 +328,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Run experiments and write a consolidated markdown report."""
     from repro.harness.experiments import EXPERIMENTS, run_experiment
 
+    console = _console(args)
     ids = args.experiments or list(EXPERIMENTS)
     sections = [
         "# Reproduction report",
@@ -243,7 +338,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         "",
     ]
     for experiment_id in ids:
-        print(f"running {experiment_id} ...", flush=True)
+        console.info(f"running {experiment_id} ...", flush=True)
         result = run_experiment(experiment_id)
         sections.append(result.render_markdown())
         sections.append("")
@@ -251,9 +346,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"wrote {args.out}")
+        console.info(f"wrote {args.out}")
     else:
-        print(text)
+        console.result(text)
     return 0
 
 
@@ -262,6 +357,7 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
     from repro.lab import run_experiments
 
+    console = _console(args)
     ids = args.experiments or list(EXPERIMENTS)
     unknown = [i for i in ids if i.lower() not in EXPERIMENTS]
     if unknown:
@@ -280,24 +376,35 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         timeout_s=args.timeout,
         retries=args.retries,
+        collect_metrics=args.metrics or args.trace,
+        trace=args.trace,
     )
     for experiment_id, result in zip(ids, results):
         if result is None:
-            print(f"== {experiment_id.upper()}: FAILED (see manifest) ==")
+            console.result(
+                f"== {experiment_id.upper()}: FAILED (see manifest) ==")
         elif args.markdown:
-            print(result.render_markdown())
+            console.result(result.render_markdown())
         else:
-            print(result.render())
-        print()
-    print(telemetry.summary())
+            console.result(result.render())
+        console.result()
+    console.info(telemetry.summary())
+    if telemetry.with_metrics:
+        console.info(
+            f"metrics: {telemetry.with_metrics} job snapshot(s) merged; "
+            f"view with `repro obs metrics {telemetry.run_id}`"
+        )
     for failure in telemetry.failures():
         last_line = (failure.error or "").strip().splitlines()
-        print(f"  FAILED {failure.label}: {last_line[-1] if last_line else '?'}")
+        console.result(
+            f"  FAILED {failure.label}: "
+            f"{last_line[-1] if last_line else '?'}")
     for record in telemetry.records:
         if record.sanitizer_violations:
             for violation in record.sanitizer["violations"]:
-                print(f"  SANITIZER {record.label}: {violation['check']}: "
-                      f"{violation['message']}")
+                console.result(
+                    f"  SANITIZER {record.label}: {violation['check']}: "
+                    f"{violation['message']}")
     return 1 if telemetry.failed or telemetry.sanitizer_violations else 0
 
 
@@ -307,13 +414,14 @@ def cmd_lab_status(args: argparse.Namespace) -> int:
 
     from repro.lab import ResultStore
 
+    console = _console(args)
     store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
     info = store.describe()
-    print(f"store root : {info['root']}")
-    print(f"objects    : {info['objects']} "
-          f"({info['size_bytes'] / 1e6:.2f} MB)")
-    print(f"manifests  : {info['manifests']}")
-    print(f"code salt  : {info['salt']}")
+    console.result(f"store root : {info['root']}")
+    console.result(f"objects    : {info['objects']} "
+                   f"({info['size_bytes'] / 1e6:.2f} MB)")
+    console.result(f"manifests  : {info['manifests']}")
+    console.result(f"code salt  : {info['salt']}")
     for path in store.manifests()[: args.limit]:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -321,7 +429,7 @@ def cmd_lab_status(args: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError):
             continue
         counters = manifest.get("counters", {})
-        print(
+        console.result(
             f"  run {manifest.get('run_id')}: "
             f"{counters.get('total', 0)} jobs, "
             f"{counters.get('cached', 0)} cached, "
@@ -336,12 +444,13 @@ def cmd_lab_gc(args: argparse.Namespace) -> int:
     """Evict stored results by age/count, or clear the store."""
     from repro.lab import ResultStore
 
+    console = _console(args)
     store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
     max_age_s = args.max_age_days * 86_400.0 if args.max_age_days else None
     removed = store.gc(
         max_entries=args.max_entries, max_age_s=max_age_s, clear=args.all
     )
-    print(f"removed {removed} object(s); {store.count()} remain")
+    console.result(f"removed {removed} object(s); {store.count()} remain")
     return 0
 
 
@@ -349,10 +458,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """Run the AST rule pack over source paths; exit 1 on violations."""
     from repro.analysis import lint_paths, rule_catalogue
 
+    console = _console(args)
     if args.list_rules:
         for row in rule_catalogue():
-            print(f"{row['id']} ({row['name']}; scope: {row['scope']})")
-            print(f"    {row['description']}")
+            console.result(f"{row['id']} ({row['name']}; scope: {row['scope']})")
+            console.result(f"    {row['description']}")
         return 0
     paths = args.paths or ["src"]
     report = lint_paths(paths)
@@ -363,54 +473,63 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
-        print(f"wrote {args.output}")
+        console.info(f"wrote {args.output}")
     else:
-        print(text)
+        console.result(text)
     return 0 if report.ok else 1
+
+
+def _find_manifest(run: str, cache_dir: Optional[str]) -> str:
+    """Resolve a run id (or prefix), 'latest', or a path to a manifest."""
+    from repro.lab import ResultStore
+
+    if run.endswith(".json"):
+        return run
+    store = ResultStore(root=cache_dir) if cache_dir else ResultStore()
+    matches = [
+        p for p in store.manifests()
+        if p.name.startswith(run) or run == "latest"
+    ]
+    if not matches:
+        raise SystemExit(
+            f"no run manifest matching {run!r} under {store.runs_dir}"
+        )
+    return str(matches[0])
+
+
+def _load_manifest(path: str) -> dict:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read manifest {path}: {exc}")
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Show a lab run's sanitizer results from its manifest."""
-    import json
-
-    from repro.lab import ResultStore
-
-    path = None
-    if args.run.endswith(".json"):
-        path = args.run
-    else:
-        store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
-        matches = [
-            p for p in store.manifests()
-            if p.name.startswith(args.run) or args.run == "latest"
-        ]
-        if not matches:
-            raise SystemExit(
-                f"no run manifest matching {args.run!r} under "
-                f"{store.runs_dir}"
-            )
-        path = str(matches[0])
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"cannot read manifest {path}: {exc}")
+    console = _console(args)
+    manifest = _load_manifest(_find_manifest(args.run, args.cache_dir))
     counters = manifest.get("counters", {})
-    print(f"run        : {manifest.get('run_id')}")
-    print(f"jobs       : {counters.get('total', 0)} "
-          f"({counters.get('ok', 0)} ran, {counters.get('cached', 0)} cached, "
-          f"{counters.get('failed', 0)} failed)")
-    print(f"sanitized  : {counters.get('sanitized', 0)} job(s), "
-          f"{counters.get('sanitizer_violations', 0)} violation(s)")
+    console.result(f"run        : {manifest.get('run_id')}")
+    console.result(
+        f"jobs       : {counters.get('total', 0)} "
+        f"({counters.get('ok', 0)} ran, {counters.get('cached', 0)} cached, "
+        f"{counters.get('failed', 0)} failed)")
+    console.result(
+        f"sanitized  : {counters.get('sanitized', 0)} job(s), "
+        f"{counters.get('sanitizer_violations', 0)} violation(s)")
     violations = 0
     for job in manifest.get("jobs", []):
         sanitizer = job.get("sanitizer")
         if sanitizer is None:
             continue
         status = "clean" if sanitizer.get("ok") else "VIOLATIONS"
-        print(f"  {job.get('label')}: {status} "
-              f"({sanitizer.get('checks_run', 0)} checks, "
-              f"{sanitizer.get('runs', 0)} runs)")
+        console.result(
+            f"  {job.get('label')}: {status} "
+            f"({sanitizer.get('checks_run', 0)} checks, "
+            f"{sanitizer.get('runs', 0)} runs)")
         for violation in sanitizer.get("violations", []):
             violations += 1
             where = []
@@ -419,19 +538,104 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             if violation.get("seq") is not None:
                 where.append(f"seq {violation['seq']}")
             suffix = f" [{', '.join(where)}]" if where else ""
-            print(f"    {violation['check']}: {violation['message']}{suffix}")
+            console.result(
+                f"    {violation['check']}: {violation['message']}{suffix}")
     if counters.get("sanitized", 0) == 0:
-        print("(no sanitizer data; run with --sanitize or REPRO_SANITIZE=1)")
+        console.info(
+            "(no sanitizer data; run with --sanitize or REPRO_SANITIZE=1)")
     return 1 if violations else 0
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Simulate with tracing on and export the penalty timeline."""
+    from repro.obs import runtime as obs_runtime
+
+    console = _console(args)
+    config = _config_from(args)
+    trace = _trace_from(args)
+    obs_runtime.enable_tracing()
+    if args.inorder:
+        from repro.pipeline.inorder import simulate_inorder
+
+        result = simulate_inorder(trace, config)
+    else:
+        result = simulate(trace, config)
+    # Segmentation emits the interval-boundary instants.
+    measure_penalties(result)
+    _export_trace(args, console)
+    obs_runtime.reset()
+    console.result(
+        f"{result.instructions} instructions, {result.cycles} cycles, "
+        f"{len(result.mispredict_events)} mispredict span(s)"
+    )
+    return 0
+
+
+def cmd_obs_metrics(args: argparse.Namespace) -> int:
+    """Render a lab run's merged metrics snapshot from its manifest."""
+    from repro.obs.metrics import render_snapshot
+
+    console = _console(args)
+    manifest = _load_manifest(_find_manifest(args.run, args.cache_dir))
+    snapshot = manifest.get("metrics")
+    if not snapshot:
+        console.result(
+            f"run {manifest.get('run_id')}: no metrics recorded "
+            "(run with `lab run --metrics` on a cold cache)"
+        )
+        return 1
+    console.info(f"run {manifest.get('run_id')}: merged metrics from "
+                 f"{manifest.get('counters', {}).get('with_metrics', 0)} "
+                 "job(s)")
+    console.result(render_snapshot(snapshot).rstrip("\n"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulate+analyze pass and report phase wall times."""
+    from repro.obs import runtime as obs_runtime
+
+    console = _console(args)
+    config = _config_from(args)
+    obs_runtime.enable_profiling()
+    prof = obs_runtime.current_profiler()
+    with prof.phase("cli.trace_gen"):
+        trace = _trace_from(args)
+    with prof.phase("cli.simulate"):
+        if args.inorder:
+            from repro.pipeline.inorder import simulate_inorder
+
+            result = simulate_inorder(trace, config)
+        else:
+            result = simulate(trace, config)
+    with prof.phase("cli.analyze"):
+        measure_penalties(result)
+        build_cpi_stack(result, config.dispatch_width)
+    if args.fast:
+        from repro.interval.fast_sim import FastIntervalSimulator
+
+        FastIntervalSimulator(config).estimate(trace)
+    report = obs_runtime.drain_profile()
+    obs_runtime.reset()
+    if report is None:
+        console.result("(no phases recorded)")
+        return 0
+    console.info(
+        "note: cli.simulate wraps the core.* phases, so the core rows "
+        "are a breakdown of it, not additional time"
+    )
+    console.result(report.render().rstrip("\n"))
+    return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
 
-    print("workloads :", "  ".join(SPEC_PROFILES))
-    print("fp workloads:", "  ".join(SPEC_FP_PROFILES))
-    print("kernels   :", "  ".join(KERNEL_BUILDERS))
-    print("experiments:", "  ".join(EXPERIMENTS))
+    console = _console(args)
+    console.result("workloads :" + "  ".join(["", *SPEC_PROFILES]))
+    console.result("fp workloads:" + "  ".join(["", *SPEC_FP_PROFILES]))
+    console.result("kernels   :" + "  ".join(["", *KERNEL_BUILDERS]))
+    console.result("experiments:" + "  ".join(["", *EXPERIMENTS]))
     return 0
 
 
@@ -441,20 +645,27 @@ def build_parser() -> argparse.ArgumentParser:
         description="Characterizing the branch misprediction penalty "
         "(ISPASS 2006) — reproduction toolkit",
     )
+    # Shared by every subcommand so `repro <cmd> -q` works uniformly.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress output (results still print)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("experiment", help="run one table/figure experiment")
+    p = sub.add_parser("experiment", parents=[common],
+                       help="run one table/figure experiment")
     p.add_argument("experiment_id", help="t1-t3, f1-f16")
     p.add_argument("--markdown", action="store_true")
     p.set_defaults(func=cmd_experiment)
 
-    p = sub.add_parser("suite", help="characterize the SPEC-like suite")
+    p = sub.add_parser("suite", parents=[common],
+                       help="characterize the SPEC-like suite")
     p.add_argument("--length", type=int, default=40_000)
     p.add_argument("--seed", type=int, default=2006)
     _add_config_flags(p)
     p.set_defaults(func=cmd_suite)
 
-    p = sub.add_parser("simulate", help="simulate one trace")
+    p = sub.add_parser("simulate", parents=[common],
+                       help="simulate one trace")
     p.add_argument("--workload", help="SPEC-like workload name")
     p.add_argument("--kernel", help="microbenchmark kernel name")
     p.add_argument("--trace", help="trace file path")
@@ -466,10 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the scoreboarded in-order core")
     p.add_argument("--sanitize", action="store_true",
                    help="run cycle-level invariant checks and report them")
+    p.add_argument("--trace-out",
+                   help="record per-miss spans; write Chrome trace JSON "
+                   "here (Perfetto-loadable)")
+    p.add_argument("--trace-jsonl",
+                   help="record per-miss spans; write JSONL here")
     _add_config_flags(p)
     p.set_defaults(func=cmd_simulate)
 
-    p = sub.add_parser("decompose",
+    p = sub.add_parser("decompose", parents=[common],
                        help="five-contributor penalty decomposition")
     p.add_argument("--workload")
     p.add_argument("--kernel")
@@ -480,18 +696,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_flags(p)
     p.set_defaults(func=cmd_decompose)
 
-    p = sub.add_parser("trace", help="generate and save a synthetic trace")
+    p = sub.add_parser("trace", parents=[common],
+                       help="generate and save a synthetic trace")
     p.add_argument("--workload", required=True)
     p.add_argument("--length", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=2006)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_trace)
 
-    p = sub.add_parser("trace-info", help="describe a saved trace")
+    p = sub.add_parser("trace-info", parents=[common],
+                       help="describe a saved trace")
     p.add_argument("trace_file")
     p.set_defaults(func=cmd_trace_info)
 
-    p = sub.add_parser("report",
+    p = sub.add_parser("report", parents=[common],
                        help="run experiments, write a markdown report")
     p.add_argument("experiments", nargs="*",
                    help="experiment ids (default: all)")
@@ -499,7 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
-        "lint",
+        "lint", parents=[common],
         help="run the simulator-discipline AST rule pack (CI gates on "
         "a clean src/)",
     )
@@ -512,7 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
-        "analyze",
+        "analyze", parents=[common],
         help="show a lab run's sanitizer results from its manifest",
     )
     p.add_argument("run",
@@ -522,8 +740,61 @@ def build_parser() -> argparse.ArgumentParser:
                    "$REPRO_CACHE_DIR)")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("list", help="list workloads, kernels, experiments")
+    p = sub.add_parser("list", parents=[common],
+                       help="list workloads, kernels, experiments")
     p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="phase-timer report: where the wall time of one "
+        "simulate+analyze pass goes",
+    )
+    p.add_argument("--workload", help="SPEC-like workload name")
+    p.add_argument("--kernel", help="microbenchmark kernel name")
+    p.add_argument("--trace", help="trace file path")
+    p.add_argument("--length", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--inorder", action="store_true",
+                   help="profile the in-order core instead")
+    p.add_argument("--fast", action="store_true",
+                   help="also run (and time) the fast interval simulator")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability: penalty timelines and metrics snapshots",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "trace", parents=[common],
+        help="simulate with tracing on; export a Perfetto timeline",
+    )
+    q.add_argument("--workload", help="SPEC-like workload name")
+    q.add_argument("--kernel", help="microbenchmark kernel name")
+    q.add_argument("--trace", help="trace file path")
+    q.add_argument("--length", type=int, default=40_000)
+    q.add_argument("--seed", type=int, default=2006)
+    q.add_argument("--inorder", action="store_true",
+                   help="trace the scoreboarded in-order core")
+    q.add_argument("--out", dest="trace_out", default="trace.json",
+                   help="Chrome trace JSON path (default trace.json)")
+    q.add_argument("--jsonl", dest="trace_jsonl",
+                   help="also write the compact JSONL export here")
+    _add_config_flags(q)
+    q.set_defaults(func=cmd_obs_trace)
+
+    q = obs_sub.add_parser(
+        "metrics", parents=[common],
+        help="render a lab run's merged metrics snapshot",
+    )
+    q.add_argument("run",
+                   help="run id (or prefix), 'latest', or a manifest path")
+    q.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    q.set_defaults(func=cmd_obs_metrics)
 
     p = sub.add_parser(
         "lab",
@@ -533,7 +804,8 @@ def build_parser() -> argparse.ArgumentParser:
     lab_sub = p.add_subparsers(dest="lab_command", required=True)
 
     q = lab_sub.add_parser(
-        "run", help="run experiments through the worker pool"
+        "run", parents=[common],
+        help="run experiments through the worker pool"
     )
     q.add_argument("experiments", nargs="*",
                    help="experiment ids (default: all)")
@@ -551,16 +823,24 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--sanitize", action="store_true",
                    help="run invariant checks in every job (recorded in "
                    "the run manifest; exit 1 on violations)")
+    q.add_argument("--metrics", action="store_true",
+                   help="collect the metrics registry in every job and "
+                   "merge the snapshots into the run manifest")
+    q.add_argument("--trace", action="store_true",
+                   help="record per-job JSONL traces under the run's "
+                   "trace directory (implies --metrics)")
     q.add_argument("--markdown", action="store_true")
     q.set_defaults(func=cmd_lab_run)
 
-    q = lab_sub.add_parser("status", help="describe the result store")
+    q = lab_sub.add_parser("status", parents=[common],
+                           help="describe the result store")
     q.add_argument("--cache-dir")
     q.add_argument("--limit", type=int, default=5,
                    help="recent run manifests to show (default 5)")
     q.set_defaults(func=cmd_lab_status)
 
-    q = lab_sub.add_parser("gc", help="evict stored results")
+    q = lab_sub.add_parser("gc", parents=[common],
+                           help="evict stored results")
     q.add_argument("--cache-dir")
     q.add_argument("--max-entries", type=int, default=None,
                    help="keep only the newest N objects")
@@ -576,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.console = Console(quiet=bool(getattr(args, "quiet", False)))
     try:
         return args.func(args)
     except BrokenPipeError:

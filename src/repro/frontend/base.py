@@ -6,6 +6,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import runtime as _obs
+
 
 @dataclass
 class PredictorStats:
@@ -91,6 +93,11 @@ class BranchUnit:
             target_correct = self.btb.predict_and_update(pc, target)
         mispredicted = not (direction_correct and target_correct)
         self.stats.record(not mispredicted)
+        metrics = _obs.current_metrics()
+        if metrics is not None:
+            metrics.counter("frontend.predictions_total").inc()
+            if mispredicted:
+                metrics.counter("frontend.mispredicts_total").inc()
         return mispredicted
 
     def resolve_jump(self, pc: int, target: Optional[int]) -> bool:
@@ -99,4 +106,9 @@ class BranchUnit:
             return False
         correct = self.btb.predict_and_update(pc, target)
         self.stats.record(correct)
+        metrics = _obs.current_metrics()
+        if metrics is not None:
+            metrics.counter("frontend.predictions_total").inc()
+            if not correct:
+                metrics.counter("frontend.mispredicts_total").inc()
         return not correct

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis import sanitizer as _sanitizer
 from repro.interval.ilp import backward_slice_latency
+from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.result import SimulationResult
 from repro.trace.stream import Trace
@@ -199,6 +200,14 @@ class FastIntervalSimulator:
             resolutions=resolutions,
             wall_seconds=watch.elapsed,
         )
+        prof = _obs.current_profiler()
+        if prof is not None:
+            prof.add("fast_sim.estimate", estimate.wall_seconds)
+        metrics = _obs.current_metrics()
+        if metrics is not None:
+            metrics.counter("fast_sim.estimates_total").inc()
+            metrics.counter("fast_sim.mispredicts_total").inc(mispredict_count)
+            metrics.counter("fast_sim.instructions_total").inc(n)
         san = _sanitizer.current()
         if san is not None:
             san.check_fast_estimate(estimate, config.frontend_depth)

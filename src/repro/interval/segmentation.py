@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs import runtime as _obs
 from repro.pipeline.events import MissEvent, MissEventKind
 from repro.pipeline.result import SimulationResult
 from repro.util.stats import Histogram
@@ -132,4 +133,43 @@ def segment_intervals(result: SimulationResult) -> IntervalBreakdown:
         intervals.append(
             Interval(start_seq=start, end_seq=result.instructions - 1, event=None)
         )
+    _observe_intervals(result, intervals)
     return IntervalBreakdown(intervals=intervals, instructions=result.instructions)
+
+
+def _observe_intervals(result: SimulationResult, intervals: List[Interval]) -> None:
+    """Emit interval-boundary instants and length metrics, once per result.
+
+    Segmentation is re-run by several analyses over the same result
+    (penalty measurement, the CPI stack), so the emission is keyed on the
+    result object to keep traces and metrics free of duplicates.
+    """
+    tracer = _obs.current_tracer()
+    metrics = _obs.current_metrics()
+    if tracer is None and metrics is None:
+        return
+    if getattr(result, "_obs_segmented", False):
+        return
+    result._obs_segmented = True
+    m_length = (
+        metrics.histogram("interval.length_instructions")
+        if metrics is not None
+        else None
+    )
+    m_events = (
+        metrics.counter("interval.events_total") if metrics is not None else None
+    )
+    for interval in intervals:
+        if interval.event is None:
+            continue
+        if m_length is not None:
+            m_length.add(interval.length)
+            m_events.inc()
+        if tracer is not None:
+            tracer.instant(
+                "interval_boundary",
+                cycle=interval.event.cycle,
+                seq=interval.end_seq,
+                length_instructions=interval.length,
+                kind=interval.event.kind.value,
+            )

@@ -19,15 +19,19 @@ reference into worker processes.
 
 from __future__ import annotations
 
+import re
 import time
 import traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import sanitizer as _sanitizer
 from repro.lab import codec
 from repro.lab.store import ResultStore, job_key
+from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
+from repro.util.timing import Stopwatch
 
 #: Job lifecycle states recorded in results and manifests.
 class JobStatus:
@@ -205,6 +209,12 @@ class JobResult:
     #: Sanitizer report payload (``REPRO_SANITIZE=1`` runs only; None
     #: when sanitizing was off or the result came from the store).
     sanitizer: Optional[Dict[str, Any]] = None
+    #: Metrics snapshot drained after the job ran (``REPRO_METRICS=1``
+    #: runs only; None when metrics were off or the result was cached).
+    metrics: Optional[Dict[str, Any]] = None
+    #: Path of the per-job JSONL trace, when tracing was on and
+    #: ``REPRO_TRACE_DIR`` named a directory to write it into.
+    trace_file: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -233,6 +243,27 @@ def _attempt_with_retries(spec: JobSpec) -> Tuple[Any, int]:
             delay *= 2
 
 
+def _write_job_trace(spec: JobSpec, key: str) -> Optional[str]:
+    """Drain the ambient tracer into a per-job JSONL file, if configured.
+
+    Workers inherit ``REPRO_TRACE`` / ``REPRO_TRACE_DIR`` from the
+    parent; each job's spans land in their own file so traces from jobs
+    sharing a worker process never interleave.
+    """
+    tracer = _obs.drain_trace()
+    directory = _obs.trace_dir()
+    if tracer is None or directory is None:
+        return None
+    from repro.obs.export import write_jsonl
+
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9._=-]+", "_", spec.label) or "job"
+    path = target_dir / f"{safe}-{key[:8]}.jsonl"
+    write_jsonl(tracer, path)
+    return str(path)
+
+
 def execute_job(
     spec: JobSpec,
     store_root: Optional[str] = None,
@@ -245,7 +276,7 @@ def execute_job(
     Runs identically in the parent (serial mode) and in pool workers.
     """
     key = spec.key()
-    started = time.perf_counter()
+    watch = Stopwatch()
     store = None
     if use_cache and store_root is not None:
         store = ResultStore(root=store_root)
@@ -257,26 +288,34 @@ def execute_job(
                 status=JobStatus.CACHED,
                 payload=payload,
                 attempts=0,
-                wall_s=time.perf_counter() - started,
+                wall_s=watch.elapsed,
                 cache_hit=True,
             )
-    # Start this job's sanitizer window clean so violations from a
-    # previous job in the same worker never bleed into this report.
+    # Start this job's sanitizer/obs windows clean so data from a
+    # previous job in the same worker never bleeds into this one.
     _sanitizer.drain_report()
+    _obs.drain_metrics()
+    _obs.drain_trace()
     try:
         value, attempts = _attempt_with_retries(spec)
     except Exception:
         report = _sanitizer.drain_report()
+        snapshot = _obs.drain_metrics()
+        trace_file = _write_job_trace(spec, key)
         return JobResult(
             key=key,
             label=spec.label,
             status=JobStatus.FAILED,
             error=traceback.format_exc(),
             attempts=spec.retries + 1,
-            wall_s=time.perf_counter() - started,
+            wall_s=watch.elapsed,
             sanitizer=report.as_payload() if report else None,
+            metrics=snapshot,
+            trace_file=trace_file,
         )
     report = _sanitizer.drain_report()
+    snapshot = _obs.drain_metrics()
+    trace_file = _write_job_trace(spec, key)
     payload = codec.payload_from_value(value)
     if store is not None:
         store.put(key, payload, meta={"label": spec.label})
@@ -286,8 +325,10 @@ def execute_job(
         status=JobStatus.OK,
         payload=payload,
         attempts=attempts,
-        wall_s=time.perf_counter() - started,
+        wall_s=watch.elapsed,
         sanitizer=report.as_payload() if report else None,
+        metrics=snapshot,
+        trace_file=trace_file,
     )
 
 

@@ -33,6 +33,7 @@ from repro.lab.jobs import (
 )
 from repro.lab.store import ResultStore, caching_disabled, default_store_root
 from repro.lab.telemetry import RunTelemetry
+from repro.obs import runtime as _obs
 
 #: Chunks per worker when batching timeout-free jobs; small enough to
 #: load-balance, large enough to amortize process round-trips.
@@ -73,6 +74,40 @@ def _timeout_failure(spec: JobSpec, key: str) -> JobResult:
     )
 
 
+def _obs_setup(
+    collect_metrics: bool,
+    trace: bool,
+    telemetry: RunTelemetry,
+    store: Optional[ResultStore],
+):
+    """Enable obs pillars for one run; returns a restore callback.
+
+    The pillars are exported through the environment so pool workers
+    inherit them; per-job JSONL traces land under
+    ``<store root>/runs/<run_id>-traces/``. The restore callback puts
+    the ambient state back so library callers and tests see no leakage.
+    """
+    if not (collect_metrics or trace):
+        return lambda: None
+    watched = (_obs.ENV_METRICS, _obs.ENV_TRACE, _obs.ENV_PROFILE, _obs.ENV_TRACE_DIR)
+    previous = {key: os.environ.get(key) for key in watched}
+    _obs.enable_metrics()
+    if trace:
+        _obs.enable_tracing()
+        if store is not None:
+            os.environ[_obs.ENV_TRACE_DIR] = str(
+                store.runs_dir / f"{telemetry.run_id}-traces"
+            )
+
+    def restore() -> None:
+        _obs.reset()
+        for key, value in previous.items():
+            if value is not None:
+                os.environ[key] = value
+
+    return restore
+
+
 def run_jobs(
     jobs: Sequence[JobSpec],
     workers: Optional[int] = None,
@@ -80,6 +115,8 @@ def run_jobs(
     use_cache: bool = True,
     telemetry: Optional[RunTelemetry] = None,
     write_manifest: bool = True,
+    collect_metrics: bool = False,
+    trace: bool = False,
 ) -> Tuple[List[JobResult], RunTelemetry]:
     """Run every job; returns results in job order plus the telemetry.
 
@@ -88,6 +125,13 @@ def run_jobs(
     disable with ``use_cache=False`` or ``REPRO_NO_CACHE=1``) results
     are served from and written to the content-addressed store, and a
     run manifest is written under ``<store root>/runs/``.
+
+    ``collect_metrics=True`` turns the metrics registry on in every
+    worker; each freshly-run job's snapshot is recorded on its manifest
+    row and the merged snapshot on the manifest itself (cache hits carry
+    no metrics — rerun with caching off for a complete snapshot).
+    ``trace=True`` additionally records per-job JSONL traces under the
+    run's trace directory.
     """
     jobs = list(jobs)
     workers = resolve_workers(workers)
@@ -101,6 +145,8 @@ def run_jobs(
     if telemetry is None:
         telemetry = RunTelemetry()
     telemetry.workers = workers
+
+    restore_obs = _obs_setup(collect_metrics, trace, telemetry, store)
 
     results: Dict[int, JobResult] = {}
 
@@ -120,19 +166,22 @@ def run_jobs(
                 continue
         pending.append((index, spec))
 
-    if pending:
-        if workers <= 1:
-            for index, spec in pending:
-                results[index] = execute_job(spec, root_arg, use_cache)
-        else:
-            try:
-                _run_parallel(pending, workers, root_arg, use_cache, results)
-            except (OSError, ValueError, RuntimeError, NotImplementedError):
-                # Process pools can be unavailable (no /dev/shm, seccomp,
-                # missing semaphores); the jobs still run, just serially.
+    try:
+        if pending:
+            if workers <= 1:
                 for index, spec in pending:
-                    if index not in results:
-                        results[index] = execute_job(spec, root_arg, use_cache)
+                    results[index] = execute_job(spec, root_arg, use_cache)
+            else:
+                try:
+                    _run_parallel(pending, workers, root_arg, use_cache, results)
+                except (OSError, ValueError, RuntimeError, NotImplementedError):
+                    # Process pools can be unavailable (no /dev/shm, seccomp,
+                    # missing semaphores); the jobs still run, just serially.
+                    for index, spec in pending:
+                        if index not in results:
+                            results[index] = execute_job(spec, root_arg, use_cache)
+    finally:
+        restore_obs()
 
     ordered = [results[i] for i in range(len(jobs))]
     for result in ordered:
@@ -191,6 +240,8 @@ def run_experiments(
     use_cache: bool = True,
     timeout_s: Optional[float] = None,
     retries: int = 0,
+    collect_metrics: bool = False,
+    trace: bool = False,
 ) -> Tuple[List[Optional[Any]], RunTelemetry]:
     """Run registered experiments through the lab.
 
@@ -210,6 +261,8 @@ def run_experiments(
         workers=workers,
         store_root=store_root,
         use_cache=use_cache,
+        collect_metrics=collect_metrics,
+        trace=trace,
     )
     decoded: List[Optional[Any]] = []
     for spec, result in zip(jobs, job_results):

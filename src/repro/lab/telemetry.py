@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -18,6 +19,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.lab.jobs import JobResult, JobStatus
 from repro.lab.store import CODE_SALT, ResultStore
+from repro.obs.metrics import merge_snapshots
 
 
 @dataclass
@@ -32,6 +34,8 @@ class JobRecord:
     cache_hit: bool
     error: Optional[str] = None
     sanitizer: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
+    trace_file: Optional[str] = None
 
     @classmethod
     def from_result(cls, result: JobResult) -> "JobRecord":
@@ -44,6 +48,8 @@ class JobRecord:
             cache_hit=result.cache_hit,
             error=result.error,
             sanitizer=result.sanitizer,
+            metrics=result.metrics,
+            trace_file=result.trace_file,
         )
 
     @property
@@ -107,6 +113,24 @@ class RunTelemetry:
         return sum(r.sanitizer_violations for r in self.records)
 
     @property
+    def with_metrics(self) -> int:
+        """Jobs that ran with the metrics registry active."""
+        return sum(1 for r in self.records if r.metrics is not None)
+
+    def merged_metrics(self) -> Optional[Dict[str, Any]]:
+        """All workers' metric snapshots folded into one, or None.
+
+        Counters sum, gauges take the max, fixed-edge histograms sum
+        elementwise — so the merged snapshot is what a single-process
+        run of the same jobs would have recorded, independent of worker
+        count and scheduling order.
+        """
+        snapshots = [r.metrics for r in self.records if r.metrics is not None]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
+    @property
     def elapsed_s(self) -> float:
         end = self.finished_at if self.finished_at is not None else time.time()
         return end - self.started_at
@@ -150,7 +174,9 @@ class RunTelemetry:
                 "job_wall_s": self.job_wall_s,
                 "sanitized": self.sanitized,
                 "sanitizer_violations": self.sanitizer_violations,
+                "with_metrics": self.with_metrics,
             },
+            "metrics": self.merged_metrics(),
             "jobs": [
                 {
                     "key": r.key,
@@ -161,19 +187,38 @@ class RunTelemetry:
                     "cache_hit": r.cache_hit,
                     "error": r.error,
                     "sanitizer": r.sanitizer,
+                    "metrics": r.metrics,
+                    "trace_file": r.trace_file,
                 }
                 for r in self.records
             ],
         }
 
     def write_manifest(self, store: ResultStore) -> Path:
-        """Write the manifest under ``<store root>/runs/``; returns its path."""
+        """Atomically write the manifest under ``<store root>/runs/``.
+
+        The document is serialized to a temp file in the same directory,
+        flushed and fsynced, then ``os.replace``d over the target — a
+        killed run can leave a stray ``.tmp`` behind but never a
+        truncated ``<run_id>.json``.
+        """
         store.runs_dir.mkdir(parents=True, exist_ok=True)
         path = store.runs_dir / f"{self.run_id}.json"
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(self.as_manifest(), handle, indent=1)
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(store.runs_dir), prefix=f".{self.run_id}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.as_manifest(), handle, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.memory.cache import Cache
 from repro.memory.main_memory import MainMemory
+from repro.obs import runtime as _obs
 from repro.util.validation import check_positive
 
 
@@ -93,6 +94,19 @@ class CacheHierarchy:
         )
         self.memory = MainMemory(config.memory_latency)
 
+    @staticmethod
+    def _observe(outcome: DataAccessOutcome) -> DataAccessOutcome:
+        metrics = _obs.current_metrics()
+        if metrics is not None:
+            metrics.counter("memory.accesses_total").inc()
+            if outcome.miss_class is MissClass.L1_HIT:
+                metrics.counter("memory.l1_hits_total").inc()
+            elif outcome.miss_class is MissClass.SHORT:
+                metrics.counter("memory.short_misses_total").inc()
+            else:
+                metrics.counter("memory.long_misses_total").inc()
+        return outcome
+
     def access_instruction(self, pc: int) -> DataAccessOutcome:
         """Fetch-side access: L1I, then L2, then memory.
 
@@ -102,11 +116,11 @@ class CacheHierarchy:
         """
         config = self.config
         if self.l1i.access(pc).hit:
-            return DataAccessOutcome(MissClass.L1_HIT, config.l1_latency)
+            return self._observe(DataAccessOutcome(MissClass.L1_HIT, config.l1_latency))
         if self.l2.access(pc).hit:
-            return DataAccessOutcome(MissClass.SHORT, config.l2_latency)
+            return self._observe(DataAccessOutcome(MissClass.SHORT, config.l2_latency))
         self.memory.read(pc)
-        return DataAccessOutcome(MissClass.LONG, config.memory_latency)
+        return self._observe(DataAccessOutcome(MissClass.LONG, config.memory_latency))
 
     def access_data(
         self, address: int, is_write: bool = False, pc: int = 0
@@ -127,14 +141,14 @@ class CacheHierarchy:
             if victim_writeback.writeback:
                 self.memory.write(victim_writeback.evicted_address)
         if l1_result.hit:
-            return DataAccessOutcome(MissClass.L1_HIT, config.l1_latency)
+            return self._observe(DataAccessOutcome(MissClass.L1_HIT, config.l1_latency))
         l2_result = self.l2.access(address, is_write=is_write)
         if l2_result.writeback:
             self.memory.write(address)
         if l2_result.hit:
-            return DataAccessOutcome(MissClass.SHORT, config.l2_latency)
+            return self._observe(DataAccessOutcome(MissClass.SHORT, config.l2_latency))
         self.memory.read(address)
-        return DataAccessOutcome(MissClass.LONG, config.memory_latency)
+        return self._observe(DataAccessOutcome(MissClass.LONG, config.memory_latency))
 
     def miss_rates(self) -> dict:
         """Convenience summary of per-level miss rates."""

@@ -1,0 +1,68 @@
+"""repro.obs — zero-cost-when-disabled observability.
+
+Three pillars, all off by default:
+
+* :mod:`repro.obs.tracer` — per-miss-event spans and interval-boundary
+  instants, exportable to Perfetto (Chrome trace JSON) and JSONL.
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms whose
+  snapshots merge across lab pool workers into run manifests.
+* :mod:`repro.obs.phases` — wall-time phase timers for the simulator
+  hot loops, surfaced by ``repro profile``.
+
+Activation is ambient (:mod:`repro.obs.runtime`): CLI flags or the
+``REPRO_TRACE`` / ``REPRO_METRICS`` / ``REPRO_PROFILE`` environment
+variables, which lab worker processes inherit. See
+``docs/observability.md`` for the trace schema and naming conventions.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    METRIC_NAME_PATTERN,
+    METRIC_NAME_RE,
+    Counter,
+    FixedHistogram,
+    Gauge,
+    MetricNameError,
+    MetricsRegistry,
+    merge_snapshots,
+    render_snapshot,
+    validate_metric_name,
+)
+from repro.obs.phases import PhaseProfiler, PhaseReport, PhaseRow
+from repro.obs.tracer import (
+    KIND_BPRED,
+    KIND_ICACHE,
+    KIND_LONG_DMISS,
+    SPAN_KINDS,
+    InstantEvent,
+    MissSpan,
+    RecordingTracer,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "METRIC_NAME_PATTERN",
+    "METRIC_NAME_RE",
+    "Counter",
+    "FixedHistogram",
+    "Gauge",
+    "MetricNameError",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "render_snapshot",
+    "validate_metric_name",
+    "PhaseProfiler",
+    "PhaseReport",
+    "PhaseRow",
+    "KIND_BPRED",
+    "KIND_ICACHE",
+    "KIND_LONG_DMISS",
+    "SPAN_KINDS",
+    "InstantEvent",
+    "MissSpan",
+    "RecordingTracer",
+    "Tracer",
+]

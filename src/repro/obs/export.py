@@ -1,0 +1,219 @@
+"""Trace export: Chrome trace-event JSON (Perfetto) and compact JSONL.
+
+The Chrome trace-event format is the ``{"traceEvents": [...]}`` JSON
+documented by the Trace Event Format spec and loadable in Perfetto or
+``chrome://tracing``. Simulated cycles map 1:1 onto the format's
+microsecond timestamps, so one trace "µs" is one core cycle.
+
+Layout (one process, one thread per event family):
+
+* tid 1 ``branch mispredicts`` — one complete (``"X"``) span per
+  mispredict whose duration is the full penalty, with nested
+  ``resolve`` and ``refill`` child slices.
+* tid 2 ``icache misses`` — complete spans, duration = miss latency.
+* tid 3 ``long dcache misses`` — async ``"b"``/``"e"`` pairs keyed by
+  instruction seq, since long misses overlap under the ROB.
+* tid 4 ``intervals`` — instant (``"i"``) markers at interval
+  boundaries.
+
+The JSONL export is one JSON object per line (spans then instants, in
+emission order) for programmatic analysis without a trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from repro.obs.tracer import (
+    KIND_BPRED,
+    KIND_ICACHE,
+    KIND_LONG_DMISS,
+    RecordingTracer,
+)
+
+PID = 0
+TID_BPRED = 1
+TID_ICACHE = 2
+TID_LONG_DMISS = 3
+TID_INTERVALS = 4
+
+_THREAD_NAMES = {
+    TID_BPRED: "branch mispredicts",
+    TID_ICACHE: "icache misses",
+    TID_LONG_DMISS: "long dcache misses",
+    TID_INTERVALS: "intervals",
+}
+
+
+def _metadata_events(label: str) -> List[dict]:
+    events = [
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": label},
+        }
+    ]
+    for tid, name in sorted(_THREAD_NAMES.items()):
+        events.append(
+            {
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+def chrome_trace_events(tracer: RecordingTracer, label: str = "repro-sim") -> List[dict]:
+    """Flatten a recording into trace-event dicts (metadata first)."""
+    events = _metadata_events(label)
+    for span in tracer.spans:
+        if span.kind == KIND_BPRED:
+            args = {
+                "seq": span.seq,
+                "resolution_cycles": span.resolution,
+                "refill_cycles": span.refill_cycles,
+                "penalty_cycles": span.duration,
+                "wrong_path_instructions": span.wrong_path_instructions,
+                "window_occupancy": span.window_occupancy,
+            }
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": TID_BPRED,
+                    "name": "mispredict",
+                    "cat": "bpred",
+                    "ts": span.dispatch_cycle,
+                    "dur": span.duration,
+                    "args": args,
+                }
+            )
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": TID_BPRED,
+                    "name": "resolve",
+                    "cat": "bpred",
+                    "ts": span.dispatch_cycle,
+                    "dur": span.resolution,
+                    "args": {"seq": span.seq},
+                }
+            )
+            if span.refill_cycles > 0:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": PID,
+                        "tid": TID_BPRED,
+                        "name": "refill",
+                        "cat": "bpred",
+                        "ts": span.resolve_cycle,
+                        "dur": span.refill_cycles,
+                        "args": {"seq": span.seq},
+                    }
+                )
+        elif span.kind == KIND_ICACHE:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": TID_ICACHE,
+                    "name": "icache_miss",
+                    "cat": "icache",
+                    "ts": span.dispatch_cycle,
+                    "dur": span.duration,
+                    "args": {"seq": span.seq},
+                }
+            )
+        elif span.kind == KIND_LONG_DMISS:
+            common = {
+                "pid": PID,
+                "tid": TID_LONG_DMISS,
+                "name": "long_dmiss",
+                "cat": "dmiss",
+                "id": span.seq,
+            }
+            events.append(
+                {
+                    "ph": "b",
+                    "ts": span.dispatch_cycle,
+                    "args": {"seq": span.seq, "latency": span.duration},
+                    **common,
+                }
+            )
+            events.append({"ph": "e", "ts": span.end_cycle, "args": {}, **common})
+    for instant in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": PID,
+                "tid": TID_INTERVALS,
+                "name": instant.name,
+                "cat": "interval",
+                "ts": instant.cycle,
+                "s": "t",
+                "args": dict(instant.args),
+            }
+        )
+    return events
+
+
+def chrome_trace(tracer: RecordingTracer, label: str = "repro-sim") -> dict:
+    return {
+        "traceEvents": chrome_trace_events(tracer, label=label),
+        "displayTimeUnit": "ns",
+        "otherData": {"time_unit": "simulated core cycles (1 cycle = 1 us)"},
+    }
+
+
+def write_chrome_trace(
+    tracer: RecordingTracer,
+    path: Union[str, Path],
+    label: str = "repro-sim",
+) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    document = chrome_trace(tracer, label=label)
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+def jsonl_records(tracer: RecordingTracer) -> Iterator[dict]:
+    """One flat JSON-safe dict per span/instant, in emission order."""
+    for span in tracer.spans:
+        yield {
+            "type": "span",
+            "kind": span.kind,
+            "seq": span.seq,
+            "dispatch_cycle": span.dispatch_cycle,
+            "resolve_cycle": span.resolve_cycle,
+            "refill_cycles": span.refill_cycles,
+            "duration_cycles": span.duration,
+            "wrong_path_instructions": span.wrong_path_instructions,
+            "window_occupancy": span.window_occupancy,
+        }
+    for instant in tracer.instants:
+        record = {"type": "instant", "name": instant.name, "cycle": instant.cycle}
+        record.update(instant.args)
+        yield record
+
+
+def write_jsonl(tracer: RecordingTracer, path: Union[str, Path]) -> int:
+    """Write the JSONL export; returns the number of lines written."""
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for record in jsonl_records(tracer):
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,281 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+The registry is the second pillar of ``repro.obs``: simulator layers
+register metrics by name and bump them while they run, the lab drains a
+snapshot per job, and ``merge_snapshots`` folds the per-worker snapshots
+into the one recorded in the ``RunTelemetry`` manifest.
+
+Naming convention (enforced at registration time and by lint rule
+OBS002): ``subsystem.noun_unit`` — a lowercase subsystem segment, a dot,
+then a noun with a unit suffix, e.g. ``core.cycles_total``,
+``interval.length_instructions``, ``frontend.mispredicts_total``.
+
+Snapshots contain only simulated quantities (instruction counts, cycle
+histograms, occupancies) — never wall-clock time — so two runs with the
+same seed produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: ``subsystem.noun_unit`` — subsystem segment, then a name whose final
+#: part carries at least one underscore-separated unit suffix.
+METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9]*(?:_[a-z0-9]+)+$"
+METRIC_NAME_RE = re.compile(METRIC_NAME_PATTERN)
+
+#: Power-of-two cycle buckets: fine enough to separate short resolutions
+#: from memory-bound ones, coarse enough to merge cheaply.
+DEFAULT_EDGES: Tuple[Number, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class MetricNameError(ValueError):
+    """A metric name violates the ``subsystem.noun_unit`` convention."""
+
+
+def validate_metric_name(name: str) -> str:
+    if not METRIC_NAME_RE.match(name):
+        raise MetricNameError(
+            f"metric name {name!r} does not match subsystem.noun_unit "
+            f"(pattern {METRIC_NAME_PATTERN})"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing integer. Merge: sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A high-water mark (e.g. peak ROB occupancy). Merge: max."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def set_max(self, value: Number) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+class FixedHistogram:
+    """Fixed-bucket histogram; bucket ``i`` counts values ``<= edges[i]``.
+
+    The final bucket is the overflow (``> edges[-1]``). Fixed edges make
+    cross-worker merging an elementwise sum.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, edges: Sequence[Number] = DEFAULT_EDGES) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be non-empty and ascending")
+        self.edges: Tuple[Number, ...] = tuple(edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total: Number = 0
+        self.vmin: Optional[Number] = None
+        self.vmax: Optional[Number] = None
+
+    def add(self, value: Number) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    A name maps to exactly one metric kind; asking for the same name with
+    a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, FixedHistogram] = {}
+
+    def _check_unclaimed(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise MetricNameError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            validate_metric_name(name)
+            self._check_unclaimed(name, "counter")
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            validate_metric_name(name)
+            self._check_unclaimed(name, "gauge")
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, edges: Sequence[Number] = DEFAULT_EDGES
+    ) -> FixedHistogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            validate_metric_name(name)
+            self._check_unclaimed(name, "histogram")
+            metric = self._histograms[name] = FixedHistogram(edges)
+        elif tuple(edges) != metric.edges:
+            raise MetricNameError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return metric
+
+    def snapshot(self) -> dict:
+        """A JSON-safe, deterministic (sorted-key) view of every metric."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: _histogram_payload(self._histograms[name])
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def _histogram_payload(hist: FixedHistogram) -> dict:
+    return {
+        "edges": list(hist.edges),
+        "counts": list(hist.counts),
+        "count": hist.count,
+        "sum": hist.total,
+        "min": hist.vmin,
+        "max": hist.vmax,
+    }
+
+
+def empty_snapshot() -> dict:
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
+    """Fold per-worker snapshots into one: counters sum, gauges take the
+    max, histograms (same edges required) sum elementwise."""
+    merged = empty_snapshot()
+    counters = merged["counters"]
+    gauges = merged["gauges"]
+    histograms = merged["histograms"]
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            if value is None:
+                continue
+            if name not in gauges or gauges[name] is None or value > gauges[name]:
+                gauges[name] = value
+        for name, payload in snap.get("histograms", {}).items():
+            seen = histograms.get(name)
+            if seen is None:
+                histograms[name] = {
+                    "edges": list(payload["edges"]),
+                    "counts": list(payload["counts"]),
+                    "count": payload["count"],
+                    "sum": payload["sum"],
+                    "min": payload["min"],
+                    "max": payload["max"],
+                }
+                continue
+            if seen["edges"] != list(payload["edges"]):
+                raise MetricNameError(
+                    f"histogram {name!r} has mismatched edges across snapshots"
+                )
+            seen["counts"] = [
+                a + b for a, b in zip(seen["counts"], payload["counts"])
+            ]
+            seen["count"] += payload["count"]
+            seen["sum"] += payload["sum"]
+            for key, pick in (("min", min), ("max", max)):
+                if payload[key] is not None:
+                    seen[key] = (
+                        payload[key]
+                        if seen[key] is None
+                        else pick(seen[key], payload[key])
+                    )
+    merged["counters"] = dict(sorted(counters.items()))
+    merged["gauges"] = dict(sorted(gauges.items()))
+    merged["histograms"] = dict(sorted(histograms.items()))
+    return merged
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Deterministic plain-text rendering used by ``repro obs metrics``."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            payload = histograms[name]
+            lines.append(
+                f"  {name}: count={payload['count']} sum={payload['sum']}"
+                f" min={payload['min']} max={payload['max']}"
+            )
+            edges = payload["edges"]
+            for idx, bucket in enumerate(payload["counts"]):
+                if bucket == 0:
+                    continue
+                if idx < len(edges):
+                    label = f"<= {edges[idx]}"
+                else:
+                    label = f"> {edges[-1]}"
+                lines.append(f"    {label}: {bucket}")
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines) + "\n"

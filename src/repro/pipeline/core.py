@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis import sanitizer as _sanitizer
 from repro.isa.opcodes import OpClass
+from repro.obs import runtime as _obs
+from repro.obs.tracer import KIND_BPRED, KIND_ICACHE, KIND_LONG_DMISS, MissSpan
 from repro.memory.hierarchy import MissClass
 from repro.pipeline.annotate import Annotation, Annotator, OracleAnnotator
 from repro.pipeline.config import CoreConfig
@@ -70,6 +72,17 @@ class SuperscalarCore:
         san = _sanitizer.current()
         if san is not None:
             san.begin_run()
+        tracer = _obs.current_tracer()
+        metrics = _obs.current_metrics()
+        prof = _obs.current_profiler()
+        clock = prof.clock if prof is not None else None
+        if metrics is not None:
+            # Hoist the handles so the hot loop never touches the registry.
+            m_mispredicts = metrics.counter("core.mispredicts_total")
+            m_resolution = metrics.histogram("core.resolution_cycles")
+            m_penalty = metrics.histogram("core.penalty_cycles")
+            m_icache = metrics.counter("core.icache_misses_total")
+            m_long_dmiss = metrics.counter("core.long_dmisses_total")
         fus = FunctionalUnits(config.fu_specs)
         rob = ReorderBuffer(config.rob_size, sanitizer=san)
         issue_rng = (
@@ -114,6 +127,7 @@ class SuperscalarCore:
         cycle = frontend_ready
         last_commit_cycle = 0
         squashed_ghost_count = 0
+        ghosts_since_stall = 0  # wrong-path dispatches under the live stall
 
         def annotation_for(seq: int) -> Annotation:
             ann = annotations[seq]
@@ -152,6 +166,17 @@ class SuperscalarCore:
                             seq=seq, cycle=dispatch_of[seq], complete_cycle=done
                         )
                     )
+                    if tracer is not None:
+                        tracer.miss_span(
+                            MissSpan(
+                                kind=KIND_LONG_DMISS,
+                                seq=seq,
+                                dispatch_cycle=dispatch_of[seq],
+                                resolve_cycle=done,
+                            )
+                        )
+                    if metrics is not None:
+                        m_long_dmiss.inc()
                 if stall_branch == seq:
                     # The mispredicted control instruction resolves at
                     # ``done``: log the event, start the refill.
@@ -164,6 +189,24 @@ class SuperscalarCore:
                             window_occupancy=window_occ_at[seq],
                         )
                     )
+                    if tracer is not None:
+                        tracer.miss_span(
+                            MissSpan(
+                                kind=KIND_BPRED,
+                                seq=seq,
+                                dispatch_cycle=dispatch_of[seq],
+                                resolve_cycle=done,
+                                refill_cycles=config.frontend_depth,
+                                window_occupancy=window_occ_at[seq],
+                                wrong_path_instructions=ghosts_since_stall,
+                            )
+                        )
+                    if metrics is not None:
+                        m_mispredicts.inc()
+                        m_resolution.add(done - dispatch_of[seq])
+                        m_penalty.add(
+                            done - dispatch_of[seq] + config.frontend_depth
+                        )
                     frontend_ready = done + config.frontend_depth
                     stall_branch = None
                     if config.dispatch_wrong_path:
@@ -171,6 +214,8 @@ class SuperscalarCore:
             heapq.heappush(completions, (done, ticket, seq))
 
         while committed < n:
+            if clock is not None:
+                t_mark = clock()
             # --- completions ---------------------------------------------
             while completions and completions[0][0] <= cycle:
                 _, ticket, seq = heapq.heappop(completions)
@@ -184,6 +229,10 @@ class SuperscalarCore:
                     squashed_tickets.add(victim)
                     squashed_ghost_count += 1
 
+            if clock is not None:
+                t_now = clock()
+                prof.add("core.complete", t_now - t_mark)
+                t_mark = t_now
             # --- commit ---------------------------------------------------
             commits = 0
             while commits < config.commit_width and rob.head_completed():
@@ -202,6 +251,10 @@ class SuperscalarCore:
                 if record_timeline:
                     commit_cycle[seq] = cycle
 
+            if clock is not None:
+                t_now = clock()
+                prof.add("core.commit", t_now - t_mark)
+                t_mark = t_now
             # --- dispatch -------------------------------------------------
             dispatched = 0
             while (
@@ -224,6 +277,17 @@ class SuperscalarCore:
                             long_miss=ann.icache_long,
                         )
                     )
+                    if tracer is not None:
+                        tracer.miss_span(
+                            MissSpan(
+                                kind=KIND_ICACHE,
+                                seq=seq,
+                                dispatch_cycle=cycle,
+                                resolve_cycle=cycle + ann.icache_latency,
+                            )
+                        )
+                    if metrics is not None:
+                        m_icache.inc()
                     break
                 record = records[seq]
                 occupancy_before = len(rob)
@@ -259,6 +323,7 @@ class SuperscalarCore:
                 if record.is_control and ann.mispredicted:
                     stall_branch = seq
                     window_occ_at[seq] = occupancy_before
+                    ghosts_since_stall = 0
                     break
 
             # --- wrong-path ghost dispatch --------------------------------
@@ -278,7 +343,12 @@ class SuperscalarCore:
                         san.check_occupancy(cycle, len(rob), config.rob_size)
                     heapq.heappush(ready_events, (cycle + 1, ticket, _GHOST))
                     dispatched += 1
+                    ghosts_since_stall += 1
 
+            if clock is not None:
+                t_now = clock()
+                prof.add("core.dispatch", t_now - t_mark)
+                t_mark = t_now
             # --- wakeup ----------------------------------------------------
             while ready_events and ready_events[0][0] <= cycle:
                 _, ticket, seq = heapq.heappop(ready_events)
@@ -327,6 +397,8 @@ class SuperscalarCore:
                         deferred.append((ticket, seq))
             for item in deferred:
                 heapq.heappush(ready_now, item)
+            if clock is not None:
+                prof.add("core.issue", clock() - t_mark)
 
             # --- advance time ----------------------------------------------
             next_cycles = []
@@ -373,6 +445,13 @@ class SuperscalarCore:
             rob_peak_occupancy=rob.peak_occupancy,
             squashed_ghosts=squashed_ghost_count,
         )
+        if metrics is not None:
+            metrics.counter("core.instructions_total").inc(n)
+            metrics.counter("core.cycles_total").inc(total_cycles)
+            metrics.counter("core.wrongpath_squashed_total").inc(
+                squashed_ghost_count
+            )
+            metrics.gauge("core.rob_occupancy_peak").set_max(rob.peak_occupancy)
         if san is not None:
             san.seal_run(result, config)
         return result

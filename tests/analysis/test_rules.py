@@ -203,3 +203,56 @@ def test_prt_flags_print_in_library():
 def test_prt_exempts_cli_and_main():
     assert rules_hit("print('hi')\n", "src/repro/cli.py") == []
     assert rules_hit("print('hi')\n", "src/repro/__main__.py") == []
+
+
+# -- OBS001 ----------------------------------------------------------------
+
+def test_obs_flags_perf_counter_in_lab():
+    source = "import time\nt = time.perf_counter()\n"
+    assert "OBS001" in rules_hit(source, "src/repro/lab/x.py")
+
+
+def test_obs_flags_monotonic_from_import_in_harness():
+    source = "from time import monotonic\n"
+    assert "OBS001" in rules_hit(source, "src/repro/harness/x.py")
+
+
+def test_obs_allows_time_time_and_sleep_in_lab():
+    source = "import time\nt = time.time()\ntime.sleep(0.1)\n"
+    assert rules_hit(source, "src/repro/lab/x.py") == []
+
+
+def test_obs_allows_the_blessed_doorways():
+    source = "from repro.util.timing import Stopwatch\nw = Stopwatch()\n"
+    assert rules_hit(source, "src/repro/lab/x.py") == []
+
+
+def test_obs_scoped_to_lab_and_harness():
+    source = "import time\nt = time.perf_counter()\n"
+    assert "OBS001" not in rules_hit(source, "src/repro/trace/x.py")
+
+
+# -- OBS002 ----------------------------------------------------------------
+
+def test_obs2_flags_name_without_unit_suffix():
+    source = "m.counter('core.penalty')\n"
+    assert "OBS002" in rules_hit(source, "src/repro/pipeline/x.py")
+
+
+def test_obs2_flags_name_without_subsystem():
+    source = "m.histogram('penalty_cycles')\n"
+    assert "OBS002" in rules_hit(source, "src/repro/pipeline/x.py")
+
+
+def test_obs2_allows_conventional_names():
+    source = (
+        "m.counter('core.cycles_total')\n"
+        "m.gauge('core.rob_occupancy_peak')\n"
+        "m.histogram('interval.length_instructions')\n"
+    )
+    assert rules_hit(source, "src/repro/pipeline/x.py") == []
+
+
+def test_obs2_ignores_dynamic_names():
+    source = "m.counter(name)\nm.counter(f'core.{x}_total')\n"
+    assert rules_hit(source, "src/repro/pipeline/x.py") == []

@@ -4,10 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import runtime as obs_runtime
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import simulate
 from repro.trace.profiles import WorkloadProfile
 from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolated():
+    """No test inherits (or leaks) ambient observability state."""
+    obs_runtime.reset()
+    yield
+    obs_runtime.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,115 @@
+"""Metrics and traces must survive the trip through the worker pool."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.lab.jobs import SimJob
+from repro.lab.pool import run_jobs
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import render_snapshot
+
+LENGTH = 1_500
+
+
+def _jobs():
+    return [
+        SimJob(workload="gzip", length=LENGTH, seed=7),
+        SimJob(workload="mcf", length=LENGTH, seed=7),
+    ]
+
+
+def _run(tmp_path, name, **kwargs):
+    return run_jobs(
+        _jobs(), workers=2, store_root=tmp_path / name, **kwargs
+    )
+
+
+class TestMetricsMerging:
+    def test_each_fresh_job_carries_a_snapshot(self, tmp_path):
+        results, telemetry = _run(tmp_path, "a", collect_metrics=True)
+        assert all(r.metrics is not None for r in results)
+        assert telemetry.with_metrics == 2
+        merged = telemetry.merged_metrics()
+        assert merged["counters"]["core.instructions_total"] == 2 * LENGTH
+
+    def test_merged_snapshot_is_seed_deterministic(self, tmp_path):
+        _, t1 = _run(tmp_path, "a", collect_metrics=True)
+        _, t2 = _run(tmp_path, "b", collect_metrics=True)
+        assert render_snapshot(t1.merged_metrics()) == render_snapshot(
+            t2.merged_metrics()
+        )
+
+    def test_manifest_records_the_merged_snapshot(self, tmp_path):
+        from repro.lab.store import ResultStore
+
+        _, telemetry = _run(tmp_path, "a", collect_metrics=True)
+        store = ResultStore(root=tmp_path / "a")
+        manifest = json.loads(
+            (store.runs_dir / f"{telemetry.run_id}.json").read_text()
+        )
+        assert manifest["metrics"] == telemetry.merged_metrics()
+        assert manifest["counters"]["with_metrics"] == 2
+
+    def test_cache_hits_carry_no_metrics(self, tmp_path):
+        _run(tmp_path, "a", collect_metrics=True)
+        results, telemetry = _run(tmp_path, "a", collect_metrics=True)
+        assert all(r.cache_hit for r in results)
+        assert telemetry.merged_metrics() is None
+
+    def test_no_ambient_leakage_after_the_run(self, tmp_path):
+        _run(tmp_path, "a", collect_metrics=True, trace=True)
+        assert not obs_runtime.metrics_enabled()
+        assert not obs_runtime.tracing_enabled()
+        assert obs_runtime.trace_dir() is None
+
+    def test_previously_set_env_survives_the_run(self, tmp_path):
+        os.environ[obs_runtime.ENV_METRICS] = "1"
+        try:
+            _run(tmp_path, "a", collect_metrics=True)
+            assert os.environ.get(obs_runtime.ENV_METRICS) == "1"
+        finally:
+            obs_runtime.reset()
+
+    def test_off_by_default(self, tmp_path):
+        results, telemetry = _run(tmp_path, "a")
+        assert all(r.metrics is None for r in results)
+        assert telemetry.merged_metrics() is None
+
+
+class TestPerJobTraces:
+    def test_trace_files_land_under_the_run_directory(self, tmp_path):
+        from repro.lab.store import ResultStore
+
+        results, telemetry = _run(tmp_path, "a", trace=True)
+        store = ResultStore(root=tmp_path / "a")
+        trace_root = store.runs_dir / f"{telemetry.run_id}-traces"
+        for result in results:
+            assert result.trace_file is not None
+            path = trace_root / os.path.basename(result.trace_file)
+            assert path.exists()
+            records = [
+                json.loads(line) for line in path.read_text().splitlines()
+            ]
+            assert any(r["type"] == "span" for r in records)
+
+    def test_serial_mode_produces_the_same_artifacts(self, tmp_path):
+        results_serial, t_serial = run_jobs(
+            _jobs(), workers=1, store_root=tmp_path / "serial",
+            collect_metrics=True, trace=True,
+        )
+        _, t_pool = _run(tmp_path, "pool", collect_metrics=True, trace=True)
+        assert all(r.trace_file for r in results_serial)
+        assert render_snapshot(t_serial.merged_metrics()) == render_snapshot(
+            t_pool.merged_metrics()
+        )
+
+    def test_no_trace_dir_without_store(self, tmp_path):
+        results, _ = run_jobs(
+            _jobs(), workers=1, use_cache=False, trace=True
+        )
+        assert all(r.trace_file is None for r in results)
+        assert all(r.metrics is not None for r in results)

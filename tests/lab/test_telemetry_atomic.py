@@ -1,0 +1,60 @@
+"""Manifest writes must be atomic: readers never see a torn file."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.lab.jobs import JobResult, JobStatus
+from repro.lab.store import ResultStore
+from repro.lab.telemetry import RunTelemetry
+
+
+def _telemetry(run_id="runatomic001") -> RunTelemetry:
+    telemetry = RunTelemetry(run_id=run_id)
+    telemetry.record(
+        JobResult(key="k" * 16, label="sim:ooo:gzip", status=JobStatus.OK)
+    )
+    telemetry.finish()
+    return telemetry
+
+
+def test_manifest_lands_complete(tmp_path):
+    store = ResultStore(root=tmp_path)
+    path = _telemetry().write_manifest(store)
+    manifest = json.loads(path.read_text())
+    assert manifest["run_id"] == "runatomic001"
+    assert manifest["jobs"][0]["label"] == "sim:ooo:gzip"
+
+
+def test_failed_write_leaves_no_torn_manifest(tmp_path, monkeypatch):
+    store = ResultStore(root=tmp_path)
+    telemetry = _telemetry()
+    good = telemetry.write_manifest(store)
+    before = good.read_bytes()
+
+    def explode(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.lab.telemetry.json.dump", explode)
+    with pytest.raises(OSError):
+        telemetry.write_manifest(store)
+    # The prior manifest is untouched and no temp debris remains.
+    assert good.read_bytes() == before
+    leftovers = [p for p in os.listdir(store.runs_dir) if p.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_rewrite_replaces_in_place(tmp_path):
+    store = ResultStore(root=tmp_path)
+    telemetry = _telemetry()
+    first = telemetry.write_manifest(store)
+    telemetry.record(
+        JobResult(key="j" * 16, label="sim:ooo:mcf", status=JobStatus.OK)
+    )
+    second = telemetry.write_manifest(store)
+    assert first == second
+    manifest = json.loads(second.read_text())
+    assert len(manifest["jobs"]) == 2

@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry and snapshot merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    MetricNameError,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    render_snapshot,
+    validate_metric_name,
+)
+
+
+class TestNaming:
+    @pytest.mark.parametrize("name", [
+        "core.penalty_cycles",
+        "interval.length_instructions",
+        "fast_sim.estimates_total",
+        "memory.l1_hits_total",
+    ])
+    def test_accepts_subsystem_noun_unit(self, name):
+        assert validate_metric_name(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "penalty_cycles",       # no subsystem
+        "core.penalty",         # no unit suffix
+        "Core.penalty_cycles",  # uppercase
+        "core.",                # empty noun
+        "core.penalty cycles",  # whitespace
+        "core..penalty_cycles",
+    ])
+    def test_rejects_malformed_names(self, name):
+        with pytest.raises(MetricNameError):
+            validate_metric_name(name)
+
+    def test_registry_validates_at_registration(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricNameError):
+            registry.counter("badname")
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("core.cycles_total")
+        with pytest.raises(MetricNameError):
+            registry.gauge("core.cycles_total")
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("core.cycles_total")
+        counter.inc()
+        counter.inc(41)
+        assert registry.counter("core.cycles_total").value == 42
+
+    def test_gauge_set_max_keeps_high_water_mark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("core.rob_occupancy_peak")
+        gauge.set_max(10)
+        gauge.set_max(3)
+        assert gauge.value == 10
+
+    def test_histogram_buckets_by_upper_edge(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("core.penalty_cycles", edges=(1, 2, 4))
+        for value in (1, 2, 3, 100):
+            hist.add(value)
+        # buckets: <=1, <=2, <=4, overflow
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.total == 106
+        assert (hist.vmin, hist.vmax) == (1, 100)
+
+    def test_histogram_edge_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("core.penalty_cycles", edges=(1, 2))
+        with pytest.raises(MetricNameError):
+            registry.histogram("core.penalty_cycles", edges=(1, 2, 4))
+
+    def test_default_edges_are_ascending(self):
+        assert list(DEFAULT_EDGES) == sorted(DEFAULT_EDGES)
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("core.cycles_total").inc(100)
+        registry.gauge("core.rob_occupancy_peak").set_max(7)
+        registry.histogram("core.penalty_cycles", edges=(8, 16)).add(12)
+        return registry
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        import json
+
+        snapshot = self._populated().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+
+    def test_merge_counters_sum_gauges_max_histograms_sum(self):
+        a = self._populated().snapshot()
+        b = self._populated().snapshot()
+        b["counters"]["core.cycles_total"] = 11
+        b["gauges"]["core.rob_occupancy_peak"] = 3
+        merged = merge_snapshots([a, None, b])
+        assert merged["counters"]["core.cycles_total"] == 111
+        assert merged["gauges"]["core.rob_occupancy_peak"] == 7
+        hist = merged["histograms"]["core.penalty_cycles"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 24
+        assert hist["counts"] == [0, 2, 0]
+
+    def test_merge_rejects_mismatched_edges(self):
+        a = self._populated().snapshot()
+        b = self._populated().snapshot()
+        b["histograms"]["core.penalty_cycles"]["edges"] = [1, 2]
+        with pytest.raises(MetricNameError):
+            merge_snapshots([a, b])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([None, {}]) == empty_snapshot()
+
+    def test_render_is_deterministic_and_newline_terminated(self):
+        a = render_snapshot(self._populated().snapshot())
+        b = render_snapshot(self._populated().snapshot())
+        assert a == b
+        assert a.endswith("\n")
+        assert "core.cycles_total = 100" in a
+
+    def test_render_empty_snapshot(self):
+        assert "no metrics" in render_snapshot(empty_snapshot())

@@ -1,0 +1,75 @@
+"""Unit tests for the phase-timer profiler."""
+
+from __future__ import annotations
+
+from repro.obs.phases import PhaseProfiler, PhaseReport, PhaseRow
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by the given step."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_add_accumulates_seconds_and_calls():
+    profiler = PhaseProfiler(clock=FakeClock())
+    profiler.add("core.dispatch", 0.5)
+    profiler.add("core.dispatch", 0.25, count=3)
+    (row,) = profiler.report().rows
+    assert row == PhaseRow(name="core.dispatch", count=4, seconds=0.75)
+
+
+def test_phase_context_manager_uses_the_injected_clock():
+    profiler = PhaseProfiler(clock=FakeClock(step=2.0))
+    with profiler.phase("cli.simulate"):
+        pass
+    (row,) = profiler.report().rows
+    assert row.seconds == 2.0
+    assert row.count == 1
+
+
+def test_report_sorted_by_seconds_then_name():
+    profiler = PhaseProfiler(clock=FakeClock())
+    profiler.add("b.slow_phase", 2.0)
+    profiler.add("a.tied_phase", 1.0)
+    profiler.add("z.tied_phase", 1.0)
+    names = [row.name for row in profiler.report().rows]
+    assert names == ["b.slow_phase", "a.tied_phase", "z.tied_phase"]
+
+
+def test_render_contains_shares_and_total():
+    profiler = PhaseProfiler(clock=FakeClock())
+    profiler.add("cli.simulate", 3.0)
+    profiler.add("cli.analyze", 1.0)
+    text = profiler.report().render()
+    assert "75.0%" in text
+    assert text.strip().splitlines()[-1].startswith("total")
+    assert text.endswith("\n")
+
+
+def test_empty_report_renders_placeholder():
+    assert "no phases" in PhaseReport(rows=()).render()
+
+
+def test_payload_is_json_safe():
+    import json
+
+    profiler = PhaseProfiler(clock=FakeClock())
+    profiler.add("cli.simulate", 1.5)
+    payload = profiler.report().as_payload()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["total_seconds"] == 1.5
+
+
+def test_clear_drops_everything():
+    profiler = PhaseProfiler(clock=FakeClock())
+    profiler.add("cli.simulate", 1.0)
+    profiler.clear()
+    assert profiler.report().rows == ()

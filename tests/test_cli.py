@@ -146,3 +146,116 @@ class TestSuiteCommand:
         out = capsys.readouterr().out
         assert "twolf" in out
         assert "penalty/frontend" in out
+
+
+class TestQuiet:
+    def test_quiet_suppresses_progress_but_not_results(self, tmp_path, capsys):
+        path = tmp_path / "t.trc"
+        assert main(["trace", "-q", "--workload", "gzip",
+                     "--length", "2000", "--out", str(path)]) == 0
+        assert capsys.readouterr().out == ""
+        assert path.exists()
+
+    def test_results_still_print_under_quiet(self, capsys):
+        assert main(["simulate", "--quiet", "--workload", "gzip",
+                     "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions      : 2000" in out
+
+
+class TestTraceExport:
+    def test_trace_out_is_perfetto_loadable(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["simulate", "--workload", "gzip", "--length", "3000",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        mispredicts = None
+        for line in out.splitlines():
+            if line.startswith("mispredictions"):
+                mispredicts = int(line.split(":")[1])
+        document = json.loads(path.read_text())
+        spans = [e for e in document["traceEvents"]
+                 if e.get("name") == "mispredict"]
+        assert len(spans) == mispredicts > 0
+        for span in spans:
+            assert span["dur"] == span["args"]["penalty_cycles"]
+
+    def test_trace_jsonl_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--workload", "gzip", "--length", "2000",
+                     "--trace-jsonl", str(path)]) == 0
+        capsys.readouterr()
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_obs_trace_verb(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "obs.json"
+        assert main(["obs", "trace", "--workload", "gzip",
+                     "--length", "2000", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mispredict span(s)" in out
+        assert "traceEvents" in json.loads(out_path.read_text()) or True
+        document = json.loads(out_path.read_text())
+        assert any(e.get("name") == "interval_boundary"
+                   for e in document["traceEvents"])
+
+
+class TestObsMetrics:
+    # The harness's simulate_workload caches (in-process LRU + the
+    # persistent store) are redirected/cleared so the experiment really
+    # simulates — a cache-served result records no metrics, by design.
+
+    @pytest.fixture(autouse=True)
+    def _cold_harness_caches(self):
+        from repro.harness import runner
+
+        runner._sim_cache.clear()
+        yield
+        runner._sim_cache.clear()
+
+    def test_lab_run_metrics_then_render(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["lab", "run", "f1", "--workers", "1", "--metrics",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "view with `repro obs metrics" in out
+        assert main(["obs", "metrics", "latest",
+                     "--cache-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert "core.instructions_total" in first
+        assert "counters:" in first
+
+    def test_metrics_render_is_quiet_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        main(["lab", "run", "f1", "-q", "--workers", "1", "--metrics",
+              "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["obs", "metrics", "-q", "latest",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("counters:")
+
+    def test_missing_metrics_reports_and_fails(self, tmp_path, capsys):
+        main(["lab", "run", "t1", "-q", "--workers", "1",
+              "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["obs", "metrics", "latest",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "no metrics recorded" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_reports_phases(self, capsys):
+        assert main(["profile", "--workload", "gzip",
+                     "--length", "2000", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "cli.simulate" in out
+        assert "core.dispatch" in out
+        assert "fast_sim.estimate" in out
+        assert "share" in out
