@@ -1,0 +1,68 @@
+"""Micro-benchmark for the FastIntervalSimulator reachability cache.
+
+``_depends_on`` answers "does consumer transitively depend on producer"
+and dominates long-miss overlap detection on dl2-heavy traces.  The
+cache memoizes per-record backward reach sets keyed by trace version;
+this bench measures the cached path against the uncached BFS to keep
+the memoization honest.
+"""
+
+import pytest
+
+from repro.interval.fast_sim import FastIntervalSimulator
+from repro.pipeline.config import CoreConfig
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+N = 8_000
+PAIRS = 2_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    profile = WorkloadProfile(name="reach-bench", dl2_miss_rate=0.08)
+    return generate_trace(profile, N, seed=2006)
+
+
+@pytest.fixture(scope="module")
+def pairs(trace):
+    out = []
+    step = max(1, N // PAIRS)
+    for consumer in range(64, N, step):
+        out.append((consumer, max(0, consumer - 48)))
+    return out
+
+
+def test_reachability_uncached_bfs(benchmark, trace, pairs):
+    def run():
+        hits = 0
+        for consumer, producer in pairs:
+            if FastIntervalSimulator._bfs_depends_on(
+                trace, consumer, producer
+            ):
+                hits += 1
+        return hits
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_reachability_cached(benchmark, trace, pairs):
+    simulator = FastIntervalSimulator(CoreConfig())
+
+    def run():
+        hits = 0
+        for consumer, producer in pairs:
+            if simulator._depends_on(trace, consumer, producer):
+                hits += 1
+        return hits
+
+    # Warm once so rounds measure the steady-state cached path.
+    run()
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_cached_matches_bfs(trace, pairs):
+    simulator = FastIntervalSimulator(CoreConfig())
+    for consumer, producer in pairs[:200]:
+        assert simulator._depends_on(trace, consumer, producer) == \
+            FastIntervalSimulator._bfs_depends_on(trace, consumer, producer)

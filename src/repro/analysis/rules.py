@@ -505,6 +505,83 @@ class MetricNameRule(Rule):
                 )
 
 
+@register
+class PerRecordLoopRule(Rule):
+    """No per-record Python loops over ``trace.records`` in ``perf/``.
+
+    The perf package exists to keep hot paths columnar; a Python loop
+    over the record objects silently reintroduces the very overhead the
+    :class:`~repro.perf.packed.PackedTrace` layout removes. The two
+    legitimate record walks — packing itself and the scalar baselines
+    the benchmarks measure against — carry ``# repro: noqa[PERF001]``
+    with a justification.
+    """
+
+    id = "PERF001"
+    name = "per-record-loop"
+    description = (
+        "no Python for-loops/comprehensions over trace.records in "
+        "perf/; operate on PackedTrace columns (escape hatch: "
+        "# repro: noqa[PERF001])"
+    )
+    scope = ("perf",)
+
+    def _is_records(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "records":
+            return True
+        if isinstance(node, ast.Call):  # enumerate(t.records), zip(...)
+            return any(self._is_records(arg) for arg in node.args)
+        return False
+
+    def _records_names_in(self, func: ast.AST) -> Set[str]:
+        """Local names bound to a ``.records`` expression."""
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            value = None
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None or not self._is_records(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            records_names = self._records_names_in(func)
+
+            def loops_records(it: ast.AST) -> bool:
+                if self._is_records(it):
+                    return True
+                if isinstance(it, ast.Name) and it.id in records_names:
+                    return True
+                if isinstance(it, ast.Call):
+                    return any(loops_records(arg) for arg in it.args)
+                return False
+
+            for node in ast.walk(func):
+                iters: List[ast.AST] = []
+                if isinstance(node, ast.For):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if loops_records(it):
+                        yield self.violation(
+                            ctx, it,
+                            "per-record Python loop over trace.records in "
+                            "perf/; use PackedTrace columns (or justify "
+                            "with # repro: noqa[PERF001])",
+                        )
+
+
 __all__ = [
     "BareExceptRule",
     "DirectPhaseTimingRule",
@@ -512,6 +589,7 @@ __all__ = [
     "FrozenConfigRule",
     "MetricNameRule",
     "MutableDefaultRule",
+    "PerRecordLoopRule",
     "PrintInLibraryRule",
     "SIM_SCOPE",
     "SetIterationRule",

@@ -628,6 +628,41 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the throughput benchmarks; optionally gate on a baseline."""
+    from repro.perf import bench
+
+    console = _console(args)
+    console.info(
+        "running benchmarks "
+        f"({'quick' if args.quick else 'full'}; this takes a while) ...",
+        flush=True,
+    )
+    payload = bench.run_benchmarks(quick=args.quick, repeats=args.repeats)
+    console.result(bench.render(payload))
+    if args.out:
+        bench.write_payload(payload, args.out)
+        console.info(f"wrote {args.out}")
+    if args.compare:
+        try:
+            baseline = bench.load_baseline(args.compare)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.compare}: {exc}")
+        threshold = (
+            args.threshold
+            if args.threshold is not None
+            else bench.REGRESSION_THRESHOLD
+        )
+        problems = bench.compare(payload, baseline, threshold=threshold)
+        if problems:
+            console.result("REGRESSIONS vs " + args.compare + ":")
+            for problem in problems:
+                console.result(f"  {problem}")
+            return 1
+        console.result(f"no regressions vs {args.compare}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
 
@@ -760,6 +795,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run (and time) the fast interval simulator")
     _add_config_flags(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "bench", parents=[common],
+        help="simulator throughput benchmarks with a machine-normalized "
+        "regression gate (BENCH_simulator.json)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="shorter trace and fewer repeats (CI mode)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="best-of-N timing repeats (default 3, quick 2)")
+    p.add_argument("--out", help="write the JSON payload here")
+    p.add_argument("--compare",
+                   help="baseline JSON to compare against; exit 1 on "
+                   "regression")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="regression threshold as a fraction (default 0.15)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "obs",

@@ -26,8 +26,9 @@ error.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis import sanitizer as _sanitizer
 from repro.interval.ilp import backward_slice_latency
@@ -98,6 +99,11 @@ class FastIntervalSimulator:
 
     def __init__(self, config: CoreConfig = CoreConfig()):
         self.config = config
+        # trace -> (trace.version, {consumer seq -> upstream reach set}).
+        # Weak keys so discarded traces don't pin their reach sets.
+        self._reach_cache: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _steady_latency(self, trace: Trace):
         config = self.config
@@ -129,6 +135,50 @@ class FastIntervalSimulator:
         return events
 
     def _depends_on(self, trace: Trace, consumer: int, producer: int) -> bool:
+        """True when ``consumer`` transitively depends on ``producer``.
+
+        Dependence paths walk strictly upstream, so ``consumer`` reaches
+        ``producer`` iff ``producer`` is in the set of sequence numbers
+        reachable from ``consumer`` down to ``consumer - rob_size`` —
+        a set that is a property of the trace alone. That set is
+        memoized per consumer (weakly keyed by trace, invalidated by
+        :attr:`Trace.version`), so sweeps that re-estimate one trace
+        under many configurations pay each BFS once.
+        """
+        floor = consumer - self.config.rob_size
+        if producer < floor:
+            # Outside the window the overlap logic ever asks about;
+            # answer exactly without polluting the bounded cache.
+            return self._bfs_depends_on(trace, consumer, producer)
+        per_trace = self._reach_cache.get(trace)
+        version = getattr(trace, "version", 0)
+        if per_trace is None or per_trace[0] != version:
+            per_trace = (version, {})
+            self._reach_cache[trace] = per_trace
+        reach = per_trace[1].get(consumer)
+        if reach is None:
+            reach = self._reachable_upstream(trace, consumer, floor)
+            per_trace[1][consumer] = reach
+        return producer in reach
+
+    def _reachable_upstream(
+        self, trace: Trace, consumer: int, floor: int
+    ) -> Set[int]:
+        """All seqs in ``[floor, consumer)`` reachable from ``consumer``."""
+        records = trace.records
+        frontier = [consumer]
+        reach: Set[int] = set()
+        while frontier:
+            seq = frontier.pop()
+            for dist in records[seq].deps:
+                upstream = seq - dist
+                if upstream >= floor and upstream not in reach:
+                    reach.add(upstream)
+                    frontier.append(upstream)
+        return reach
+
+    @staticmethod
+    def _bfs_depends_on(trace: Trace, consumer: int, producer: int) -> bool:
         records = trace.records
         frontier = [consumer]
         seen = set()

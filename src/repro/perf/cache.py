@@ -1,0 +1,192 @@
+"""Content-addressed compiled-trace cache.
+
+Synthetic trace generation walks the SplitMix stream one instruction at
+a time; packing walks the records once more. Both are pure functions of
+``(profile, length, seed)``, so the lab's content-addressing applies:
+this module stores the *packed* form of a generated trace under a
+SHA-256 digest of the canonical profile plus the generation parameters,
+the pack schema version, and the lab code salt
+(:data:`repro.lab.store.CODE_SALT`). A warm
+:func:`packed_trace_for` call is one ``np.load`` instead of a
+per-instruction generation loop.
+
+Layout mirrors the result store, under the same root
+(``REPRO_CACHE_DIR``, default ``.repro-cache``)::
+
+    .repro-cache/
+      packed/<digest[:2]>/<digest>.npz
+
+Writes are atomic (temp file + ``os.replace``); ``REPRO_NO_CACHE``
+bypasses the disk entirely, same as the result store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.lab.store import (
+    CODE_SALT,
+    caching_disabled,
+    default_store_root,
+    payload_digest,
+)
+from repro.obs import runtime as _obs
+from repro.perf.packed import PACK_SCHEMA_VERSION, PackedTrace
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+
+def canonical_profile(profile: WorkloadProfile) -> Dict[str, Any]:
+    """Order-independent, JSON-ready form of a workload profile.
+
+    Mirrors :func:`repro.lab.store.canonical_config`: fields in sorted
+    name order, with the ``mix`` dict flattened to
+    ``{op-class value: fraction}`` in sorted op-class order so dict
+    insertion order never leaks into the digest.
+    """
+    out: Dict[str, Any] = {}
+    for f in sorted(dataclasses.fields(profile), key=lambda f: f.name):
+        value = getattr(profile, f.name)
+        if f.name == "mix":
+            value = {
+                op.value: fraction
+                for op, fraction in sorted(
+                    value.items(), key=lambda kv: kv[0].value
+                )
+            }
+        out[f.name] = value
+    return out
+
+
+def trace_key(profile: WorkloadProfile, length: int, seed: int) -> str:
+    """Content address of one generated-and-packed trace."""
+    return payload_digest(
+        {
+            "kind": "packed-trace",
+            "profile": canonical_profile(profile),
+            "length": length,
+            "seed": seed,
+            "pack_schema": PACK_SCHEMA_VERSION,
+            "salt": CODE_SALT,
+        }
+    )
+
+
+class PackedTraceCache:
+    """npz object store for packed traces under ``root``/packed."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @property
+    def packed_dir(self) -> Path:
+        return self.root / "packed"
+
+    def _object_path(self, key: str) -> Path:
+        return self.packed_dir / key[:2] / f"{key}.npz"
+
+    def contains(self, key: str) -> bool:
+        return self._object_path(key).is_file()
+
+    def get(self, key: str) -> Optional[PackedTrace]:
+        """The packed trace stored under ``key``, or None on a miss.
+
+        Unreadable or schema-stale objects count as misses and are left
+        for a later :meth:`put` to overwrite.
+        """
+        path = self._object_path(key)
+        try:
+            with np.load(path, allow_pickle=False) as arrays:
+                packed = PackedTrace.from_arrays(arrays)
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            self._count("perf.pack_cache_misses_total")
+            return None
+        self.hits += 1
+        self._count("perf.pack_cache_hits_total")
+        return packed
+
+    def put(self, key: str, packed: PackedTrace) -> Path:
+        """Atomically store ``packed`` under ``key``."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **packed.to_arrays())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        self._count("perf.pack_cache_puts_total")
+        return path
+
+    def get_or_build(
+        self, profile: WorkloadProfile, length: int, seed: int
+    ) -> PackedTrace:
+        """The packed trace for ``(profile, length, seed)``.
+
+        Generated, packed, and stored on first request; loaded from the
+        npz object on every later one. With ``REPRO_NO_CACHE`` set the
+        disk is never touched and the trace is always rebuilt.
+        """
+        if caching_disabled():
+            return self._build(profile, length, seed)
+        key = trace_key(profile, length, seed)
+        packed = self.get(key)
+        if packed is None:
+            packed = self._build(profile, length, seed)
+            self.put(key, packed)
+        return packed
+
+    def _build(
+        self, profile: WorkloadProfile, length: int, seed: int
+    ) -> PackedTrace:
+        self._count("perf.pack_cache_builds_total")
+        return PackedTrace.pack(generate_trace(profile, length, seed))
+
+    @staticmethod
+    def _count(name: str) -> None:
+        metrics = _obs.current_metrics()
+        if metrics is not None:
+            metrics.counter(name).inc()
+
+    def describe(self) -> Dict[str, Any]:
+        """Status summary (mirrors ``ResultStore.describe``)."""
+        objects = (
+            sorted(self.packed_dir.glob("*/*.npz"))
+            if self.packed_dir.is_dir()
+            else []
+        )
+        return {
+            "root": str(self.root),
+            "objects": len(objects),
+            "size_bytes": sum(p.stat().st_size for p in objects),
+            "salt": CODE_SALT,
+            "stats": {"hits": self.hits, "misses": self.misses, "puts": self.puts},
+        }
+
+
+def packed_trace_for(
+    profile: WorkloadProfile,
+    length: int,
+    seed: int,
+    root: Optional[Path] = None,
+) -> PackedTrace:
+    """Module-level convenience wrapper over :class:`PackedTraceCache`."""
+    return PackedTraceCache(root).get_or_build(profile, length, seed)

@@ -1,0 +1,191 @@
+"""Whole-column predictor replay for bimodal / gshare / local.
+
+Replays a packed trace's conditional-branch stream through a direction
+predictor without instantiating one: the per-branch table indices are
+computed as columns, and :func:`repro.perf.kernels.counter_table_scan`
+advances all saturating counters in lockstep. The resulting
+prediction/misprediction bitstreams are identical — bit for bit — to
+feeding the same branches through the scalar
+:class:`~repro.frontend.bimodal.BimodalPredictor`,
+:class:`~repro.frontend.gshare.GSharePredictor`, or
+:class:`~repro.frontend.local.LocalPredictor` one
+``predict_and_update`` call at a time (the property suite asserts
+this).
+
+History reconstruction notes:
+
+* gshare's global register after ``k`` branches is the last
+  ``history_bits`` outcomes with the most recent in bit 0:
+  ``hist[k] = sum(taken[k-j] << (j-1) for j = 1..history_bits)``.
+  That is ``history_bits`` shifted ORs over the outcome column —
+  no sequential scan.
+* the local predictor's per-branch registers evolve the same way but
+  *within* each history-table entry; a stable sort by entry makes each
+  register's accesses contiguous so the same shifted-OR trick applies
+  with shifts clipped at group boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import runtime as _obs
+from repro.perf.kernels import counter_table_scan
+from repro.perf.packed import BRANCH_CODE, PackedTrace
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one vectorized predictor replay."""
+
+    predictor: str
+    branch_count: int
+    predictions: np.ndarray = field(repr=False)
+    taken: np.ndarray = field(repr=False)
+
+    @property
+    def correct(self) -> np.ndarray:
+        """Per-branch "prediction was correct" bits, program order."""
+        return self.predictions == self.taken
+
+    @property
+    def mispredicted(self) -> np.ndarray:
+        """Per-branch misprediction bits, program order."""
+        return self.predictions != self.taken
+
+    @property
+    def mispredict_count(self) -> int:
+        return int(self.mispredicted.sum())
+
+    @property
+    def accuracy(self) -> float:
+        if not self.branch_count:
+            return 1.0
+        return (self.branch_count - self.mispredict_count) / self.branch_count
+
+    @property
+    def mispredict_rate(self) -> float:
+        return 1.0 - self.accuracy
+
+
+def branch_columns(packed: PackedTrace):
+    """(pc, taken) columns of the conditional branches, program order."""
+    mask = packed.op == BRANCH_CODE
+    return (
+        packed.pc[mask].astype(np.int64),
+        packed.taken[mask].astype(bool),
+    )
+
+
+def _global_history_column(
+    taken: np.ndarray, history_bits: int
+) -> np.ndarray:
+    """gshare's history register value *before* each branch trains it."""
+    n = len(taken)
+    hist = np.zeros(n, dtype=np.int64)
+    bits = taken.astype(np.int64)
+    for j in range(1, min(history_bits, n) + 1):
+        hist[j:] |= bits[:-j] << (j - 1)
+    return hist
+
+
+def replay_bimodal(
+    packed: PackedTrace, entries: int = 4096, counter_bits: int = 2
+) -> ReplayResult:
+    """Vectorized :class:`~repro.frontend.bimodal.BimodalPredictor`."""
+    pc, taken = branch_columns(packed)
+    indices = (pc >> 2) & (entries - 1)
+    predictions = counter_table_scan(indices, taken, counter_bits)
+    return _result("bimodal", predictions, taken)
+
+
+def replay_gshare(
+    packed: PackedTrace,
+    entries: int = 4096,
+    history_bits: int = 12,
+    counter_bits: int = 2,
+) -> ReplayResult:
+    """Vectorized :class:`~repro.frontend.gshare.GSharePredictor`."""
+    pc, taken = branch_columns(packed)
+    hist = _global_history_column(taken, history_bits)
+    indices = ((pc >> 2) ^ hist) & (entries - 1)
+    predictions = counter_table_scan(indices, taken, counter_bits)
+    return _result("gshare", predictions, taken)
+
+
+def replay_local(
+    packed: PackedTrace,
+    history_entries: int = 1024,
+    history_bits: int = 10,
+    pattern_entries: int = 1024,
+    counter_bits: int = 2,
+) -> ReplayResult:
+    """Vectorized :class:`~repro.frontend.local.LocalPredictor`."""
+    pc, taken = branch_columns(packed)
+    n = len(pc)
+    h_index = (pc >> 2) & (history_entries - 1)
+
+    # Per-entry history registers: group accesses by history-table
+    # entry (stable sort keeps program order within each entry), then
+    # build each register with shifted ORs clipped at group starts.
+    order = np.argsort(h_index, kind="stable")
+    sorted_taken = taken[order].astype(np.int64)
+    sorted_idx = h_index[order]
+    hist_sorted = np.zeros(n, dtype=np.int64)
+    if n:
+        is_start = np.empty(n, dtype=bool)
+        is_start[0] = True
+        np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=is_start[1:])
+        group_starts = np.flatnonzero(is_start)
+        start_of = np.repeat(
+            group_starts, np.diff(np.append(group_starts, n))
+        )
+        pos_in_group = np.arange(n, dtype=np.int64) - start_of
+        for j in range(1, min(history_bits, n) + 1):
+            same_group = pos_in_group[j:] >= j
+            hist_sorted[j:] |= (sorted_taken[:-j] * same_group) << (j - 1)
+    history = np.empty(n, dtype=np.int64)
+    history[order] = hist_sorted
+
+    pattern_idx = history & (pattern_entries - 1)
+    predictions = counter_table_scan(pattern_idx, taken, counter_bits)
+    return _result("local", predictions, taken)
+
+
+_REPLAYERS = {
+    "bimodal": replay_bimodal,
+    "gshare": replay_gshare,
+    "local": replay_local,
+}
+
+
+def replay(packed: PackedTrace, predictor: str, **params) -> ReplayResult:
+    """Replay the packed trace's branches through a named predictor."""
+    try:
+        fn = _REPLAYERS[predictor]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {predictor!r}; "
+            f"choose from {sorted(_REPLAYERS)}"
+        ) from None
+    return fn(packed, **params)
+
+
+def _result(
+    name: str, predictions: np.ndarray, taken: np.ndarray
+) -> ReplayResult:
+    result = ReplayResult(
+        predictor=name,
+        branch_count=len(taken),
+        predictions=predictions,
+        taken=taken,
+    )
+    metrics = _obs.current_metrics()
+    if metrics is not None:
+        metrics.counter("perf.replay_branches_total").inc(result.branch_count)
+        metrics.counter("perf.replay_mispredicts_total").inc(
+            result.mispredict_count
+        )
+    return result

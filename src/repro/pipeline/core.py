@@ -64,7 +64,8 @@ class SuperscalarCore:
         config = self.config
         records = trace.records
         n = len(records)
-        if annotator is None:
+        oracle_fast = annotator is None
+        if oracle_fast:
             annotator = OracleAnnotator(config)
         if n == 0:
             return SimulationResult(instructions=0, cycles=0)
@@ -96,7 +97,18 @@ class SuperscalarCore:
         base_ready: List[int] = [0] * n
         pending: List[int] = [0] * n
         dependents: Dict[int, List[int]] = {}
-        annotations: List[Optional[Annotation]] = [None] * n
+        if oracle_fast:
+            # Oracle annotations are a pure column function of the trace:
+            # precompute them all through the packed arrays instead of
+            # building one Annotation object per dispatched record.
+            # Imported here because repro.perf sits above the pipeline.
+            from repro.perf.annotate_fast import oracle_annotations
+
+            annotations: List[Optional[Annotation]] = oracle_annotations(
+                trace, config
+            )
+        else:
+            annotations = [None] * n
         icache_consumed: List[bool] = [False] * n
 
         record_timeline = config.record_timeline

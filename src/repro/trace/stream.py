@@ -49,6 +49,23 @@ class Trace:
     ):
         self.records: List[TraceRecord] = list(records) if records else []
         self.name = name
+        self._version = 0
+        self._stats_cache: Optional[TraceStatistics] = None
+        self._packed_cache = None
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by :meth:`append` / :meth:`extend`.
+
+        Derived-value caches (statistics, packed form, reachability
+        sets) key on this to notice when the record list has grown.
+        """
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._stats_cache = None
+        self._packed_cache = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -61,9 +78,11 @@ class Trace:
 
     def append(self, record: TraceRecord) -> None:
         self.records.append(record)
+        self._invalidate()
 
     def extend(self, records: Sequence[TraceRecord]) -> None:
         self.records.extend(records)
+        self._invalidate()
 
     def slice(self, start: int, stop: int) -> "Trace":
         """Return a sub-trace. Dependences reaching before ``start`` are
@@ -89,7 +108,28 @@ class Trace:
                 raise ValueError(f"record {i}: memory op without address")
 
     def statistics(self) -> TraceStatistics:
-        """Compute descriptive statistics over the whole trace."""
+        """Descriptive statistics over the whole trace.
+
+        Memoized: the lab bills this per job, so repeated calls on an
+        unchanged trace return the same object. :meth:`append` /
+        :meth:`extend` invalidate the cache. Treat the result as
+        read-only — it is shared between callers.
+        """
+        if self._stats_cache is None:
+            self._stats_cache = self._compute_statistics()
+        return self._stats_cache
+
+    def pack(self):
+        """This trace in columnar form (:class:`repro.perf.packed.
+        PackedTrace`), memoized with the same invalidation as
+        :meth:`statistics`."""
+        if self._packed_cache is None:
+            from repro.perf.packed import PackedTrace
+
+            self._packed_cache = PackedTrace.pack(self)
+        return self._packed_cache
+
+    def _compute_statistics(self) -> TraceStatistics:
         mix_counts: Dict[str, int] = {}
         branch_count = 0
         taken_count = 0

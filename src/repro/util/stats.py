@@ -93,6 +93,14 @@ class Histogram:
     def count(self, value: int) -> int:
         return self._counts.get(value, 0)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.total == other.total and self._counts == other._counts
+
+    def __repr__(self) -> str:
+        return f"Histogram(total={self.total}, values={len(self._counts)})"
+
     def items(self) -> List[Tuple[int, int]]:
         """Return (value, count) pairs sorted by value."""
         return sorted(self._counts.items())

@@ -256,3 +256,55 @@ def test_obs2_allows_conventional_names():
 def test_obs2_ignores_dynamic_names():
     source = "m.counter(name)\nm.counter(f'core.{x}_total')\n"
     assert rules_hit(source, "src/repro/pipeline/x.py") == []
+
+
+# -- PERF001 ---------------------------------------------------------------
+
+def test_perf_flags_loop_over_trace_records():
+    source = "def f(trace):\n    for r in trace.records:\n        pass\n"
+    assert "PERF001" in rules_hit(source, "src/repro/perf/x.py")
+
+
+def test_perf_flags_loop_over_aliased_records():
+    source = (
+        "def f(trace):\n"
+        "    records = trace.records\n"
+        "    for r in records:\n"
+        "        pass\n"
+    )
+    assert "PERF001" in rules_hit(source, "src/repro/perf/x.py")
+
+
+def test_perf_flags_enumerate_and_comprehension():
+    looped = (
+        "def f(trace):\n"
+        "    for i, r in enumerate(trace.records):\n"
+        "        pass\n"
+    )
+    assert "PERF001" in rules_hit(looped, "src/repro/perf/x.py")
+    comp = "def f(trace):\n    return [r.pc for r in trace.records]\n"
+    assert "PERF001" in rules_hit(comp, "src/repro/perf/x.py")
+
+
+def test_perf_only_scoped_to_perf_package():
+    source = "def f(trace):\n    for r in trace.records:\n        pass\n"
+    assert "PERF001" not in rules_hit(source, "src/repro/interval/x.py")
+    assert "PERF001" not in rules_hit(source, "src/repro/trace/x.py")
+
+
+def test_perf_allows_columnar_code():
+    source = (
+        "def f(packed):\n"
+        "    for seq in packed.dep_indptr.tolist():\n"
+        "        pass\n"
+    )
+    assert rules_hit(source, "src/repro/perf/x.py") == []
+
+
+def test_perf_noqa_escape_hatch():
+    source = (
+        "def f(trace):\n"
+        "    for r in trace.records:  # repro: noqa[PERF001]\n"
+        "        pass\n"
+    )
+    assert "PERF001" not in rules_hit(source, "src/repro/perf/x.py")

@@ -117,3 +117,55 @@ class TestEventHandling:
         records.extend(TraceRecord(OpClass.IALU) for _ in range(7))
         estimate = FastIntervalSimulator(base_config).estimate(Trace(records))
         assert estimate.icache_cycles == pytest.approx(base_config.l2_latency)
+
+
+class TestReachabilityCache:
+    def _chain_trace(self, n=40):
+        """Loads where each depends on the previous; all long misses."""
+        records = [TraceRecord(OpClass.LOAD, mem_addr=8 * i, dl2_miss=True,
+                               deps=(1,) if i else ())
+                   for i in range(n)]
+        return Trace(records)
+
+    def test_cached_answers_match_bfs(self, base_config):
+        trace = generate_trace(
+            WorkloadProfile(name="reach", dl2_miss_rate=0.1), 600, seed=4
+        )
+        sim = FastIntervalSimulator(base_config)
+        for consumer in range(50, 600, 97):
+            for producer in range(max(0, consumer - 150), consumer):
+                assert sim._depends_on(trace, consumer, producer) == \
+                    FastIntervalSimulator._bfs_depends_on(
+                        trace, consumer, producer
+                    )
+
+    def test_cache_reused_across_estimates(self, base_config):
+        trace = self._chain_trace()
+        sim = FastIntervalSimulator(base_config)
+        sim.estimate(trace)
+        cached = sim._reach_cache.get(trace)
+        assert cached is not None and cached[1]
+        first = dict(cached[1])
+        sim.estimate(trace)  # sweep-style reuse: no recomputation needed
+        assert sim._reach_cache.get(trace)[1] == first
+
+    def test_cache_invalidated_by_trace_mutation(self, base_config):
+        trace = self._chain_trace()
+        sim = FastIntervalSimulator(base_config)
+        sim.estimate(trace)
+        version_before = trace.version
+        trace.append(TraceRecord(OpClass.LOAD, mem_addr=0, dl2_miss=True,
+                                 deps=(1,)))
+        assert trace.version != version_before
+        sim.estimate(trace)  # must not reuse stale reach sets
+        assert sim._reach_cache.get(trace)[0] == trace.version
+
+    def test_estimates_identical_with_cold_and_warm_cache(self, base_config):
+        trace = generate_trace(
+            WorkloadProfile(name="reach2", dl2_miss_rate=0.08), 800, seed=9
+        )
+        warm_sim = FastIntervalSimulator(base_config)
+        cold = warm_sim.estimate(trace)
+        warm = warm_sim.estimate(trace)
+        assert cold.long_dmiss_cycles == warm.long_dmiss_cycles
+        assert cold.cycles == warm.cycles

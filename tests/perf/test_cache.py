@@ -1,0 +1,80 @@
+"""PackedTraceCache: content addressing, persistence, and the kill switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.cache import PackedTraceCache, canonical_profile, trace_key
+from repro.perf.packed import PackedTrace
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+PROFILE = WorkloadProfile(name="cache-test", mispredict_rate=0.05)
+
+
+def test_key_is_stable_and_parameter_sensitive():
+    key = trace_key(PROFILE, 500, 7)
+    assert key == trace_key(PROFILE, 500, 7)
+    assert key != trace_key(PROFILE, 500, 8)
+    assert key != trace_key(PROFILE, 501, 7)
+    other = WorkloadProfile(name="cache-test", mispredict_rate=0.06)
+    assert key != trace_key(other, 500, 7)
+
+
+def test_canonical_profile_is_json_ready():
+    import json
+
+    payload = canonical_profile(PROFILE)
+    assert json.dumps(payload, sort_keys=True)
+    assert payload["name"] == "cache-test"
+
+
+def test_get_or_build_round_trips_through_disk(tmp_path):
+    cache = PackedTraceCache(root=tmp_path)
+    first = cache.get_or_build(PROFILE, 400, 3)
+    assert cache.misses == 1 and cache.puts == 1 and cache.hits == 0
+
+    again = PackedTraceCache(root=tmp_path).get_or_build(PROFILE, 400, 3)
+    assert first.equals(again)
+    # And the loaded form unpacks to the very trace generation produces.
+    reference = generate_trace(PROFILE, 400, 3)
+    assert all(
+        a == b for a, b in zip(again.unpack().records, reference.records)
+    )
+
+
+def test_cache_hit_counts(tmp_path):
+    cache = PackedTraceCache(root=tmp_path)
+    cache.get_or_build(PROFILE, 300, 1)
+    cache.get_or_build(PROFILE, 300, 1)
+    assert cache.hits == 1 and cache.puts == 1
+
+
+def test_corrupt_object_is_a_miss_and_gets_rebuilt(tmp_path):
+    cache = PackedTraceCache(root=tmp_path)
+    packed = cache.get_or_build(PROFILE, 200, 9)
+    key = trace_key(PROFILE, 200, 9)
+    path = cache._object_path(key)
+    path.write_bytes(b"not an npz")
+
+    rebuilt = cache.get_or_build(PROFILE, 200, 9)
+    assert rebuilt.equals(packed)
+    assert cache.get(key) is not None  # overwritten with a good object
+
+
+def test_no_cache_env_bypasses_disk(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    cache = PackedTraceCache(root=tmp_path)
+    packed = cache.get_or_build(PROFILE, 150, 2)
+    assert isinstance(packed, PackedTrace)
+    assert not cache.packed_dir.exists()
+    assert cache.puts == 0
+
+
+def test_describe_reports_objects(tmp_path):
+    cache = PackedTraceCache(root=tmp_path)
+    cache.get_or_build(PROFILE, 100, 4)
+    info = cache.describe()
+    assert info["objects"] == 1
+    assert info["size_bytes"] > 0
+    assert info["stats"]["puts"] == 1

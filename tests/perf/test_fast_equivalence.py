@@ -1,0 +1,87 @@
+"""VectorizedIntervalSimulator must equal the scalar estimate exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interval.fast_sim import FastIntervalSimulator
+from repro.perf.fast import VectorizedIntervalSimulator
+from repro.perf.packed import PackedTrace
+from repro.pipeline.config import CoreConfig
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.stream import Trace
+from repro.trace.synthetic import generate_trace
+
+FIELDS = (
+    "instructions",
+    "base_cycles",
+    "mispredict_cycles",
+    "icache_cycles",
+    "long_dmiss_cycles",
+    "mispredict_count",
+    "icache_count",
+    "long_dmiss_count",
+    "resolutions",
+)
+
+
+def profile(**overrides):
+    params = dict(
+        name="fast-eq",
+        mispredict_rate=0.07,
+        il1_mpki=2.5,
+        dl1_miss_rate=0.05,
+        dl2_miss_rate=0.015,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def assert_equivalent(trace, config):
+    scalar = FastIntervalSimulator(config).estimate(trace)
+    vector = VectorizedIntervalSimulator(config).estimate(
+        PackedTrace.pack(trace)
+    )
+    for name in FIELDS:
+        assert getattr(scalar, name) == getattr(vector, name), name
+    # The derived totals therefore agree exactly too (integer sums in
+    # float64 are order-independent).
+    assert scalar.cycles == vector.cycles
+    assert scalar.cpi == vector.cpi
+
+
+@pytest.mark.parametrize("seed", [42, 7, 123, 9001])
+def test_estimate_equals_scalar(seed):
+    assert_equivalent(generate_trace(profile(), 4000, seed), CoreConfig())
+
+
+def test_estimate_equals_scalar_without_timeline():
+    config = CoreConfig(record_timeline=False)
+    assert_equivalent(generate_trace(profile(), 4000, 13), config)
+
+
+@pytest.mark.parametrize("rob_size", [8, 32, 128])
+def test_estimate_equals_scalar_across_window_sizes(rob_size):
+    """Window boundaries move with the ROB; the DP must track exactly."""
+    config = CoreConfig(rob_size=rob_size)
+    assert_equivalent(generate_trace(profile(), 3000, 77), config)
+
+
+def test_estimate_equals_scalar_on_dense_events():
+    """Back-to-back events shrink windows to near zero."""
+    dense = profile(mispredict_rate=0.3, il1_mpki=20.0, dl2_miss_rate=0.1)
+    assert_equivalent(generate_trace(dense, 2000, 5), CoreConfig())
+
+
+def test_estimate_equals_scalar_on_eventless_trace():
+    quiet = profile(mispredict_rate=0.0, il1_mpki=0.0, dl2_miss_rate=0.0)
+    assert_equivalent(generate_trace(quiet, 1500, 3), CoreConfig())
+
+
+def test_estimate_empty_trace():
+    estimate = VectorizedIntervalSimulator(CoreConfig()).estimate(
+        PackedTrace.pack(Trace([]))
+    )
+    assert estimate.instructions == 0
+    assert estimate.cycles == 0.0
+    assert estimate.resolutions == []

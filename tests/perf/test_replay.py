@@ -1,0 +1,87 @@
+"""Vectorized predictor replay must match the scalar predictors bit-for-bit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.bimodal import BimodalPredictor
+from repro.frontend.gshare import GSharePredictor
+from repro.frontend.local import LocalPredictor
+from repro.perf.packed import PackedTrace
+from repro.perf.replay import replay
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+SCALARS = {
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+    "local": LocalPredictor,
+}
+
+
+def make(seed, length=3000):
+    profile = WorkloadProfile(
+        name="replay-test", mispredict_rate=0.1, dl1_miss_rate=0.04
+    )
+    return generate_trace(profile, length, seed)
+
+
+def scalar_mispredict_bits(trace, predictor):
+    """Feed the branch stream through a scalar predictor, one at a time."""
+    bits = []
+    for record in trace.records:
+        if record.is_branch:
+            correct = predictor.predict_and_update(record.pc, record.taken)
+            bits.append(not correct)
+    return bits
+
+
+@pytest.mark.parametrize("name", sorted(SCALARS))
+@pytest.mark.parametrize("seed", [1, 17, 4242])
+def test_replay_matches_scalar_bitstream(name, seed):
+    trace = make(seed)
+    result = replay(PackedTrace.pack(trace), name)
+    expected = scalar_mispredict_bits(trace, SCALARS[name]())
+    assert result.branch_count == len(expected)
+    assert result.mispredicted.tolist() == expected
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("bimodal", {"entries": 16}),
+        ("bimodal", {"entries": 64, "counter_bits": 1}),
+        ("gshare", {"entries": 32, "history_bits": 4}),
+        ("gshare", {"entries": 128, "history_bits": 7}),
+        ("local", {"history_entries": 8, "pattern_entries": 16,
+                   "history_bits": 4}),
+    ],
+)
+def test_replay_matches_scalar_under_small_tables(name, params):
+    """Tiny tables maximize aliasing — the hardest case to get right."""
+    trace = make(seed=5, length=2000)
+    result = replay(PackedTrace.pack(trace), name, **params)
+    expected = scalar_mispredict_bits(trace, SCALARS[name](**params))
+    assert result.mispredicted.tolist() == expected
+
+
+def test_replay_accuracy_and_counts_consistent():
+    result = replay(PackedTrace.pack(make(seed=2)), "bimodal")
+    assert result.branch_count == len(result.predictions)
+    assert result.mispredict_count == int(result.mispredicted.sum())
+    assert result.accuracy + result.mispredict_rate == pytest.approx(1.0)
+
+
+def test_replay_rejects_unknown_predictor():
+    packed = PackedTrace.pack(make(seed=3, length=100))
+    with pytest.raises(ValueError):
+        replay(packed, "tage")
+
+
+def test_replay_empty_trace():
+    from repro.trace.stream import Trace
+
+    result = replay(PackedTrace.pack(Trace([])), "gshare")
+    assert result.branch_count == 0
+    assert result.mispredict_count == 0
+    assert result.accuracy == 1.0

@@ -26,7 +26,10 @@ SEEDS = st.integers(min_value=0, max_value=2**31)
 # Graham-style anomalies: removing latency (or constraints) can shift a
 # tie-break and lengthen the schedule by a few cycles. Cross-simulator
 # orderings therefore hold up to this noise bound, not cycle-exactly.
-SCHEDULING_NOISE_CYCLES = 4
+# Observed anomalies reach 6 cycles (a shifted tie-break can delay one
+# load past a commit-width boundary and cascade once), so the bound
+# sits above that with margin.
+SCHEDULING_NOISE_CYCLES = 10
 
 
 class TestInOrderProperties:

@@ -113,3 +113,42 @@ class TestCriticalPath:
 
     def test_dataflow_ipc_empty(self):
         assert Trace().dataflow_ipc() == 0.0
+
+
+class TestStatisticsMemoization:
+    def test_statistics_cached_until_mutation(self):
+        trace = Trace([_ialu(), _branch(taken=True)])
+        first = trace.statistics()
+        assert trace.statistics() is first  # memoized object
+
+        trace.append(_ialu())
+        second = trace.statistics()
+        assert second is not first
+        assert second.instruction_count == 3
+
+    def test_extend_invalidates(self):
+        trace = Trace([_ialu()])
+        first = trace.statistics()
+        trace.extend([_branch(taken=True)])
+        assert trace.statistics() is not first
+        assert trace.statistics().branch_count == 1
+
+    def test_version_counts_mutations(self):
+        trace = Trace()
+        start = trace.version
+        trace.append(_ialu())
+        trace.extend([_ialu(), _ialu()])
+        assert trace.version == start + 2
+
+    def test_pack_cached_until_mutation(self):
+        trace = Trace([_ialu(), _branch(taken=True)])
+        packed = trace.pack()
+        assert trace.pack() is packed
+        trace.append(_ialu())
+        repacked = trace.pack()
+        assert repacked is not packed
+        assert len(repacked) == 3
+
+    def test_memoized_statistics_match_fresh_computation(self):
+        trace = Trace([_ialu(deps=(1,) if i else ()) for i in range(20)])
+        assert trace.statistics() == trace._compute_statistics()
