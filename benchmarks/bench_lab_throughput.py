@@ -10,6 +10,11 @@ Two claims are measured here:
 2. **Warm-cache speedup** — a second run of the same jobs against a
    populated content-addressed store is at least 5x faster than the
    cold run, because every job short-circuits to a store hit.
+3. **Disarmed fault injection is (nearly) free** — with ``REPRO_FAULTS``
+   unset, every ``fault_point`` reduces to a couple of None checks and
+   an env lookup. The guard times a generous over-count of the fault
+   points a run actually crosses and asserts they fit inside 1% of the
+   *warm* run — the fastest path, hence the tightest bound.
 
 Run with::
 
@@ -23,6 +28,7 @@ import time
 
 from repro.lab.jobs import SimJob
 from repro.lab.pool import run_jobs
+from repro.resilience import faults
 
 WORKLOADS = ["gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk"]
 LENGTH = 20_000
@@ -79,4 +85,37 @@ class TestWarmCacheSpeedup:
         )
         assert speedup >= 5.0, (
             f"expected >= 5x warm-cache speedup, got {speedup:.1f}x"
+        )
+
+
+class TestFaultPointOverhead:
+    #: Generous upper bound on fault points crossed per job: one
+    #: store.read, one store.write, one job.execute, two cache.npz,
+    #: padded 20x for headroom.
+    POINTS_PER_JOB = 100
+    BUDGET = 0.01
+
+    def test_disarmed_fault_points_fit_the_one_percent_budget(self, tmp_path):
+        jobs = _jobs()
+        faults.reset()  # REPRO_FAULTS unset: every point is a passthrough
+        _timed_run(jobs, 1, tmp_path, True)          # populate the store
+        warm_s, warm = _timed_run(jobs, 1, tmp_path, True)
+        assert warm.cached + warm.resumed == len(jobs)
+
+        calls = self.POINTS_PER_JOB * len(jobs)
+        payload = b"x" * 64
+        start = time.perf_counter()
+        for _ in range(calls):
+            faults.fault_point("store.read", payload)
+        guard_s = time.perf_counter() - start
+
+        ratio = guard_s / warm_s
+        print(
+            f"\nlab faults: {calls} disarmed fault points "
+            f"{guard_s * 1e3:.2f} ms vs warm run {warm_s * 1e3:.1f} ms "
+            f"= {ratio:.2%} (budget {self.BUDGET:.0%})"
+        )
+        assert ratio < self.BUDGET, (
+            f"disarmed fault_point overhead {ratio:.2%} exceeds "
+            f"{self.BUDGET:.0%} of a warm lab run"
         )

@@ -582,7 +582,83 @@ class PerRecordLoopRule(Rule):
                         )
 
 
+@register
+class AtomicWriteRule(Rule):
+    """Run-state files must go through the crash-safe write helpers.
+
+    A bare ``open(..., "w")`` in the lab or resilience layers is a torn
+    file waiting for a crash: the write-ahead journal, store objects,
+    manifests, and heartbeats all promise "complete old file or
+    complete new file, never truncated". That promise only holds if
+    every writer goes through :mod:`repro.resilience.atomic`
+    (``atomic_write_*`` for whole-file replace, ``AppendOnlyWriter``
+    for fsynced JSONL appends). Read-mode opens are fine; the helper
+    module itself is exempt, and a deliberate bypass carries
+    ``# repro: noqa[RES001]`` with a justification.
+    """
+
+    id = "RES001"
+    name = "non-atomic-write"
+    description = (
+        "no direct open(..., 'w'/'a'/'x'/'+') in lab/ or resilience/; "
+        "write run-state files via repro.resilience.atomic (escape "
+        "hatch: # repro: noqa[RES001])"
+    )
+    scope = ("lab", "resilience")
+    exempt = ("resilience/atomic.py",)
+
+    _WRITE_CHARS = ("w", "a", "x", "+")
+
+    @staticmethod
+    def _mode_of(node: ast.Call, positional_index: int) -> Optional[str]:
+        """The call's mode string, '' when defaulted, None when dynamic."""
+        mode: Optional[ast.AST] = None
+        if len(node.args) > positional_index:
+            mode = node.args[positional_index]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if mode is None:
+            return ""  # defaulted: read mode
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._mode_of(node, 1)  # open(file, mode)
+            elif isinstance(func, ast.Attribute) and func.attr == "fdopen":
+                mode = self._mode_of(node, 1)  # os.fdopen(fd, mode)
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                mode = self._mode_of(node, 0)  # Path.open(mode)
+            else:
+                continue
+            if mode is None:
+                yield self.violation(
+                    ctx, node,
+                    "open() with a dynamic mode in lab/resilience; use "
+                    "repro.resilience.atomic helpers for writes (or "
+                    "justify with # repro: noqa[RES001])",
+                )
+                continue
+            if not any(ch in mode for ch in self._WRITE_CHARS):
+                continue
+            yield self.violation(
+                ctx, node,
+                f"open(..., {mode!r}) bypasses the crash-safe atomic "
+                "write helpers; use repro.resilience.atomic "
+                "(atomic_write_* or AppendOnlyWriter), or justify with "
+                "# repro: noqa[RES001]",
+            )
+
+
 __all__ = [
+    "AtomicWriteRule",
     "BareExceptRule",
     "DirectPhaseTimingRule",
     "FloatEqualityRule",

@@ -369,6 +369,11 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
         from repro.analysis import sanitizer
 
         sanitizer.enable()
+    if args.faults:
+        from repro.resilience import faults
+
+        faults.enable(args.faults)  # exported so workers inherit it
+    run_id = args.resume or args.run_id
     results, telemetry = run_experiments(
         ids,
         workers=args.workers,
@@ -378,6 +383,8 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         collect_metrics=args.metrics or args.trace,
         trace=args.trace,
+        run_id=run_id,
+        resume=bool(args.resume),
     )
     for experiment_id, result in zip(ids, results):
         if result is None:
@@ -405,6 +412,12 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
                 console.result(
                     f"  SANITIZER {record.label}: {violation['check']}: "
                     f"{violation['message']}")
+    if telemetry.interrupted:
+        console.info(
+            f"interrupted; resume with "
+            f"`repro lab run --resume {telemetry.run_id}`"
+        )
+        return 130
     return 1 if telemetry.failed or telemetry.sanitizer_violations else 0
 
 
@@ -438,6 +451,36 @@ def cmd_lab_status(args: argparse.Namespace) -> int:
             f"workers={manifest.get('workers')}"
         )
     return 0
+
+
+def cmd_lab_fsck(args: argparse.Namespace) -> int:
+    """Scan the store for corruption; quarantine/clean with --repair."""
+    import json
+
+    from repro.lab import ResultStore
+    from repro.resilience.fsck import fsck_store
+
+    console = _console(args)
+    store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+    report = fsck_store(store, repair=args.repair)
+    if args.format == "json":
+        text = json.dumps(report.as_payload(), indent=1, sort_keys=True)
+    else:
+        text = report.render()
+    if args.output:
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(args.output, text + "\n")
+        console.info(f"wrote {args.output}")
+    else:
+        console.result(text)
+    if report.ok:
+        return 0
+    console.info(
+        f"{report.unrepaired} unrepaired issue(s); "
+        "re-run with --repair to quarantine damaged objects"
+    )
+    return 1
 
 
 def cmd_lab_gc(args: argparse.Namespace) -> int:
@@ -881,6 +924,17 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--trace", action="store_true",
                    help="record per-job JSONL traces under the run's "
                    "trace directory (implies --metrics)")
+    q.add_argument("--run-id", default=None,
+                   help="pin the run id (default: random); the journal, "
+                   "manifest, and merged manifest are named after it")
+    q.add_argument("--resume", metavar="RUN_ID", default=None,
+                   help="resume an interrupted/crashed run: jobs its "
+                   "journal marks done are replayed from the store, "
+                   "the rest re-run")
+    q.add_argument("--faults", default=None,
+                   help="deterministic fault-injection plan, e.g. "
+                   "'seed=7;store.read:corrupt@2' (exported as "
+                   "REPRO_FAULTS so workers inherit it)")
     q.add_argument("--markdown", action="store_true")
     q.set_defaults(func=cmd_lab_run)
 
@@ -890,6 +944,19 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--limit", type=int, default=5,
                    help="recent run manifests to show (default 5)")
     q.set_defaults(func=cmd_lab_status)
+
+    q = lab_sub.add_parser(
+        "fsck", parents=[common],
+        help="verify store integrity (checksums, manifests, journals)"
+    )
+    q.add_argument("--cache-dir")
+    q.add_argument("--repair", action="store_true",
+                   help="quarantine corrupt objects and remove stray "
+                   "temp files")
+    q.add_argument("--format", choices=("human", "json"), default="human")
+    q.add_argument("--output", default=None,
+                   help="write the report to a file instead of stdout")
+    q.set_defaults(func=cmd_lab_fsck)
 
     q = lab_sub.add_parser("gc", parents=[common],
                            help="evict stored results")

@@ -10,10 +10,18 @@ The lab is the execution layer every experiment and sweep runs through:
   :class:`ExperimentJob` / :class:`SweepJob` specs with per-job
   timeout, bounded retry with backoff, and error capture.
 - :mod:`repro.lab.pool` — a ``multiprocessing``-based worker pool that
-  fans independent jobs across cores, degrading gracefully to serial
-  execution when ``workers=1`` or the platform cannot fork.
+  fans independent jobs across cores, with a write-ahead run journal
+  (``--resume``), graceful SIGINT/SIGTERM draining, a heartbeat
+  watchdog, and degradation to serial execution when ``workers=1``,
+  the platform cannot fork, or workers die/hang.
 - :mod:`repro.lab.telemetry` — per-job wall-time / cache-hit / retry
-  counters and the run manifest written next to the results.
+  counters, the run manifest written next to the results, and the
+  canonical merged manifest behind the byte-identical resume guarantee.
+
+Store objects are checksummed on write and verified on read; corrupt
+objects are quarantined (see :mod:`repro.resilience` and
+``repro lab fsck``). Degradation paths are testable via deterministic
+fault injection (``REPRO_FAULTS=...``).
 
 Typical use::
 
@@ -45,6 +53,8 @@ from repro.lab.store import (
     config_digest,
     default_store_root,
     job_key,
+    payload_digest,
+    verify_object_bytes,
 )
 from repro.lab.telemetry import JobRecord, RunTelemetry
 
@@ -67,8 +77,10 @@ __all__ = [
     "experiment_from_payload",
     "experiment_to_payload",
     "job_key",
+    "payload_digest",
     "result_from_payload",
     "result_to_payload",
     "run_experiments",
     "run_jobs",
+    "verify_object_bytes",
 ]

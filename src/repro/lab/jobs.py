@@ -31,13 +31,22 @@ from repro.lab import codec
 from repro.lab.store import ResultStore, job_key
 from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
+from repro.resilience import faults
+from repro.resilience.watchdog import worker_checkpoint
+from repro.util.rng import jittered_backoff_s
 from repro.util.timing import Stopwatch
 
 #: Job lifecycle states recorded in results and manifests.
 class JobStatus:
     OK = "ok"
     CACHED = "cached"
+    #: Completed in an earlier (crashed/interrupted) run of the same
+    #: run-id; payload re-read from the store during ``--resume``.
+    RESUMED = "resumed"
     FAILED = "failed"
+    #: Not finished because the run drained on SIGINT/SIGTERM; the
+    #: journal re-queues it on ``--resume``.
+    INTERRUPTED = "interrupted"
 
 
 @dataclass(frozen=True)
@@ -218,7 +227,9 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
-        return self.status in (JobStatus.OK, JobStatus.CACHED)
+        return self.status in (
+            JobStatus.OK, JobStatus.CACHED, JobStatus.RESUMED
+        )
 
     def value(self, spec: JobSpec) -> Any:
         if self.payload is None:
@@ -229,18 +240,29 @@ class JobResult:
 
 
 def _attempt_with_retries(spec: JobSpec) -> Tuple[Any, int]:
-    """Run ``spec.execute`` with bounded retry; returns (value, attempts)."""
+    """Run ``spec.execute`` with bounded retry; returns (value, attempts).
+
+    Backoff is exponential with seeded jitter
+    (:func:`repro.util.rng.jittered_backoff_s`, keyed by the job's
+    content address and the attempt number): pool workers that fail
+    simultaneously — e.g. a shared-disk hiccup — retry staggered
+    instead of in lockstep, with no wall-clock entropy, so results stay
+    byte-deterministic. The ``job.execute`` fault site fires once per
+    *attempt*, which is what makes the retry path unit-testable:
+    ``job.execute:raise@1`` fails the first attempt and lets the retry
+    succeed.
+    """
     attempts = 0
-    delay = spec.backoff_s
+    key = spec.key()
     while True:
         attempts += 1
         try:
+            faults.fault_point("job.execute")
             return spec.execute(), attempts
         except Exception:
             if attempts > spec.retries:
                 raise
-            time.sleep(delay)
-            delay *= 2
+            time.sleep(jittered_backoff_s(spec.backoff_s, attempts - 1, key))
 
 
 def _write_job_trace(spec: JobSpec, key: str) -> Optional[str]:
@@ -273,8 +295,11 @@ def execute_job(
 
     Never raises for job failures — the exception is recorded in the
     returned :class:`JobResult` so a sweep's other points survive.
-    Runs identically in the parent (serial mode) and in pool workers.
+    Runs identically in the parent (serial mode) and in pool workers;
+    in a marked worker process the checkpoint below also writes the
+    watchdog heartbeat and arms the ``pool.worker`` fault site.
     """
+    worker_checkpoint(spec.label)
     key = spec.key()
     watch = Stopwatch()
     store = None

@@ -1,4 +1,4 @@
-"""The worker pool: fan independent jobs out across cores.
+"""The worker pool: fan independent jobs out across cores, survivably.
 
 Independent simulations are embarrassingly parallel; the pool is a
 ``ProcessPoolExecutor`` front end over :func:`repro.lab.jobs.execute_job`
@@ -8,11 +8,25 @@ with the operational behaviors a long characterization run needs:
   dispatching, so warm jobs never pay a process round-trip;
 - **chunked dispatch** — jobs without individual timeouts are grouped
   into chunks to amortize pickling/IPC overhead;
-- **per-job timeouts** — jobs with ``timeout_s`` are dispatched
-  individually and a timeout degrades to a recorded failure;
-- **graceful fallback** — ``workers=1``, a single-core box, or a
-  platform where process pools cannot start all run the same jobs
-  serially in-process with identical results.
+- **per-job timeouts with retry** — jobs with ``timeout_s`` are
+  dispatched individually; a timeout consumes one attempt from the
+  spec's retry budget (resubmitted after seeded jittered backoff) and
+  only degrades to a recorded failure once the budget is spent;
+- **write-ahead journal** — every store-backed run appends per-job
+  state transitions to ``runs/<run_id>.journal.jsonl`` *before* acting,
+  so ``repro lab run --resume <run_id>`` can skip completed jobs and
+  re-queue in-flight ones after a crash;
+- **graceful drain** — the first SIGINT/SIGTERM stops dispatching new
+  work, lets running jobs finish, journals the interruption, and still
+  writes the manifest; a second signal aborts hard;
+- **heartbeat watchdog** — workers beat at every job boundary; when
+  both completions and heartbeats go silent past the policy's
+  ``hang_s`` the parent kills the stale workers and degrades;
+- **graceful fallback** — ``workers=1``, a single-core box, a platform
+  where process pools cannot start, a worker death
+  (``BrokenProcessPool``), or a declared hang all degrade to serial
+  in-process execution (after seeded jittered backoff) with identical
+  results.
 
 Workers re-open the store read/write by root path; object writes are
 atomic, so concurrent puts of the same key are benign.
@@ -21,7 +35,20 @@ atomic, so concurrent puts of the same key are benign.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lab.jobs import (
@@ -31,9 +58,24 @@ from repro.lab.jobs import (
     JobStatus,
     execute_job,
 )
-from repro.lab.store import ResultStore, caching_disabled, default_store_root
+from repro.lab.store import (
+    CODE_SALT,
+    ResultStore,
+    caching_disabled,
+    default_store_root,
+    payload_digest,
+)
 from repro.lab.telemetry import RunTelemetry
 from repro.obs import runtime as _obs
+from repro.resilience.journal import RunJournal, load_journal
+from repro.resilience.watchdog import (
+    HeartbeatDir,
+    Watchdog,
+    WatchdogPolicy,
+    mark_worker_process,
+)
+from repro.util.rng import jittered_backoff_s
+from repro.util.timing import Stopwatch
 
 #: Chunks per worker when batching timeout-free jobs; small enough to
 #: load-balance, large enough to amortize process round-trips.
@@ -61,17 +103,96 @@ def _chunked(items: List[Any], chunk_count: int) -> List[List[Any]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
-def _timeout_failure(spec: JobSpec, key: str) -> JobResult:
+def _count(name: str, amount: int = 1) -> None:
+    """Bump a parent-side resilience counter when metrics are active."""
+    metrics = _obs.current_metrics()
+    if metrics is not None:
+        metrics.counter(name).inc(amount)
+
+
+def _timeout_failure(spec: JobSpec, key: str, attempts: int) -> JobResult:
     return JobResult(
         key=key,
         label=spec.label,
         status=JobStatus.FAILED,
         error=(
-            f"TimeoutError: job exceeded its {spec.timeout_s}s budget; "
-            "recorded as a failure and the run continued"
+            f"TimeoutError: job exceeded its {spec.timeout_s}s budget "
+            f"{attempts} time(s) (retries={spec.retries}); recorded as "
+            "a failure and the run continued"
         ),
-        attempts=1,
+        attempts=attempts,
     )
+
+
+def _interrupted_result(spec: JobSpec, key: str) -> JobResult:
+    return JobResult(
+        key=key,
+        label=spec.label,
+        status=JobStatus.INTERRUPTED,
+        error=(
+            "interrupted: the run drained on SIGINT/SIGTERM before this "
+            "job finished; re-run with --resume to pick it up"
+        ),
+        attempts=0,
+    )
+
+
+class _PoolDegraded(Exception):
+    """Internal: the pool can't continue; re-run unfinished jobs serially."""
+
+
+class _GracefulDrain:
+    """First SIGINT/SIGTERM drains the run; a second aborts hard.
+
+    Installed only in the main thread (Python restricts signal handlers
+    to it); elsewhere it degrades to an inert flag. ``restore`` puts the
+    previous handlers back so library callers and tests see no leakage.
+    """
+
+    def __init__(self) -> None:
+        self.stopped = False
+        self._previous: Dict[int, Any] = {}
+
+    def install(self) -> "_GracefulDrain":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):
+                continue
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        if self.stopped:
+            raise KeyboardInterrupt
+        self.stopped = True
+
+    def restore(self) -> None:
+        for signum, handler in self._previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                continue
+        self._previous.clear()
+
+
+def _journal_result(
+    journal: Optional[RunJournal], index: int, result: JobResult
+) -> None:
+    """Append a job's terminal journal record (no-op when unjournaled)."""
+    if journal is None:
+        return
+    if result.status == JobStatus.FAILED:
+        journal.failed(index, result.key, result.error or "", result.attempts)
+    elif result.status != JobStatus.INTERRUPTED:
+        journal.done(
+            index,
+            result.key,
+            result.status,
+            payload_digest(result.payload) if result.payload is not None else None,
+            result.attempts,
+        )
 
 
 def _obs_setup(
@@ -117,19 +238,32 @@ def run_jobs(
     write_manifest: bool = True,
     collect_metrics: bool = False,
     trace: bool = False,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+    watchdog_policy: Optional[WatchdogPolicy] = None,
 ) -> Tuple[List[JobResult], RunTelemetry]:
     """Run every job; returns results in job order plus the telemetry.
 
     A failing or timed-out job becomes a ``failed`` :class:`JobResult`;
     the batch always completes. When caching is active (the default;
     disable with ``use_cache=False`` or ``REPRO_NO_CACHE=1``) results
-    are served from and written to the content-addressed store, and a
-    run manifest is written under ``<store root>/runs/``.
+    are served from and written to the content-addressed store, a
+    write-ahead journal and a run manifest are written under
+    ``<store root>/runs/``, and the run is resumable.
+
+    ``run_id`` pins the run's identity (otherwise random);
+    ``resume=True`` replays the journal of the interrupted/crashed run
+    ``run_id``: jobs journaled ``done`` are replayed from the store
+    (status ``resumed``, checksum-verified), everything else re-runs.
+    The merged manifest (``runs/<run_id>.merged.json``) of a resumed
+    run is byte-identical to an uninterrupted run's.
 
     ``collect_metrics=True`` turns the metrics registry on in every
     worker; each freshly-run job's snapshot is recorded on its manifest
     row and the merged snapshot on the manifest itself (cache hits carry
     no metrics — rerun with caching off for a complete snapshot).
+    Parent-side resilience counters (faults injected, quarantines,
+    degradations) merge in as ``telemetry.parent_metrics``.
     ``trace=True`` additionally records per-job JSONL traces under the
     run's trace directory.
     """
@@ -142,54 +276,165 @@ def run_jobs(
     store = ResultStore(root=store_root) if use_cache else None
     root_arg = str(store_root) if use_cache else None
 
+    if resume:
+        if store is None:
+            raise ValueError(
+                "resume needs the content-addressed store; "
+                "run with caching enabled"
+            )
+        if run_id is None:
+            raise ValueError("resume requires the interrupted run's run_id")
+
     if telemetry is None:
         telemetry = RunTelemetry()
+    if run_id is not None:
+        telemetry.run_id = run_id
     telemetry.workers = workers
 
+    prior = None
+    if resume:
+        _, prior = load_journal(store.runs_dir, run_id)
+
     restore_obs = _obs_setup(collect_metrics, trace, telemetry, store)
+    drain = _GracefulDrain().install()
+    journal: Optional[RunJournal] = None
+    if store is not None:
+        store.runs_dir.mkdir(parents=True, exist_ok=True)
+        journal = RunJournal(store.runs_dir, telemetry.run_id)
+        journal.run_start(len(jobs), CODE_SALT, resumed=resume)
 
     results: Dict[int, JobResult] = {}
-
-    # Cache short-circuit in the parent: warm keys never hit the pool.
     pending: List[Tuple[int, JobSpec]] = []
-    for index, spec in enumerate(jobs):
-        if store is not None:
-            payload = store.get(spec.key())
-            if payload is not None:
-                results[index] = JobResult(
-                    key=spec.key(),
-                    label=spec.label,
-                    status=JobStatus.CACHED,
-                    payload=payload,
-                    cache_hit=True,
-                )
-                continue
-        pending.append((index, spec))
-
     try:
-        if pending:
+        # Triage in the parent: resumed jobs replay from the store,
+        # warm keys never hit the pool, the rest is journaled as queued.
+        for index, spec in enumerate(jobs):
+            key = spec.key()
+            if prior is not None and prior.classify(key) == "complete":
+                payload = store.get(key)
+                if payload is not None:
+                    results[index] = JobResult(
+                        key=key,
+                        label=spec.label,
+                        status=JobStatus.RESUMED,
+                        payload=payload,
+                        attempts=0,
+                    )
+                    _count("resilience.jobs_resumed_total")
+                    _journal_result(journal, index, results[index])
+                    continue
+                # The journaled object vanished or failed verification
+                # (and was quarantined): fall through and re-run it.
+            if store is not None:
+                payload = store.get(key)
+                if payload is not None:
+                    results[index] = JobResult(
+                        key=key,
+                        label=spec.label,
+                        status=JobStatus.CACHED,
+                        payload=payload,
+                        cache_hit=True,
+                    )
+                    _journal_result(journal, index, results[index])
+                    continue
+            pending.append((index, spec))
+            if journal is not None:
+                journal.queued(index, key, spec.label)
+
+        if pending and not drain.stopped:
             if workers <= 1:
-                for index, spec in pending:
-                    results[index] = execute_job(spec, root_arg, use_cache)
+                _run_serial(pending, root_arg, use_cache, results, drain, journal)
             else:
                 try:
-                    _run_parallel(pending, workers, root_arg, use_cache, results)
+                    _run_parallel(
+                        pending,
+                        workers,
+                        root_arg,
+                        use_cache,
+                        results,
+                        drain,
+                        journal,
+                        watchdog_policy or WatchdogPolicy(),
+                    )
+                except _PoolDegraded:
+                    _count("resilience.pool_degradations_total")
+                    time.sleep(
+                        jittered_backoff_s(0.05, 0, telemetry.run_id, "degrade")
+                    )
+                    leftovers = [
+                        (i, s) for i, s in pending if i not in results
+                    ]
+                    _run_serial(
+                        leftovers, root_arg, use_cache, results, drain, journal
+                    )
                 except (OSError, ValueError, RuntimeError, NotImplementedError):
                     # Process pools can be unavailable (no /dev/shm, seccomp,
                     # missing semaphores); the jobs still run, just serially.
-                    for index, spec in pending:
-                        if index not in results:
-                            results[index] = execute_job(spec, root_arg, use_cache)
+                    leftovers = [
+                        (i, s) for i, s in pending if i not in results
+                    ]
+                    _run_serial(
+                        leftovers, root_arg, use_cache, results, drain, journal
+                    )
+
+        for index, spec in pending:
+            if index not in results:
+                results[index] = _interrupted_result(spec, spec.key())
+        if drain.stopped:
+            telemetry.interrupted = True
+            _count("resilience.runs_interrupted_total")
+            if journal is not None:
+                journal.interrupted()
     finally:
+        telemetry.parent_metrics = _obs.drain_metrics()
         restore_obs()
+        drain.restore()
 
     ordered = [results[i] for i in range(len(jobs))]
     for result in ordered:
         telemetry.record(result)
     telemetry.finish()
+    if journal is not None:
+        journal.run_end(ok=telemetry.ok + telemetry.resumed + telemetry.cached,
+                        failed=telemetry.failed)
+        journal.close()
     if store is not None and write_manifest:
         telemetry.write_manifest(store)
+        telemetry.write_merged(store)
     return ordered, telemetry
+
+
+def _run_serial(
+    pending: List[Tuple[int, JobSpec]],
+    store_root: Optional[str],
+    use_cache: bool,
+    results: Dict[int, JobResult],
+    drain: _GracefulDrain,
+    journal: Optional[RunJournal],
+) -> None:
+    """Run jobs in-process, honoring the drain flag between jobs."""
+    for index, spec in pending:
+        if drain.stopped:
+            return
+        if index in results:
+            continue
+        if journal is not None:
+            journal.started(index, spec.key())
+        result = execute_job(spec, store_root, use_cache)
+        results[index] = result
+        _journal_result(journal, index, result)
+
+
+@dataclass
+class _Flight:
+    """One in-flight future: which jobs it carries and its clocks."""
+
+    indices: List[int]
+    specs: List[JobSpec]
+    timed: bool = False
+    #: Parent-side timeout count for timed flights (consumes retries).
+    timeouts: int = 0
+    watch: Stopwatch = field(default_factory=Stopwatch)
 
 
 def _run_parallel(
@@ -198,39 +443,157 @@ def _run_parallel(
     store_root: Optional[str],
     use_cache: bool,
     results: Dict[int, JobResult],
+    drain: _GracefulDrain,
+    journal: Optional[RunJournal],
+    policy: WatchdogPolicy,
 ) -> None:
-    """Dispatch pending jobs across a process pool, filling ``results``."""
+    """Dispatch pending jobs across a process pool, filling ``results``.
+
+    Raises :class:`_PoolDegraded` when the pool cannot make progress
+    (worker death, declared hang) — the caller re-runs whatever is
+    missing from ``results`` serially.
+    """
     with_timeout = [(i, s) for i, s in pending if s.timeout_s is not None]
     without_timeout = [(i, s) for i, s in pending if s.timeout_s is None]
     max_workers = min(workers, max(1, len(pending)))
-    with ProcessPoolExecutor(max_workers=max_workers) as executor:
-        chunk_futures = []
+    hb_root = Path(tempfile.mkdtemp(prefix="repro-heartbeats-"))
+    heartbeats = HeartbeatDir(hb_root)
+    watchdog = Watchdog(heartbeats, policy)
+    executor = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=mark_worker_process,
+        initargs=(str(hb_root),),
+    )
+    #: True once a future was abandoned (stuck job) — shutdown must not
+    #: block waiting for it.
+    tainted = False
+    flights: Dict[Any, _Flight] = {}
+    try:
         for chunk in _chunked(without_timeout, max_workers * _CHUNKS_PER_WORKER):
             specs = [spec for _, spec in chunk]
             indices = [index for index, _ in chunk]
-            chunk_futures.append(
-                (indices, executor.submit(_execute_chunk, specs, store_root, use_cache))
+            if journal is not None:
+                for index, spec in chunk:
+                    journal.started(index, spec.key())
+            future = executor.submit(_execute_chunk, specs, store_root, use_cache)
+            flights[future] = _Flight(indices=indices, specs=specs)
+        for index, spec in with_timeout:
+            if journal is not None:
+                journal.started(index, spec.key())
+            future = executor.submit(execute_job, spec, store_root, use_cache)
+            flights[future] = _Flight(indices=[index], specs=[spec], timed=True)
+
+        drained = False
+        while flights:
+            done_set, _ = wait(
+                set(flights), timeout=policy.poll_s, return_when=FIRST_COMPLETED
             )
-        timed_futures = [
-            (index, spec, executor.submit(execute_job, spec, store_root, use_cache))
-            for index, spec in with_timeout
-        ]
-        for indices, future in chunk_futures:
-            for index, result in zip(indices, future.result()):
-                results[index] = result
-        for index, spec, future in timed_futures:
-            try:
-                results[index] = future.result(timeout=spec.timeout_s)
-            except FutureTimeout:
-                results[index] = _timeout_failure(spec, spec.key())
-            except Exception as exc:  # worker died (e.g. OOM-killed)
-                results[index] = JobResult(
-                    key=spec.key(),
-                    label=spec.label,
-                    status=JobStatus.FAILED,
-                    error=f"{type(exc).__name__}: {exc}",
-                    attempts=1,
+            for future in done_set:
+                flight = flights.pop(future)
+                watchdog.note_progress()
+                try:
+                    outcome = future.result()
+                except CancelledError:
+                    continue  # drained before start; swept as interrupted
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    # execute_job never raises; this future came back
+                    # broken (worker died mid-task, unpicklable result).
+                    raise _PoolDegraded(
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                if flight.timed:
+                    result = outcome
+                    result.attempts += flight.timeouts
+                    results[flight.indices[0]] = result
+                    _journal_result(journal, flight.indices[0], result)
+                else:
+                    for index, result in zip(flight.indices, outcome):
+                        results[index] = result
+                        _journal_result(journal, index, result)
+
+            if drain.stopped and not drained:
+                drained = True
+                for future in list(flights):
+                    if future.cancel():
+                        # Never started; the caller sweeps its jobs up
+                        # as interrupted.
+                        flights.pop(future)
+
+            for future, flight in list(flights.items()):
+                if not flight.timed:
+                    continue
+                spec = flight.specs[0]
+                index = flight.indices[0]
+                if flight.watch.elapsed < (spec.timeout_s or 0.0):
+                    continue
+                flights.pop(future)
+                if not future.cancel():
+                    # Already running: abandon it. The worker is killed
+                    # at teardown instead of blocking shutdown.
+                    tainted = True
+                _count("resilience.job_timeouts_total")
+                flight.timeouts += 1
+                if flight.timeouts <= spec.retries and not drain.stopped:
+                    # The timeout consumed one attempt from the retry
+                    # budget; resubmit after seeded jittered backoff.
+                    _count("resilience.timeout_retries_total")
+                    time.sleep(
+                        jittered_backoff_s(
+                            spec.backoff_s, flight.timeouts - 1,
+                            spec.key(), "timeout",
+                        )
+                    )
+                    if journal is not None:
+                        journal.started(index, spec.key())
+                    retry = executor.submit(
+                        execute_job, spec, store_root, use_cache
+                    )
+                    flights[retry] = _Flight(
+                        indices=[index],
+                        specs=[spec],
+                        timed=True,
+                        timeouts=flight.timeouts,
+                    )
+                else:
+                    result = _timeout_failure(spec, spec.key(), flight.timeouts)
+                    results[index] = result
+                    _journal_result(journal, index, result)
+
+            if flights and watchdog.hung():
+                killed = watchdog.declare_hang()
+                _count("resilience.hung_workers_total", max(1, len(killed)))
+                tainted = True
+                raise _PoolDegraded(
+                    f"pool hung for {policy.hang_s}s; "
+                    f"killed stale workers {killed}"
                 )
+    except BrokenProcessPool as exc:
+        _count("resilience.worker_deaths_total")
+        tainted = True
+        raise _PoolDegraded(f"worker process died: {exc}") from exc
+    finally:
+        _teardown_pool(executor, heartbeats, tainted)
+        shutil.rmtree(hb_root, ignore_errors=True)
+
+
+def _teardown_pool(
+    executor: ProcessPoolExecutor, heartbeats: HeartbeatDir, tainted: bool
+) -> None:
+    """Shut the pool down; never block on a worker stuck in a job."""
+    if not tainted:
+        executor.shutdown(wait=True)
+        return
+    executor.shutdown(wait=False, cancel_futures=True)
+    for record in heartbeats.beats():
+        pid = record.get("pid")
+        if not isinstance(pid, int) or pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+        except (OSError, ProcessLookupError):
+            continue
 
 
 def run_experiments(
@@ -242,13 +605,16 @@ def run_experiments(
     retries: int = 0,
     collect_metrics: bool = False,
     trace: bool = False,
+    run_id: Optional[str] = None,
+    resume: bool = False,
 ) -> Tuple[List[Optional[Any]], RunTelemetry]:
     """Run registered experiments through the lab.
 
     Returns one decoded
     :class:`~repro.harness.experiment.ExperimentResult` per id (None
-    for a failed experiment — inspect ``telemetry.failures()``), plus
-    the run telemetry.
+    for a failed or interrupted experiment — inspect
+    ``telemetry.failures()``), plus the run telemetry. ``run_id`` and
+    ``resume`` thread straight through to :func:`run_jobs`.
     """
     jobs = [
         ExperimentJob(
@@ -263,6 +629,8 @@ def run_experiments(
         use_cache=use_cache,
         collect_metrics=collect_metrics,
         trace=trace,
+        run_id=run_id,
+        resume=resume,
     )
     decoded: List[Optional[Any]] = []
     for spec, result in zip(jobs, job_results):

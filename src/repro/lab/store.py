@@ -18,10 +18,18 @@ Layout on disk (default root ``.repro-cache/``, overridable with the
       objects/<digest[:2]>/<digest>.json   # one result per object
       runs/<run_id>.json                   # manifests (telemetry.py)
 
-Objects are written atomically (temp file + ``os.replace``) so
-concurrent worker processes never observe torn writes; last writer
-wins, which is harmless because the content is a pure function of the
-key.
+Objects are written atomically (temp file + fsync + ``os.replace`` via
+:mod:`repro.resilience.atomic`) so concurrent worker processes never
+observe torn writes; last writer wins, which is harmless because the
+content is a pure function of the key.
+
+Integrity: every object embeds a SHA-256 of its payload, verified on
+**every** read. An object that fails verification — torn by a crash
+the atomic write could not cover (bad disk, external truncation) or
+damaged by an injected ``store.read``/``store.write`` fault — is moved
+to ``<root>/quarantine/`` and reported as a miss, so the caller simply
+recomputes; ``repro lab fsck`` scans the whole store offline (see
+:mod:`repro.resilience.fsck`).
 """
 
 from __future__ import annotations
@@ -30,19 +38,21 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro import __version__
 from repro.pipeline.config import CoreConfig
+from repro.resilience import faults
+from repro.resilience.atomic import AppendOnlyWriter, atomic_write_bytes
 
 #: Bump when simulator or payload semantics change in a way that makes
 #: previously stored results stale. Combined with the package version
 #: into :data:`CODE_SALT`, which is folded into every job key.
-SCHEMA_VERSION = 1
+#: (2: objects embed a payload sha256, verified on every read.)
+SCHEMA_VERSION = 2
 
 CODE_SALT = f"repro-{__version__}/lab-schema-{SCHEMA_VERSION}"
 
@@ -129,6 +139,78 @@ def job_key(
     )
 
 
+def verify_object_bytes(
+    raw: bytes, expected_key: Optional[str] = None
+) -> Tuple[str, Optional[Dict[str, Any]]]:
+    """Classify one serialized store object.
+
+    Returns ``(status, obj)`` with status one of ``"ok"``,
+    ``"unreadable"`` (not parseable as a store object), ``"stale-salt"``
+    (written by another code version — unreachable, not corrupt),
+    ``"checksum-mismatch"`` (payload does not hash to its recorded
+    sha256), or ``"key-mismatch"`` (content address does not match
+    ``expected_key``). Shared by :meth:`ResultStore.get` and
+    ``repro lab fsck`` so online and offline verification can never
+    disagree.
+    """
+    try:
+        obj = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return "unreadable", None
+    if not isinstance(obj, dict) or "payload" not in obj:
+        return "unreadable", None
+    if obj.get("salt") != CODE_SALT:
+        return "stale-salt", obj
+    recorded = obj.get("sha256")
+    if recorded is None or payload_digest(obj["payload"]) != recorded:
+        return "checksum-mismatch", obj
+    if expected_key is not None and obj.get("key") != expected_key:
+        return "key-mismatch", obj
+    return "ok", obj
+
+
+def quarantine_file(
+    root: Union[str, os.PathLike], path: Union[str, os.PathLike], reason: str
+) -> Optional[Path]:
+    """Move a damaged file into ``<root>/quarantine/`` (keep evidence).
+
+    The move is logged (path, reason, timestamp) to
+    ``quarantine/quarantine.jsonl`` and counted through the obs metrics
+    registry. Returns the new path, or None when the move failed (e.g.
+    the file vanished — another process already quarantined it).
+    """
+    source = Path(path)
+    quarantine_dir = Path(root) / "quarantine"
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    target = quarantine_dir / source.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = quarantine_dir / f"{source.name}.{suffix}"
+    try:
+        os.replace(source, target)
+    except OSError:
+        return None
+    AppendOnlyWriter(quarantine_dir / "quarantine.jsonl").append(
+        {
+            "path": str(source),
+            "quarantined_as": str(target),
+            "reason": reason,
+            "at": time.time(),
+        }
+    )
+    _count_metric("resilience.quarantined_objects_total")
+    return target
+
+
+def _count_metric(name: str) -> None:
+    from repro.obs import runtime as _obs
+
+    metrics = _obs.current_metrics()
+    if metrics is not None:
+        metrics.counter(name).inc()
+
+
 @dataclass
 class StoreStats:
     """Hit/miss/eviction accounting for one :class:`ResultStore`."""
@@ -137,6 +219,12 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: Reads that failed integrity verification (object quarantined).
+    corrupt: int = 0
+    #: Reads lost to injected/real I/O failures (counted as misses too).
+    read_errors: int = 0
+    #: Objects moved to ``quarantine/`` by this store instance.
+    quarantined: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -167,23 +255,52 @@ class ResultStore:
     def runs_dir(self) -> Path:
         return self.root / "runs"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
     def _object_path(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.json"
 
     def contains(self, key: str) -> bool:
         return self._object_path(key).is_file()
 
+    def quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move one damaged object aside; see :func:`quarantine_file`."""
+        target = quarantine_file(self.root, path, reason)
+        if target is not None:
+            self.stats.quarantined += 1
+        return target
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Payload stored under ``key``, or None (counted as a miss)."""
+        """Verified payload stored under ``key``, or None (a miss).
+
+        Every read is integrity-checked (payload sha256 + content
+        address + code salt). A corrupt object is quarantined and
+        reported as a miss so the caller recomputes; an unreadable file
+        or an injected ``store.read`` fault is just a miss.
+        """
         path = self._object_path(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                obj = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            raw = path.read_bytes()
+            raw = faults.fault_point("store.read", raw)
+        except OSError:
             self.stats.misses += 1
             return None
-        self.stats.hits += 1
-        return obj.get("payload")
+        except faults.InjectedFault:
+            self.stats.misses += 1
+            self.stats.read_errors += 1
+            return None
+        status, obj = verify_object_bytes(raw, expected_key=key)
+        if status == "ok":
+            self.stats.hits += 1
+            return obj.get("payload")
+        self.stats.misses += 1
+        if status != "stale-salt":
+            self.stats.corrupt += 1
+            _count_metric("resilience.store_corruptions_total")
+            self.quarantine(path, reason=f"get({key[:12]}...): {status}")
+        return None
 
     def put(
         self,
@@ -191,29 +308,19 @@ class ResultStore:
         payload: Dict[str, Any],
         meta: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key`` (checksummed)."""
         path = self._object_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         obj = {
             "key": key,
             "salt": CODE_SALT,
+            "sha256": payload_digest(payload),
             "stored_at": time.time(),
             "meta": meta or {},
             "payload": payload,
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(obj, handle, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+        blob = faults.fault_point("store.write", blob)
+        atomic_write_bytes(path, blob)
         self.stats.puts += 1
         if self.max_entries is not None:
             self.stats.evictions += self.gc(max_entries=self.max_entries)
@@ -265,13 +372,26 @@ class ResultStore:
         return removed
 
     def manifests(self) -> List[Path]:
-        """Run manifests, newest first."""
+        """Run manifests, newest first (merged manifests excluded)."""
         if not self.runs_dir.is_dir():
             return []
         return sorted(
-            self.runs_dir.glob("*.json"),
+            (
+                p
+                for p in self.runs_dir.glob("*.json")
+                if not p.name.endswith(".merged.json")
+            ),
             key=lambda p: p.stat().st_mtime,
             reverse=True,
+        )
+
+    def quarantined_files(self) -> List[Path]:
+        """Quarantined objects on disk (the log itself excluded)."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.quarantine_dir.iterdir()
+            if p.is_file() and p.name != "quarantine.jsonl"
         )
 
     def describe(self) -> Dict[str, Any]:
@@ -281,6 +401,7 @@ class ResultStore:
             "objects": self.count(),
             "size_bytes": self.size_bytes(),
             "manifests": len(self.manifests()),
+            "quarantined": len(self.quarantined_files()),
             "salt": CODE_SALT,
             "stats": self.stats.as_dict(),
         }

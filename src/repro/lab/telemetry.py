@@ -8,9 +8,6 @@ what failed and why) and serializes to a JSON manifest under
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -18,8 +15,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.lab.jobs import JobResult, JobStatus
-from repro.lab.store import CODE_SALT, ResultStore
+from repro.lab.store import CODE_SALT, ResultStore, payload_digest
 from repro.obs.metrics import merge_snapshots
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_json_bytes,
+)
 
 
 @dataclass
@@ -36,6 +38,9 @@ class JobRecord:
     sanitizer: Optional[Dict[str, Any]] = None
     metrics: Optional[Dict[str, Any]] = None
     trace_file: Optional[str] = None
+    #: Content digest of the stored payload (None for failures); the
+    #: field the byte-identical merged manifest is built from.
+    payload_sha256: Optional[str] = None
 
     @classmethod
     def from_result(cls, result: JobResult) -> "JobRecord":
@@ -50,6 +55,11 @@ class JobRecord:
             sanitizer=result.sanitizer,
             metrics=result.metrics,
             trace_file=result.trace_file,
+            payload_sha256=(
+                payload_digest(result.payload)
+                if result.payload is not None
+                else None
+            ),
         )
 
     @property
@@ -68,6 +78,13 @@ class RunTelemetry:
     started_at: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
     records: List[JobRecord] = field(default_factory=list)
+    #: True when the run drained early on SIGINT/SIGTERM; the manifest
+    #: then advertises ``repro lab run --resume <run_id>``.
+    interrupted: bool = False
+    #: Metrics recorded in the coordinating process itself (fault
+    #: injections, pool degradations, quarantines) — merged into
+    #: :meth:`merged_metrics` alongside the per-job worker snapshots.
+    parent_metrics: Optional[Dict[str, Any]] = None
 
     def record(self, result: JobResult) -> None:
         self.records.append(JobRecord.from_result(result))
@@ -92,6 +109,18 @@ class RunTelemetry:
     @property
     def failed(self) -> int:
         return sum(1 for r in self.records if r.status == JobStatus.FAILED)
+
+    @property
+    def resumed(self) -> int:
+        """Jobs completed by an earlier run and replayed from the store."""
+        return sum(1 for r in self.records if r.status == JobStatus.RESUMED)
+
+    @property
+    def interrupted_jobs(self) -> int:
+        """Jobs left unfinished when the run drained on a signal."""
+        return sum(
+            1 for r in self.records if r.status == JobStatus.INTERRUPTED
+        )
 
     @property
     def retries(self) -> int:
@@ -126,6 +155,8 @@ class RunTelemetry:
         count and scheduling order.
         """
         snapshots = [r.metrics for r in self.records if r.metrics is not None]
+        if self.parent_metrics is not None:
+            snapshots.append(self.parent_metrics)
         if not snapshots:
             return None
         return merge_snapshots(snapshots)
@@ -150,6 +181,13 @@ class RunTelemetry:
             f"({self.job_wall_s:.2f}s of job time, "
             f"workers={self.workers})"
         )
+        if self.resumed:
+            text += f"; resumed: {self.resumed} job(s) replayed from store"
+        if self.interrupted:
+            text += (
+                f"; INTERRUPTED with {self.interrupted_jobs} job(s) "
+                f"unfinished — rerun with --resume {self.run_id}"
+            )
         if self.sanitized:
             text += (
                 f"; sanitizer: {self.sanitized} job(s) checked, "
@@ -165,11 +203,14 @@ class RunTelemetry:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "elapsed_s": self.elapsed_s,
+            "interrupted": self.interrupted,
             "counters": {
                 "total": self.total,
                 "ok": self.ok,
                 "cached": self.cached,
+                "resumed": self.resumed,
                 "failed": self.failed,
+                "interrupted": self.interrupted_jobs,
                 "retries": self.retries,
                 "job_wall_s": self.job_wall_s,
                 "sanitized": self.sanitized,
@@ -189,36 +230,64 @@ class RunTelemetry:
                     "sanitizer": r.sanitizer,
                     "metrics": r.metrics,
                     "trace_file": r.trace_file,
+                    "payload_sha256": r.payload_sha256,
                 }
                 for r in self.records
             ],
         }
 
+    def merged_manifest(self) -> Dict[str, Any]:
+        """The run's *stable* outcome: what was computed, not how.
+
+        Strips everything volatile — run id, timestamps, wall times,
+        attempt counts, tracebacks, worker count — and keeps only the
+        content-addressed facts: per-job key, label, payload digest and
+        a normalized status (``ok``/``cached``/``resumed`` all collapse
+        to ``ok`` because they denote the same payload). Jobs are sorted
+        by key. An interrupted run that is later ``--resume``d therefore
+        produces a merged manifest *byte-identical* to the uninterrupted
+        run's — the resilience suite's core guarantee.
+        """
+        jobs = []
+        for r in sorted(self.records, key=lambda rec: rec.key):
+            status = (
+                "ok"
+                if r.status
+                in (JobStatus.OK, JobStatus.CACHED, JobStatus.RESUMED)
+                else r.status
+            )
+            jobs.append(
+                {
+                    "key": r.key,
+                    "label": r.label,
+                    "status": status,
+                    "payload_sha256": r.payload_sha256,
+                }
+            )
+        return {"salt": CODE_SALT, "jobs": jobs}
+
+    def merged_manifest_bytes(self) -> bytes:
+        """Canonical (sorted-keys, compact) encoding of the merged manifest."""
+        return canonical_json_bytes(self.merged_manifest())
+
     def write_manifest(self, store: ResultStore) -> Path:
         """Atomically write the manifest under ``<store root>/runs/``.
 
-        The document is serialized to a temp file in the same directory,
-        flushed and fsynced, then ``os.replace``d over the target — a
-        killed run can leave a stray ``.tmp`` behind but never a
+        Goes through :func:`repro.resilience.atomic.atomic_write_json`
+        (tmp + fsync + ``os.replace``) — a killed run can leave a stray
+        ``.tmp-*`` behind (``repro lab fsck`` sweeps those) but never a
         truncated ``<run_id>.json``.
         """
         store.runs_dir.mkdir(parents=True, exist_ok=True)
         path = store.runs_dir / f"{self.run_id}.json"
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(store.runs_dir), prefix=f".{self.run_id}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(self.as_manifest(), handle, indent=1)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, self.as_manifest(), indent=1)
+        return path
+
+    def write_merged(self, store: ResultStore) -> Path:
+        """Write ``runs/<run_id>.merged.json`` (canonical bytes, atomic)."""
+        store.runs_dir.mkdir(parents=True, exist_ok=True)
+        path = store.runs_dir / f"{self.run_id}.merged.json"
+        atomic_write_bytes(path, self.merged_manifest_bytes())
         return path
 
 

@@ -16,17 +16,27 @@ Layout mirrors the result store, under the same root
     .repro-cache/
       packed/<digest[:2]>/<digest>.npz
 
-Writes are atomic (temp file + ``os.replace``); ``REPRO_NO_CACHE``
-bypasses the disk entirely, same as the result store.
+Writes are atomic (:func:`repro.resilience.atomic.atomic_write_bytes`)
+and carry an embedded content checksum (a ``__sha256__`` array over
+every other array's name, dtype, shape, and bytes — the zip container
+itself is not byte-stable, so the checksum covers the *contents*).
+Reads verify the checksum; a corrupt object is quarantined under
+``<root>/quarantine/`` and counts as a miss, so the next build simply
+re-stores it. ``repro lab fsck`` scans the same checksum via
+:func:`verify_npz_bytes`. The ``cache.npz`` fault site
+(:mod:`repro.resilience.faults`) passes both the serialized bytes on
+write and the raw bytes on read, so corruption handling is testable
+end to end. ``REPRO_NO_CACHE`` bypasses the disk entirely, same as the
+result store.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import os
-import tempfile
+import hashlib
+import io
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -35,11 +45,17 @@ from repro.lab.store import (
     caching_disabled,
     default_store_root,
     payload_digest,
+    quarantine_file,
 )
 from repro.obs import runtime as _obs
 from repro.perf.packed import PACK_SCHEMA_VERSION, PackedTrace
+from repro.resilience import faults
+from repro.resilience.atomic import atomic_write_bytes
 from repro.trace.profiles import WorkloadProfile
 from repro.trace.synthetic import generate_trace
+
+#: Name of the embedded checksum entry inside each npz object.
+CHECKSUM_KEY = "__sha256__"
 
 
 def canonical_profile(profile: WorkloadProfile) -> Dict[str, Any]:
@@ -78,6 +94,60 @@ def trace_key(profile: WorkloadProfile, length: int, seed: int) -> str:
     )
 
 
+def _arrays_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """Container-independent SHA-256 over the arrays' contents."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(arr.dtype).encode("utf-8"))
+        digest.update(str(arr.shape).encode("utf-8"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def serialize_npz(packed: PackedTrace) -> bytes:
+    """``packed`` as checksummed npz bytes (what :meth:`put` writes)."""
+    arrays = packed.to_arrays()
+    arrays[CHECKSUM_KEY] = np.asarray(_arrays_digest(arrays))
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _load_verified(raw: bytes) -> Tuple[str, Optional[Dict[str, np.ndarray]]]:
+    """Parse and verify npz bytes: (status, arrays-or-None).
+
+    Status is one of ``ok`` / ``stale-schema`` / ``checksum-mismatch``
+    / ``unreadable``, checked in that order of detectability.
+    """
+    try:
+        with np.load(io.BytesIO(raw), allow_pickle=False) as handle:
+            arrays = {name: handle[name] for name in handle.files}
+    except Exception:
+        return "unreadable", None
+    if "schema" not in arrays:
+        return "unreadable", None
+    try:
+        schema = int(arrays["schema"])
+    except (TypeError, ValueError):
+        return "unreadable", None
+    if schema != PACK_SCHEMA_VERSION:
+        return "stale-schema", None
+    recorded = arrays.get(CHECKSUM_KEY)
+    if recorded is None or str(recorded) != _arrays_digest(arrays):
+        return "checksum-mismatch", None
+    return "ok", arrays
+
+
+def verify_npz_bytes(raw: bytes) -> str:
+    """Integrity status of one packed-trace object (used by fsck)."""
+    status, _ = _load_verified(raw)
+    return status
+
+
 class PackedTraceCache:
     """npz object store for packed traces under ``root``/packed."""
 
@@ -86,6 +156,7 @@ class PackedTraceCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt = 0
 
     @property
     def packed_dir(self) -> Path:
@@ -100,38 +171,43 @@ class PackedTraceCache:
     def get(self, key: str) -> Optional[PackedTrace]:
         """The packed trace stored under ``key``, or None on a miss.
 
-        Unreadable or schema-stale objects count as misses and are left
-        for a later :meth:`put` to overwrite.
+        Schema-stale objects count as misses and are left for a later
+        :meth:`put` to overwrite; unreadable or checksum-failing
+        objects are quarantined so the evidence survives while the key
+        becomes rebuildable.
         """
         path = self._object_path(key)
         try:
-            with np.load(path, allow_pickle=False) as arrays:
-                packed = PackedTrace.from_arrays(arrays)
-        except (OSError, ValueError, KeyError):
+            raw = path.read_bytes()
+        except OSError:
             self.misses += 1
             self._count("perf.pack_cache_misses_total")
             return None
-        self.hits += 1
-        self._count("perf.pack_cache_hits_total")
-        return packed
+        try:
+            raw = faults.fault_point("cache.npz", raw)
+        except faults.InjectedFault:
+            self.misses += 1
+            self._count("perf.pack_cache_misses_total")
+            return None
+        status, arrays = _load_verified(raw)
+        if status == "ok":
+            self.hits += 1
+            self._count("perf.pack_cache_hits_total")
+            return PackedTrace.from_arrays(arrays)
+        if status != "stale-schema":
+            self.corrupt += 1
+            self._count("resilience.store_corruptions_total")
+            quarantine_file(self.root, path, reason=f"packed get: {status}")
+        self.misses += 1
+        self._count("perf.pack_cache_misses_total")
+        return None
 
     def put(self, key: str, packed: PackedTrace) -> Path:
-        """Atomically store ``packed`` under ``key``."""
+        """Atomically store ``packed`` under ``key`` (checksummed)."""
         path = self._object_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".npz"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **packed.to_arrays())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        blob = serialize_npz(packed)
+        blob = faults.fault_point("cache.npz", blob)
+        atomic_write_bytes(path, blob)
         self.puts += 1
         self._count("perf.pack_cache_puts_total")
         return path
@@ -178,7 +254,12 @@ class PackedTraceCache:
             "objects": len(objects),
             "size_bytes": sum(p.stat().st_size for p in objects),
             "salt": CODE_SALT,
-            "stats": {"hits": self.hits, "misses": self.misses, "puts": self.puts},
+            "stats": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "corrupt": self.corrupt,
+            },
         }
 
 

@@ -61,7 +61,7 @@ RECORD_DTYPE = np.dtype(
 )
 
 #: Bumped when the column encoding changes; folded into cache keys.
-PACK_SCHEMA_VERSION = 1
+PACK_SCHEMA_VERSION = 2  # 2: npz objects carry an embedded content checksum
 
 
 def _tri(value) -> int:

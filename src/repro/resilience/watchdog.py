@@ -1,0 +1,186 @@
+"""Heartbeat watchdog: tell a hung worker from a dead one, then degrade.
+
+The pool's failure taxonomy has three distinct cases:
+
+- **timeout** — one job exceeded its own ``timeout_s`` budget; the pool
+  retries it within the spec's retry budget (the worker is healthy);
+- **dead worker** — a worker process vanished (SIGKILL, OOM); the
+  executor reports ``BrokenProcessPool`` and every in-flight job must
+  be re-run;
+- **hung worker** — the worker is alive but making no progress (stuck
+  syscall, livelock); nothing raises, futures just never resolve.
+
+Heartbeats separate the last two from "slow but fine": each worker
+touches ``<dir>/<pid>.json`` at every job boundary (checkpoint), so the
+parent can see *when anything last made progress*. The
+:class:`Watchdog` declares a hang only when both its own completion
+clock and every heartbeat have been silent for ``hang_s``, then kills
+the stale worker pids so the run can degrade to serial re-execution
+(with jittered exponential backoff between degradation attempts —
+:func:`repro.util.rng.jittered_backoff_s`, seeded, no wall-clock in
+the jitter).
+
+Worker marking: :func:`mark_worker_process` runs in the executor's
+initializer. It is what authorizes the ``pool.worker`` fault site's
+``kill`` action — the coordinator and serial runs are never marked, so
+a kill plan can only ever take down an expendable worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.resilience import faults
+from repro.resilience.atomic import atomic_write_json
+from repro.util.timing import Stopwatch
+
+#: Exported by the pool so worker processes know where to beat.
+ENV_HEARTBEAT_DIR = "REPRO_HEARTBEAT_DIR"
+
+_in_worker = False
+
+
+def mark_worker_process(heartbeat_dir: Optional[str] = None) -> None:
+    """Executor initializer: mark this process as an expendable worker."""
+    global _in_worker
+    _in_worker = True
+    if heartbeat_dir:
+        os.environ[ENV_HEARTBEAT_DIR] = heartbeat_dir
+        HeartbeatDir(heartbeat_dir).beat("init")
+
+
+def in_worker_process() -> bool:
+    return _in_worker
+
+
+def worker_checkpoint(label: str = "") -> None:
+    """Job-boundary hook workers call: beat, then hit ``pool.worker``.
+
+    A no-op outside marked worker processes, so serial runs and the
+    coordinator neither write heartbeats nor trigger worker faults.
+    """
+    if not _in_worker:
+        return
+    raw = os.environ.get(ENV_HEARTBEAT_DIR, "").strip()
+    if raw:
+        HeartbeatDir(raw).beat(label)
+    faults.fault_point("pool.worker", allow_kill=True)
+
+
+class HeartbeatDir:
+    """One beat file per worker pid under a run-scoped directory."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+
+    def beat(self, label: str = "") -> None:
+        pid = os.getpid()
+        atomic_write_json(
+            self.root / f"{pid}.json",
+            {"pid": pid, "beat_at": time.time(), "label": label},
+            fsync=False,  # scratch state; freshness matters, not durability
+        )
+
+    def beats(self) -> List[dict]:
+        if not self.root.is_dir():
+            return []
+        records = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict) and "pid" in record:
+                records.append(record)
+        return records
+
+    def newest_age_s(self) -> Optional[float]:
+        """Seconds since the freshest beat, or None with no beats yet."""
+        ages = [
+            time.time() - record.get("beat_at", 0.0)
+            for record in self.beats()
+        ]
+        return min(ages) if ages else None
+
+    def stale_pids(self, age_s: float) -> List[int]:
+        now = time.time()
+        return sorted(
+            record["pid"]
+            for record in self.beats()
+            if now - record.get("beat_at", 0.0) > age_s
+        )
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """When to declare a hang and what to do about it."""
+
+    hang_s: float = 60.0
+    poll_s: float = 0.2
+    kill_stale: bool = True
+
+
+class Watchdog:
+    """Parent-side hang detector over a :class:`HeartbeatDir`."""
+
+    def __init__(
+        self,
+        heartbeats: Optional[HeartbeatDir],
+        policy: Optional[WatchdogPolicy] = None,
+    ) -> None:
+        self.heartbeats = heartbeats
+        self.policy = policy or WatchdogPolicy()
+        self._idle = Stopwatch()
+        self.hangs_detected = 0
+        self.workers_killed: List[int] = []
+
+    def note_progress(self) -> None:
+        """A future completed; restart the idle clock."""
+        self._idle = Stopwatch()
+
+    def hung(self) -> bool:
+        """True when both completions and heartbeats have gone silent."""
+        if self._idle.elapsed < self.policy.hang_s:
+            return False
+        if self.heartbeats is None:
+            return True
+        age = self.heartbeats.newest_age_s()
+        # No beats at all after hang_s of silence counts as hung: the
+        # workers never even initialized.
+        return age is None or age >= self.policy.hang_s
+
+    def declare_hang(self) -> List[int]:
+        """Record the hang; kill stale workers so the pool can be torn
+        down without the executor's exit handler blocking on them."""
+        self.hangs_detected += 1
+        killed: List[int] = []
+        if self.heartbeats is not None and self.policy.kill_stale:
+            for pid in self.heartbeats.stale_pids(self.policy.hang_s / 2):
+                if pid == os.getpid():
+                    continue
+                try:
+                    os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+                    killed.append(pid)
+                except (OSError, ProcessLookupError):
+                    continue
+        self.workers_killed.extend(killed)
+        self.note_progress()
+        return killed
+
+
+__all__ = [
+    "ENV_HEARTBEAT_DIR",
+    "HeartbeatDir",
+    "Watchdog",
+    "WatchdogPolicy",
+    "in_worker_process",
+    "mark_worker_process",
+    "worker_checkpoint",
+]

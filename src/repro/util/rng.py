@@ -43,6 +43,22 @@ def derive_seed(base: int, *labels: object) -> int:
     return state
 
 
+def jittered_backoff_s(base_s: float, attempt: int, *labels: object) -> float:
+    """Seeded exponential backoff with jitter: no wall clock, no lockstep.
+
+    Returns ``base_s * 2**attempt`` scaled by a uniform factor in
+    [0.5, 1.5) drawn from a SplitMix stream derived from ``labels``
+    (typically a job key) and the attempt number. Two workers retrying
+    different jobs therefore sleep different durations — no thundering
+    herd — while the same (job, attempt) pair always sleeps the same
+    duration, keeping runs reproducible.
+    """
+    if base_s <= 0.0:
+        return 0.0
+    rng = SplitMix(derive_seed(0xB0FF, attempt, *labels))
+    return base_s * (2 ** max(0, attempt)) * (0.5 + rng.random())
+
+
 class SplitMix:
     """SplitMix64 pseudo-random generator.
 

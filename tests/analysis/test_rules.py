@@ -308,3 +308,55 @@ def test_perf_noqa_escape_hatch():
         "        pass\n"
     )
     assert "PERF001" not in rules_hit(source, "src/repro/perf/x.py")
+
+
+# -- RES001 ----------------------------------------------------------------
+
+def test_res_flags_bare_write_open_in_lab():
+    source = 'with open("manifest.json", "w") as h:\n    h.write("{}")\n'
+    assert "RES001" in rules_hit(source, "src/repro/lab/x.py")
+
+
+def test_res_flags_append_mode_and_path_open():
+    assert "RES001" in rules_hit(
+        'h = open("log.jsonl", mode="a")\n', "src/repro/resilience/x.py"
+    )
+    assert "RES001" in rules_hit(
+        'h = path.open("wb")\n', "src/repro/lab/x.py"
+    )
+    assert "RES001" in rules_hit(
+        'import os\nh = os.fdopen(fd, "w")\n', "src/repro/lab/x.py"
+    )
+
+
+def test_res_flags_dynamic_mode():
+    assert "RES001" in rules_hit(
+        "h = open(p, mode)\n", "src/repro/lab/x.py"
+    )
+
+
+def test_res_allows_reads():
+    source = (
+        'with open("manifest.json", "r") as h:\n    h.read()\n'
+        'g = open("other.json")\n'
+        'f = path.open()\n'
+    )
+    assert "RES001" not in rules_hit(source, "src/repro/lab/x.py")
+
+
+def test_res_scoped_to_lab_and_resilience():
+    source = 'h = open("out.txt", "w")\n'
+    assert "RES001" not in rules_hit(source, "src/repro/harness/x.py")
+    assert "RES001" not in rules_hit(source, "src/repro/cli.py")
+
+
+def test_res_exempts_the_atomic_helper_module():
+    source = 'h = open("state.json", "w")\n'
+    assert "RES001" not in rules_hit(
+        source, "src/repro/resilience/atomic.py"
+    )
+
+
+def test_res_noqa_escape_hatch():
+    source = 'h = open("scratch.txt", "w")  # repro: noqa[RES001]\n'
+    assert "RES001" not in rules_hit(source, "src/repro/lab/x.py")

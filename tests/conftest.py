@@ -7,6 +7,7 @@ import pytest
 from repro.obs import runtime as obs_runtime
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.core import simulate
+from repro.resilience import faults
 from repro.trace.profiles import WorkloadProfile
 from repro.trace.synthetic import generate_trace
 
@@ -17,6 +18,14 @@ def _obs_isolated():
     obs_runtime.reset()
     yield
     obs_runtime.reset()
+
+
+@pytest.fixture(autouse=True)
+def _faults_isolated():
+    """No test inherits (or leaks) an ambient fault-injection plan."""
+    faults.reset()
+    yield
+    faults.reset()
 
 
 @pytest.fixture(scope="session")

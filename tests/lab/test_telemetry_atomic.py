@@ -38,12 +38,15 @@ def test_failed_write_leaves_no_torn_manifest(tmp_path, monkeypatch):
     def explode(*args, **kwargs):
         raise OSError("disk full")
 
-    monkeypatch.setattr("repro.lab.telemetry.json.dump", explode)
+    # Break the write below the serializer: the tmp file is created,
+    # then the swap into place fails mid-flight.
+    monkeypatch.setattr("repro.resilience.atomic.os.replace", explode)
     with pytest.raises(OSError):
         telemetry.write_manifest(store)
     # The prior manifest is untouched and no temp debris remains.
     assert good.read_bytes() == before
-    leftovers = [p for p in os.listdir(store.runs_dir) if p.endswith(".tmp")]
+    leftovers = [p for p in os.listdir(store.runs_dir)
+                 if p.startswith(".tmp")]
     assert leftovers == []
 
 

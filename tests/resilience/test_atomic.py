@@ -1,0 +1,86 @@
+"""Crash-safe file primitives: atomic replace, JSONL append, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.atomic import (
+    AppendOnlyWriter,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    canonical_json_bytes,
+    read_jsonl,
+    stray_tmp_files,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_bytes(target, b"one")
+        atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "a" / "b" / "state.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "x.bin", b"data")
+        assert list(stray_tmp_files(tmp_path)) == []
+
+    def test_canonical_json_is_stable(self, tmp_path):
+        a = {"b": 1, "a": [2, 3]}
+        b = {"a": [2, 3], "b": 1}
+        assert canonical_json_bytes(a) == canonical_json_bytes(b)
+        path = tmp_path / "c.json"
+        atomic_write_json(path, a, sort_keys=True)
+        assert path.read_bytes() == canonical_json_bytes(a)
+
+    def test_stray_tmp_detection(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        stray = tmp_path / "sub" / ".tmp-abc123.json"
+        stray.write_bytes(b"torn")
+        assert list(stray_tmp_files(tmp_path)) == [stray]
+
+
+class TestAppendOnlyWriter:
+    def test_appends_records(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with AppendOnlyWriter(path) as writer:
+            writer.append({"n": 1})
+            writer.append({"n": 2})
+        assert read_jsonl(path) == [{"n": 1}, {"n": 2}]
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with AppendOnlyWriter(path) as writer:
+            writer.append({"n": 1})
+        with AppendOnlyWriter(path) as writer:
+            writer.append({"n": 2})
+        assert [r["n"] for r in read_jsonl(path)] == [1, 2]
+
+
+class TestReadJsonl:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "nope.jsonl") == []
+
+    def test_drops_torn_final_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n{"n": 3, "tor')
+        assert read_jsonl(path) == [{"n": 1}, {"n": 2}]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\nGARBAGE\n{"n": 3}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\n\n{"n": 2}\n')
+        assert [r["n"] for r in read_jsonl(path)] == [1, 2]

@@ -1,0 +1,172 @@
+"""Store integrity: checksummed objects, quarantine, and fsck."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lab.store import ResultStore, verify_object_bytes
+from repro.perf.cache import PackedTraceCache, trace_key, verify_npz_bytes
+from repro.resilience import faults
+from repro.resilience.fsck import fsck_store
+from repro.resilience.journal import RunJournal
+from repro.workloads.spec_profiles import ALL_PROFILES
+
+PAYLOAD = {"value": {"kind": "raw", "data": [1, 2, 3]}}
+
+
+def _store_with_object(tmp_path):
+    store = ResultStore(root=tmp_path)
+    key = "ab" + "0" * 62
+    path = store.put(key, dict(PAYLOAD))
+    return store, key, path
+
+
+class TestVerifyObjectBytes:
+    def test_ok(self, tmp_path):
+        store, key, path = _store_with_object(tmp_path)
+        status, obj = verify_object_bytes(path.read_bytes(), expected_key=key)
+        assert status == "ok"
+        assert obj["payload"] == PAYLOAD
+
+    def test_unreadable(self):
+        status, _ = verify_object_bytes(b"not json at all")
+        assert status == "unreadable"
+
+    def test_checksum_mismatch(self, tmp_path):
+        store, key, path = _store_with_object(tmp_path)
+        obj = json.loads(path.read_bytes())
+        obj["payload"]["value"]["data"] = [9, 9, 9]  # bit-rot
+        status, _ = verify_object_bytes(json.dumps(obj).encode())
+        assert status == "checksum-mismatch"
+
+    def test_key_mismatch(self, tmp_path):
+        store, key, path = _store_with_object(tmp_path)
+        status, _ = verify_object_bytes(
+            path.read_bytes(), expected_key="cd" + "1" * 62
+        )
+        assert status == "key-mismatch"
+
+
+class TestStoreQuarantine:
+    def test_corrupt_get_quarantines_and_misses(self, tmp_path):
+        store, key, path = _store_with_object(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        assert len(store.quarantined_files()) == 1
+        log = store.quarantine_dir / "quarantine.jsonl"
+        assert log.is_file()
+
+    def test_injected_write_corruption_detected_on_read(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        key = "ef" + "2" * 62
+        with faults.injected("seed=5;store.write:corrupt@1"):
+            store.put(key, dict(PAYLOAD))
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+
+    def test_injected_read_fault_is_a_miss(self, tmp_path):
+        store, key, _ = _store_with_object(tmp_path)
+        with faults.injected("store.read:raise@1"):
+            assert store.get(key) is None
+        assert store.stats.read_errors == 1
+        assert store.get(key) is not None  # object itself is intact
+
+
+class TestFsck:
+    def test_clean_store(self, tmp_path):
+        store, _, _ = _store_with_object(tmp_path)
+        report = fsck_store(store)
+        assert report.ok
+        assert report.objects_scanned == 1
+
+    def test_detects_every_injected_corruption(self, tmp_path):
+        """fsck must detect 100% of corrupted objects (acceptance)."""
+        store = ResultStore(root=tmp_path)
+        keys = [f"{i:02x}" + str(i % 10) * 62 for i in range(8)]
+        paths = [store.put(k, dict(PAYLOAD)) for k in keys]
+        corrupted = paths[::2]  # every other object
+        for i, path in enumerate(corrupted):
+            raw = bytearray(path.read_bytes())
+            raw[(i * 7) % len(raw)] ^= 0x40
+            path.write_bytes(bytes(raw))
+        report = fsck_store(store)
+        assert not report.ok
+        flagged = {issue.path for issue in report.issues}
+        assert flagged == {str(p) for p in corrupted}
+
+    def test_repair_quarantines_and_second_pass_is_clean(self, tmp_path):
+        store, key, path = _store_with_object(tmp_path)
+        path.write_bytes(b"{broken")
+        report = fsck_store(store, repair=True)
+        assert report.ok  # all issues repaired
+        assert report.repaired == 1
+        assert fsck_store(ResultStore(root=tmp_path)).ok
+        assert len(ResultStore(root=tmp_path).quarantined_files()) == 1
+
+    def test_flags_unreadable_manifest_and_stray_tmp(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        store.runs_dir.mkdir(parents=True, exist_ok=True)
+        (store.runs_dir / "broken.json").write_text("{nope")
+        (store.objects_dir / ".tmp-dead1").parent.mkdir(
+            parents=True, exist_ok=True
+        )
+        (store.objects_dir / ".tmp-dead1").write_bytes(b"torn")
+        report = fsck_store(store)
+        kinds = sorted(issue.kind for issue in report.issues)
+        assert kinds == ["stray-tmp", "unreadable-manifest"]
+        report = fsck_store(store, repair=True)
+        assert report.ok
+        assert not (store.objects_dir / ".tmp-dead1").exists()
+
+    def test_journal_with_torn_tail_is_legal(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        journal = RunJournal(store.runs_dir, "run1")
+        journal.run_start(1, "salt", resumed=False)
+        journal.close()
+        with open(journal.path, "a",  # repro: noqa[RES001] torn-write sim
+                  encoding="utf-8") as handle:
+            handle.write('{"event": "torn')
+        report = fsck_store(store)
+        assert report.ok
+        assert report.journals_scanned == 1
+
+    def test_stale_salt_is_informational(self, tmp_path):
+        store, key, path = _store_with_object(tmp_path)
+        obj = json.loads(path.read_bytes())
+        obj["salt"] = "older-code-version"
+        path.write_text(json.dumps(obj))
+        report = fsck_store(store)
+        assert report.ok
+        assert report.stale == [str(path)]
+
+
+class TestPackedCacheIntegrity:
+    def test_roundtrip_verifies(self, tmp_path):
+        cache = PackedTraceCache(tmp_path)
+        profile = ALL_PROFILES["gzip"]
+        cache.get_or_build(profile, 400, 7)
+        key = trace_key(profile, 400, 7)
+        raw = cache._object_path(key).read_bytes()
+        assert verify_npz_bytes(raw) == "ok"
+        assert cache.get(key) is not None
+
+    def test_corrupt_npz_quarantined_then_rebuilt(self, tmp_path):
+        cache = PackedTraceCache(tmp_path)
+        profile = ALL_PROFILES["gzip"]
+        packed = cache.get_or_build(profile, 400, 7)
+        key = trace_key(profile, 400, 7)
+        with faults.injected("seed=11;cache.npz:corrupt@1"):
+            cache.put(key, packed)
+        assert cache.get(key) is None  # quarantined, not served
+        assert cache.corrupt == 1
+        rebuilt = cache.get_or_build(profile, 400, 7)
+        assert len(rebuilt) == len(packed)
+        assert cache.get(key) is not None
+
+    def test_verify_statuses(self, tmp_path):
+        assert verify_npz_bytes(b"junk") == "unreadable"

@@ -259,3 +259,64 @@ class TestProfile:
         assert "core.dispatch" in out
         assert "fast_sim.estimate" in out
         assert "share" in out
+
+
+class TestLabFsck:
+    def _seed_store(self, tmp_path, capsys):
+        assert main(["lab", "run", "f1", "-q", "--workers", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        self._seed_store(tmp_path, capsys)
+        assert main(["lab", "fsck", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_corruption_exits_one_with_repair_hint(self, tmp_path, capsys):
+        from repro.lab import ResultStore
+
+        self._seed_store(tmp_path, capsys)
+        store = ResultStore(root=tmp_path)
+        [path] = list(store.iter_objects())
+        path.write_bytes(b"{torn")
+        assert main(["lab", "fsck", "--cache-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "unrepaired" in out
+        assert "--repair" in out
+
+    def test_repair_quarantines_and_exits_zero(self, tmp_path, capsys):
+        from repro.lab import ResultStore
+
+        self._seed_store(tmp_path, capsys)
+        store = ResultStore(root=tmp_path)
+        [path] = list(store.iter_objects())
+        path.write_bytes(b"{torn")
+        assert main(["lab", "fsck", "--repair",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert len(ResultStore(root=tmp_path).quarantined_files()) == 1
+
+    def test_json_report_to_output_file(self, tmp_path, capsys):
+        import json
+
+        self._seed_store(tmp_path, capsys)
+        report = tmp_path / "fsck-report.json"
+        assert main(["lab", "fsck", "--cache-dir", str(tmp_path),
+                     "--format", "json", "--output", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["ok"] is True
+        assert doc["scanned"]["objects"] >= 1
+
+
+class TestLabResume:
+    def test_run_then_resume_replays_from_store(self, tmp_path, capsys):
+        assert main(["lab", "run", "f1", "--workers", "1",
+                     "--run-id", "cli-demo",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lab", "run", "f1", "--workers", "1",
+                     "--resume", "cli-demo",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
