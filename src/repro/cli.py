@@ -373,6 +373,11 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
         from repro.resilience import faults
 
         faults.enable(args.faults)  # exported so workers inherit it
+    watchdog_policy = None
+    if args.hang_s is not None:
+        from repro.resilience.watchdog import WatchdogPolicy
+
+        watchdog_policy = WatchdogPolicy(hang_s=args.hang_s)
     run_id = args.resume or args.run_id
     results, telemetry = run_experiments(
         ids,
@@ -385,6 +390,7 @@ def cmd_lab_run(args: argparse.Namespace) -> int:
         trace=args.trace,
         run_id=run_id,
         resume=bool(args.resume),
+        watchdog_policy=watchdog_policy,
     )
     for experiment_id, result in zip(ids, results):
         if result is None:
@@ -915,6 +921,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job timeout in seconds")
     q.add_argument("--retries", type=int, default=0,
                    help="retries per failing job (default 0)")
+    q.add_argument("--hang-s", type=float, default=None, dest="hang_s",
+                   help="watchdog hang threshold in seconds (default 60): "
+                   "declare the pool hung and degrade to serial when "
+                   "completions and worker heartbeats both go silent "
+                   "this long")
     q.add_argument("--sanitize", action="store_true",
                    help="run invariant checks in every job (recorded in "
                    "the run manifest; exit 1 on violations)")

@@ -32,7 +32,7 @@ from repro.lab.store import ResultStore, job_key
 from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
 from repro.resilience import faults
-from repro.resilience.watchdog import worker_checkpoint
+from repro.resilience.watchdog import stamp_job_start, worker_checkpoint
 from repro.util.rng import jittered_backoff_s
 from repro.util.timing import Stopwatch
 
@@ -301,6 +301,11 @@ def execute_job(
     """
     worker_checkpoint(spec.label)
     key = spec.key()
+    if spec.timeout_s is not None:
+        # Tell the pool this attempt is executing *now*: its timeout
+        # clock arms from this stamp, not from submit time, so queue
+        # wait behind a busy pool never counts against the budget.
+        stamp_job_start(key)
     watch = Stopwatch()
     store = None
     if use_cache and store_root is not None:
@@ -338,12 +343,23 @@ def execute_job(
             metrics=snapshot,
             trace_file=trace_file,
         )
+    payload = codec.payload_from_value(value)
+    if store is not None:
+        try:
+            store.put(key, payload, meta={"label": spec.label})
+        except Exception:
+            # The result is good; a failed cache write (disk full, an
+            # injected store.write fault) must not fail the job or —
+            # in serial mode — abort the whole batch. The job comes
+            # back OK-but-unstored and simply re-runs if ever resumed.
+            metrics = _obs.current_metrics()
+            if metrics is not None:
+                metrics.counter(
+                    "resilience.store_put_failures_total"
+                ).inc()
     report = _sanitizer.drain_report()
     snapshot = _obs.drain_metrics()
     trace_file = _write_job_trace(spec, key)
-    payload = codec.payload_from_value(value)
-    if store is not None:
-        store.put(key, payload, meta={"label": spec.label})
     return JobResult(
         key=key,
         label=spec.label,

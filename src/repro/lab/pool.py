@@ -9,9 +9,11 @@ with the operational behaviors a long characterization run needs:
 - **chunked dispatch** — jobs without individual timeouts are grouped
   into chunks to amortize pickling/IPC overhead;
 - **per-job timeouts with retry** — jobs with ``timeout_s`` are
-  dispatched individually; a timeout consumes one attempt from the
-  spec's retry budget (resubmitted after seeded jittered backoff) and
-  only degrades to a recorded failure once the budget is spent;
+  dispatched individually; the timeout clock starts when the job is
+  first observed *executing*, so time spent queued behind a busy pool
+  never counts against the budget; a timeout consumes one attempt from
+  the spec's retry budget (resubmitted after seeded jittered backoff)
+  and only degrades to a recorded failure once the budget is spent;
 - **write-ahead journal** — every store-backed run appends per-job
   state transitions to ``runs/<run_id>.journal.jsonl`` *before* acting,
   so ``repro lab run --resume <run_id>`` can skip completed jobs and
@@ -19,9 +21,11 @@ with the operational behaviors a long characterization run needs:
 - **graceful drain** — the first SIGINT/SIGTERM stops dispatching new
   work, lets running jobs finish, journals the interruption, and still
   writes the manifest; a second signal aborts hard;
-- **heartbeat watchdog** — workers beat at every job boundary; when
-  both completions and heartbeats go silent past the policy's
-  ``hang_s`` the parent kills the stale workers and degrades;
+- **heartbeat watchdog** — workers beat at every job boundary *and*
+  from a background pulse thread while a job runs, so a legitimately
+  long job never looks hung; when both completions and heartbeats go
+  silent past the policy's ``hang_s`` the parent kills the stale
+  workers and degrades;
 - **graceful fallback** — ``workers=1``, a single-core box, a platform
   where process pools cannot start, a worker death
   (``BrokenProcessPool``), or a declared hang all degrade to serial
@@ -47,7 +51,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -75,7 +79,6 @@ from repro.resilience.watchdog import (
     mark_worker_process,
 )
 from repro.util.rng import jittered_backoff_s
-from repro.util.timing import Stopwatch
 
 #: Chunks per worker when batching timeout-free jobs; small enough to
 #: load-balance, large enough to amortize process round-trips.
@@ -434,7 +437,14 @@ class _Flight:
     timed: bool = False
     #: Parent-side timeout count for timed flights (consumes retries).
     timeouts: int = 0
-    watch: Stopwatch = field(default_factory=Stopwatch)
+    #: Wall-clock start of the current attempt, read from the worker's
+    #: start stamp; None until the worker reports the job executing, so
+    #: queue wait behind a busy pool never counts against ``timeout_s``
+    #: (with default retries=0, a submit-time clock would cancel queued
+    #: jobs that never got to execute at all). ``Future.running()``
+    #: cannot stand in for the stamp — the executor flips futures to
+    #: running when they enter the IPC call queue, ahead of execution.
+    started_at: Optional[float] = None
 
 
 def _run_parallel(
@@ -462,7 +472,7 @@ def _run_parallel(
     executor = ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=mark_worker_process,
-        initargs=(str(hb_root),),
+        initargs=(str(hb_root), policy.worker_pulse_s),
     )
     #: True once a future was abandoned (stuck job) — shutdown must not
     #: block waiting for it.
@@ -524,9 +534,18 @@ def _run_parallel(
             for future, flight in list(flights.items()):
                 if not flight.timed:
                     continue
+                if future.done():
+                    # Completed between the wait() sweep and this check;
+                    # the next wait() returns it immediately and its
+                    # result is harvested, never discarded as a timeout.
+                    continue
                 spec = flight.specs[0]
                 index = flight.indices[0]
-                if flight.watch.elapsed < (spec.timeout_s or 0.0):
+                if flight.started_at is None:
+                    flight.started_at = heartbeats.job_started_at(spec.key())
+                    if flight.started_at is None:
+                        continue  # still queued; the clock starts with execution
+                if time.time() - flight.started_at < (spec.timeout_s or 0.0):
                     continue
                 flights.pop(future)
                 if not future.cancel():
@@ -547,6 +566,9 @@ def _run_parallel(
                     )
                     if journal is not None:
                         journal.started(index, spec.key())
+                    # Drop the abandoned attempt's stamp so the retry's
+                    # clock arms from *its* execution start, not this one's.
+                    heartbeats.clear_start(spec.key())
                     retry = executor.submit(
                         execute_job, spec, store_root, use_cache
                     )
@@ -607,14 +629,16 @@ def run_experiments(
     trace: bool = False,
     run_id: Optional[str] = None,
     resume: bool = False,
+    watchdog_policy: Optional[WatchdogPolicy] = None,
 ) -> Tuple[List[Optional[Any]], RunTelemetry]:
     """Run registered experiments through the lab.
 
     Returns one decoded
     :class:`~repro.harness.experiment.ExperimentResult` per id (None
     for a failed or interrupted experiment — inspect
-    ``telemetry.failures()``), plus the run telemetry. ``run_id`` and
-    ``resume`` thread straight through to :func:`run_jobs`.
+    ``telemetry.failures()``), plus the run telemetry. ``run_id``,
+    ``resume``, and ``watchdog_policy`` thread straight through to
+    :func:`run_jobs`.
     """
     jobs = [
         ExperimentJob(
@@ -631,6 +655,7 @@ def run_experiments(
         trace=trace,
         run_id=run_id,
         resume=resume,
+        watchdog_policy=watchdog_policy,
     )
     decoded: List[Optional[Any]] = []
     for spec, result in zip(jobs, job_results):

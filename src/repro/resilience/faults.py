@@ -20,7 +20,8 @@ Grammar (clauses separated by ``;``)::
     clause  := "seed=" INT | site ":" action ["@" INT] ["x" (INT | "*")]
     site    := "store.write" | "store.read" | "pool.worker"
              | "job.execute" | "cache.npz"
-    action  := "raise" | "corrupt" | "kill" | "delay(" FLOAT ")"
+    action  := "raise" | "corrupt" | "kill" | "stop"
+             | "delay(" FLOAT ")"
 
 ``@N`` arms the rule at the N-th hit of its site (1-based, default 1);
 ``xM`` keeps it armed for M consecutive hits (default 1, ``x*`` =
@@ -40,7 +41,12 @@ Actions:
 - ``kill`` — ``SIGKILL`` the current process (worker-death simulation;
   only honoured at the ``pool.worker`` site inside marked worker
   processes so a stray plan can never kill a test runner or the
-  coordinator).
+  coordinator);
+- ``stop`` — ``SIGSTOP`` the current process (hard-hang simulation:
+  every thread freezes, including the worker's heartbeat pulse, so the
+  watchdog sees a truly stale heartbeat; same worker-only gating as
+  ``kill``, and it degrades to ``raise`` where ``SIGSTOP`` does not
+  exist).
 """
 
 from __future__ import annotations
@@ -65,7 +71,7 @@ SITES: Tuple[str, ...] = (
     "cache.npz",
 )
 
-ACTIONS: Tuple[str, ...] = ("raise", "corrupt", "delay", "kill")
+ACTIONS: Tuple[str, ...] = ("raise", "corrupt", "delay", "kill", "stop")
 
 #: Forever marker for ``count``.
 FOREVER = -1
@@ -180,8 +186,8 @@ class FaultPlan:
 
         Returns ``data`` (possibly corrupted). Raises
         :class:`InjectedFault` for ``raise`` rules (and for ``corrupt``
-        rules at payload-free sites). ``kill`` rules are only honoured
-        when the caller says the process is expendable
+        rules at payload-free sites). ``kill`` and ``stop`` rules are
+        only honoured when the caller says the process is expendable
         (``allow_kill=True``, i.e. a marked pool worker); elsewhere
         they degrade to ``raise`` so a stray plan cannot take down the
         coordinator.
@@ -205,6 +211,14 @@ class FaultPlan:
                 if allow_kill:
                     os.kill(os.getpid(), signal.SIGKILL)
                 raise InjectedFault(site, hit, "kill outside a worker")
+            elif rule.action == "stop":
+                sigstop = getattr(signal, "SIGSTOP", None)
+                if allow_kill and sigstop is not None:
+                    os.kill(os.getpid(), sigstop)
+                    # Resumes only if something SIGCONTs us (the
+                    # watchdog SIGKILLs instead); fall through benignly.
+                else:
+                    raise InjectedFault(site, hit, "stop outside a worker")
             else:  # "raise"
                 raise InjectedFault(site, hit)
         return data

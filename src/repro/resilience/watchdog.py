@@ -11,14 +11,19 @@ The pool's failure taxonomy has three distinct cases:
   syscall, livelock); nothing raises, futures just never resolve.
 
 Heartbeats separate the last two from "slow but fine": each worker
-touches ``<dir>/<pid>.json`` at every job boundary (checkpoint), so the
-parent can see *when anything last made progress*. The
-:class:`Watchdog` declares a hang only when both its own completion
-clock and every heartbeat have been silent for ``hang_s``, then kills
-the stale worker pids so the run can degrade to serial re-execution
-(with jittered exponential backoff between degradation attempts —
-:func:`repro.util.rng.jittered_backoff_s`, seeded, no wall-clock in
-the jitter).
+touches ``<dir>/<pid>.json`` at every job boundary (checkpoint) *and*
+from a background pulse thread while a job executes
+(:data:`WatchdogPolicy.worker_pulse_s`), so a single job legitimately
+running longer than ``hang_s`` keeps its heartbeat fresh and is never
+mistaken for a hang. The parent can therefore see *when anything last
+made progress*. The :class:`Watchdog` declares a hang only when both
+its own completion clock and every heartbeat have been silent for
+``hang_s`` — which, with the pulse, means the worker processes
+themselves are frozen (SIGSTOP, uninterruptible sleep) or gone — then
+kills the stale worker pids so the run can degrade to serial
+re-execution (with jittered exponential backoff between degradation
+attempts — :func:`repro.util.rng.jittered_backoff_s`, seeded, no
+wall-clock in the jitter).
 
 Worker marking: :func:`mark_worker_process` runs in the executor's
 initializer. It is what authorizes the ``pool.worker`` fault site's
@@ -31,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,15 +50,43 @@ from repro.util.timing import Stopwatch
 ENV_HEARTBEAT_DIR = "REPRO_HEARTBEAT_DIR"
 
 _in_worker = False
+_pulse_thread: Optional[threading.Thread] = None
 
 
-def mark_worker_process(heartbeat_dir: Optional[str] = None) -> None:
-    """Executor initializer: mark this process as an expendable worker."""
-    global _in_worker
+def _pulse_loop(heartbeat_dir: str, pulse_s: float) -> None:
+    heartbeats = HeartbeatDir(heartbeat_dir)
+    while True:
+        time.sleep(pulse_s)
+        try:
+            heartbeats.beat("pulse")
+        except OSError:
+            return  # heartbeat dir torn down; the run is over
+
+
+def mark_worker_process(
+    heartbeat_dir: Optional[str] = None,
+    pulse_s: Optional[float] = None,
+) -> None:
+    """Executor initializer: mark this process as an expendable worker.
+
+    With ``pulse_s`` set, a daemon thread keeps beating every
+    ``pulse_s`` seconds for the worker's lifetime, so a job that simply
+    runs longer than the watchdog's ``hang_s`` never reads as hung —
+    only a frozen or dead process lets its heartbeat go stale.
+    """
+    global _in_worker, _pulse_thread
     _in_worker = True
     if heartbeat_dir:
         os.environ[ENV_HEARTBEAT_DIR] = heartbeat_dir
         HeartbeatDir(heartbeat_dir).beat("init")
+        if pulse_s and (_pulse_thread is None or not _pulse_thread.is_alive()):
+            _pulse_thread = threading.Thread(
+                target=_pulse_loop,
+                args=(heartbeat_dir, pulse_s),
+                name="repro-heartbeat-pulse",
+                daemon=True,
+            )
+            _pulse_thread.start()
 
 
 def in_worker_process() -> bool:
@@ -73,6 +107,21 @@ def worker_checkpoint(label: str = "") -> None:
     faults.fault_point("pool.worker", allow_kill=True)
 
 
+def stamp_job_start(key: str) -> None:
+    """Record the wall-clock instant a timed job attempt began executing.
+
+    Worker-side half of the pool's per-job timeout clock: the parent
+    arms a flight's deadline only once this stamp exists, so time a job
+    spends queued behind a busy pool never counts against ``timeout_s``.
+    A no-op outside marked worker processes.
+    """
+    if not _in_worker:
+        return
+    raw = os.environ.get(ENV_HEARTBEAT_DIR, "").strip()
+    if raw:
+        HeartbeatDir(raw).stamp_start(key)
+
+
 class HeartbeatDir:
     """One beat file per worker pid under a run-scoped directory."""
 
@@ -80,6 +129,9 @@ class HeartbeatDir:
         self.root = Path(root)
 
     def beat(self, label: str = "") -> None:
+        if not self.root.is_dir():
+            # Torn down by the parent (run over); don't resurrect it.
+            return
         pid = os.getpid()
         atomic_write_json(
             self.root / f"{pid}.json",
@@ -109,6 +161,36 @@ class HeartbeatDir:
         ]
         return min(ages) if ages else None
 
+    def start_path(self, key: str) -> Path:
+        return self.root / f"start-{key[:32]}.json"
+
+    def stamp_start(self, key: str) -> None:
+        """Worker-side: mark a timed job attempt as executing *now*."""
+        if not self.root.is_dir():
+            return  # torn down by the parent; the run is over
+        atomic_write_json(
+            self.start_path(key),
+            {"key": key, "started_at": time.time()},
+            fsync=False,  # scratch state; freshness matters, not durability
+        )
+
+    def job_started_at(self, key: str) -> Optional[float]:
+        """Parent-side: when the job's current attempt began, if it has."""
+        try:
+            with open(self.start_path(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        started = record.get("started_at") if isinstance(record, dict) else None
+        return float(started) if isinstance(started, (int, float)) else None
+
+    def clear_start(self, key: str) -> None:
+        """Parent-side: drop a stale stamp before resubmitting a retry."""
+        try:
+            self.start_path(key).unlink()
+        except OSError:
+            pass
+
     def stale_pids(self, age_s: float) -> List[int]:
         now = time.time()
         return sorted(
@@ -125,6 +207,12 @@ class WatchdogPolicy:
     hang_s: float = 60.0
     poll_s: float = 0.2
     kill_stale: bool = True
+
+    @property
+    def worker_pulse_s(self) -> float:
+        """Mid-job heartbeat interval for workers: well inside ``hang_s``
+        so an alive worker can never look stale between pulses."""
+        return max(0.05, min(5.0, self.hang_s / 4.0))
 
 
 class Watchdog:
@@ -182,5 +270,6 @@ __all__ = [
     "WatchdogPolicy",
     "in_worker_process",
     "mark_worker_process",
+    "stamp_job_start",
     "worker_checkpoint",
 ]

@@ -59,10 +59,14 @@ class TestRetries:
         The job can never finish inside 1 ms, so every attempt times
         out — the failure must record retries+1 attempts, proving the
         timeout went through the retry budget instead of bypassing it.
+        Caching is off because an abandoned attempt that completes in
+        the background would otherwise store its result and let a later
+        retry come back ``cached`` (legitimate salvage, but not the
+        path under test).
         """
         job = SimJob(workload="twolf", length=60_000, seed=9,
                      timeout_s=0.001, retries=2, backoff_s=0.01)
-        results, _ = run_jobs([job], workers=2, store_root=tmp_path)
+        results, _ = run_jobs([job], workers=2, use_cache=False)
         assert results[0].status == JobStatus.FAILED
         assert results[0].attempts == 3
         assert "Timeout" in results[0].error
@@ -75,6 +79,48 @@ class TestRetries:
         job = SimJob(workload="gzip", length=400, timeout_s=30.0, retries=2)
         results, _ = run_jobs([job], workers=2, store_root=tmp_path)
         assert results[0].status == JobStatus.OK
+
+    @pytest.mark.slow
+    def test_queue_wait_does_not_consume_the_timeout(self, tmp_path):
+        """Regression: the timeout clock starts at execution, not submit.
+
+        Six timed jobs share two workers; each attempt is delayed 1.5 s
+        by an injected fault, so the later jobs sit queued for several
+        seconds — far past their 2.5 s budget — before a worker picks
+        them up. With a submit-time clock (and retries=0) they would be
+        cancelled unexecuted and recorded as timeout failures; with the
+        execution-time clock every one of them finishes inside budget.
+        """
+        jobs = _jobs(6, length=300, timeout_s=2.5, retries=0)
+        with faults.injected("job.execute:delay(1.5)@1x*"):
+            results, _ = run_jobs(jobs, workers=2, store_root=tmp_path)
+        assert [r.status for r in results] == [JobStatus.OK] * 6
+
+
+class TestStoreWriteFault:
+    def test_store_write_fault_does_not_abort_the_run(self, tmp_path):
+        """execute_job's never-raises contract covers the cache write.
+
+        An injected store.write fault on the first put must degrade to
+        an OK-but-unstored result (counted through the metrics
+        registry), not propagate out of the serial path and abort the
+        batch before run_end/manifest.
+        """
+        jobs = _jobs(2)
+        with faults.injected("store.write:raise@1"):
+            results, telemetry = run_jobs(
+                jobs, workers=1, store_root=tmp_path, collect_metrics=True,
+            )
+        assert all(r.status == JobStatus.OK for r in results)
+        assert all(r.payload is not None for r in results)
+        counters = (results[0].metrics or {}).get("counters", {})
+        assert counters.get("resilience.store_put_failures_total") == 1
+        # The faulted object is simply absent; the run state is intact.
+        store = ResultStore(root=tmp_path)
+        assert store.get(results[0].key) is None
+        assert store.get(results[1].key) is not None
+        merged = store.runs_dir / f"{telemetry.run_id}.merged.json"
+        assert merged.is_file()
 
 
 class TestWorkerKill:
@@ -103,20 +149,42 @@ class TestWorkerKill:
 @pytest.mark.slow
 class TestHangWatchdog:
     def test_hung_worker_is_detected_and_run_degrades(self, tmp_path):
-        """A worker stuck in a 60 s sleep must not stall the run: the
-        watchdog declares a hang, kills the stale worker, and the jobs
-        re-run serially in the parent (where pool.worker never fires).
+        """A frozen worker must not stall the run: the watchdog declares
+        a hang, kills the stale workers, and the jobs re-run serially in
+        the parent (where pool.worker never fires). ``stop`` (SIGSTOP)
+        freezes the whole process — heartbeat pulse thread included —
+        which is the hang signature the watchdog is built to catch.
         """
         jobs = _jobs(2, length=400)
         policy = WatchdogPolicy(hang_s=2.0, poll_s=0.1)
         watch_started = time.time()
-        with faults.injected("pool.worker:delay(60)@1x*"):
+        with faults.injected("pool.worker:stop@1x*"):
             results, telemetry = run_jobs(
                 jobs, workers=2, store_root=tmp_path,
                 watchdog_policy=policy,
             )
         assert all(r.ok for r in results)
-        assert time.time() - watch_started < 45.0  # did not wait out 60s
+        assert time.time() - watch_started < 45.0  # promptly degraded
+
+    def test_long_job_with_fresh_heartbeat_is_not_killed(self, tmp_path):
+        """Regression: a job merely *longer* than hang_s is not a hang.
+
+        Each worker sleeps 3 s mid-job — past the 1 s hang budget — but
+        its background pulse keeps the heartbeat fresh, so the watchdog
+        must leave it alone: no hang declared, no degradation to serial,
+        results come back from the pool's first attempt.
+        """
+        jobs = _jobs(2, length=400)
+        policy = WatchdogPolicy(hang_s=1.0, poll_s=0.1)
+        with faults.injected("pool.worker:delay(3)@1x*"):
+            results, telemetry = run_jobs(
+                jobs, workers=2, store_root=tmp_path,
+                collect_metrics=True, watchdog_policy=policy,
+            )
+        assert all(r.ok for r in results)
+        counters = (telemetry.parent_metrics or {}).get("counters", {})
+        assert "resilience.hung_workers_total" not in counters
+        assert "resilience.pool_degradations_total" not in counters
 
 
 _SIGINT_DRIVER = """
