@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Drive a seeded request mix through the experiment service.
+
+Boots `repro.serve` in-process, then replays the traffic shapes the
+service exists for — a cold sweep of distinct workloads, a warm replay
+of the same requests, a coalesced burst of identical concurrent
+requests, and a parameter sweep — and asserts the counters that prove
+each behaviour:
+
+* warm requests are answered from a cache tier, never the pool;
+* the identical burst coalesces to exactly one pool execution;
+* every request is accounted for in ``serve.requests_total``.
+
+CI runs this as the `serve` job and uploads the final metrics snapshot
+(``serve-metrics.json``) as an artifact; locally it is a smoke test:
+
+    python examples/serve_traffic.py [--store DIR] [--out FILE]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.serve import BackgroundServer, ExperimentService, ServeClient
+
+COLD_WORKLOADS = ("gzip", "mcf", "twolf", "parser", "vpr", "crafty")
+LENGTH = 2_000  # short jobs: the mix exercises the service, not the core
+BURST = 24
+
+
+def run_mix(server: BackgroundServer) -> dict:
+    with ServeClient("127.0.0.1", server.port) as client:
+        assert client.ping(), "service did not answer ping"
+
+        def pool_executions() -> int:
+            snapshot = client.status()["result"]["metrics"]["counters"]
+            return snapshot["serve.pool_executions_total"]
+
+        # 1. Cold phase: six distinct workloads, all must hit the pool.
+        for workload in COLD_WORKLOADS:
+            response = client.simulate(workload, length=LENGTH, seed=2006)
+            assert response["ok"], response
+            assert response["meta"]["source"] == "pool", response["meta"]
+
+        # 2. Warm phase: the same six again, none may touch the pool.
+        warm_baseline = pool_executions()
+        for workload in COLD_WORKLOADS:
+            response = client.simulate(workload, length=LENGTH, seed=2006)
+            assert response["ok"], response
+            assert response["meta"]["source"] == "tier0", response["meta"]
+        assert pool_executions() == warm_baseline, "warm hit ran the pool"
+        burst_baseline = warm_baseline
+
+        # 3. Coalesced burst: BURST identical *concurrent* requests for
+        #    a key nobody has computed yet. One connection is lockstep,
+        #    so fan out over BURST short-lived clients.
+        def one_burst_request(_: int) -> dict:
+            with ServeClient("127.0.0.1", server.port) as burst_client:
+                return burst_client.simulate("eon", length=LENGTH, seed=7)
+
+        with concurrent.futures.ThreadPoolExecutor(BURST) as pool:
+            burst = list(pool.map(one_burst_request, range(BURST)))
+        assert all(r["ok"] for r in burst), burst
+        sources = sorted({r["meta"]["source"] for r in burst})
+        coalesced = sum(1 for r in burst if r["meta"]["coalesced"])
+        # The burst must have collapsed: exactly one execution for its
+        # key (the leader); everyone else coalesced onto it or read the
+        # fresh cache entry — never BURST executions.
+        assert pool_executions() == burst_baseline + 1, "burst ran >1 job"
+
+        # 4. A sweep, routed across shards (its baseline point may be
+        #    warm already — that is the shared namespace working).
+        sweep = client.sweep(
+            "mcf", "rob_size", [32, 64, 128, 256], length=LENGTH
+        )
+        assert sweep["ok"] and len(sweep["result"]) == 4, sweep
+
+        status = client.status()["result"]
+        client.shutdown()
+
+    counters = status["metrics"]["counters"]
+    expected = 2 * len(COLD_WORKLOADS) + BURST  # simulate ops alone
+    assert counters["serve.requests_total"] >= expected, counters
+    assert (
+        counters["serve.cache_hits_tier0_total"] >= len(COLD_WORKLOADS)
+    ), counters
+    assert counters["serve.coalesced_total"] == coalesced, counters
+    assert counters["serve.errors_total"] == 0, counters
+
+    print(f"requests            : {counters['serve.requests_total']}")
+    print(f"pool executions     : {counters['serve.pool_executions_total']}")
+    print(f"coalesced           : {coalesced}/{BURST - 1} burst followers")
+    print(f"burst sources       : {', '.join(sources)}")
+    print(f"tier0 hits          : {counters['serve.cache_hits_tier0_total']}")
+    print(f"shards              : {len(status['shards'])}")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store", help="store root (default: a temp dir)")
+    parser.add_argument("--out", help="write the final status snapshot here")
+    args = parser.parse_args(argv)
+
+    if args.store:
+        store_root = Path(args.store)
+        context = None
+    else:
+        context = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        store_root = Path(context.name) / "cache"
+    try:
+        service = ExperimentService(store_root=store_root, n_shards=2)
+        with BackgroundServer(service) as server:
+            print(f"service             : 127.0.0.1:{server.port}")
+            status = run_mix(server)
+        if args.out:
+            Path(args.out).write_text(
+                json.dumps(status, indent=2, sort_keys=True), encoding="utf-8"
+            )
+            print(f"snapshot written    : {args.out}")
+    finally:
+        if context is not None:
+            context.cleanup()
+    print("serve traffic mix   : OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -657,9 +657,131 @@ class AtomicWriteRule(Rule):
             )
 
 
+@register
+class BlockingCallInServeRule(Rule):
+    """No blocking calls inside ``serve`` coroutines.
+
+    The serve front door multiplexes every client on one event loop;
+    a single ``time.sleep`` or synchronous store read inside a
+    coroutine stalls *all* of them at once — the failure is invisible
+    under light load and catastrophic under the query traffic the
+    service exists to absorb. Blocking work belongs in helper
+    functions driven through ``asyncio.to_thread`` (disk, executors)
+    or ``asyncio.wrap_future`` (pool futures).
+
+    Flagged inside ``async def`` bodies (nested synchronous ``def``
+    bodies are excluded — those run off-loop by construction):
+
+    - ``time.sleep``;
+    - ``subprocess.run/call/check_call/check_output`` and ``Popen``,
+      ``os.system``, ``os.wait*``;
+    - file I/O: builtin ``open`` and ``Path.read_text/read_bytes/
+      write_text/write_bytes/open``;
+    - synchronous store/cache/shard traffic: method calls named
+      ``get``/``put``/``lookup``/``submit`` on ``store``/``cache``/
+      ``shard``-ish receivers, plus ``journal_state`` and executor
+      ``shutdown``/``restart`` — the serve-layer operations that do
+      disk or process work.
+
+    A deliberate exception (e.g. an in-memory dict named ``cache``)
+    carries ``# repro: noqa[SRV001]`` with a justification.
+    """
+
+    id = "SRV001"
+    name = "blocking-call-in-coroutine"
+    description = (
+        "no blocking calls (time.sleep, subprocess, sync file/store "
+        "I/O) inside src/repro/serve/ coroutines; wrap them in "
+        "asyncio.to_thread (escape hatch: # repro: noqa[SRV001])"
+    )
+    scope = ("serve",)
+
+    _MODULE_CALLS = {
+        "time.sleep": "time.sleep blocks the event loop",
+        "subprocess.run": "subprocess.run blocks the event loop",
+        "subprocess.call": "subprocess.call blocks the event loop",
+        "subprocess.check_call": "subprocess.check_call blocks the loop",
+        "subprocess.check_output": "subprocess.check_output blocks the loop",
+        "subprocess.Popen": "spawn subprocesses off-loop",
+        "os.system": "os.system blocks the event loop",
+        "os.wait": "os.wait blocks the event loop",
+        "os.waitpid": "os.waitpid blocks the event loop",
+    }
+    _PATH_METHODS = (
+        "read_text", "read_bytes", "write_text", "write_bytes", "open",
+    )
+    _BLOCKING_METHODS = ("get", "put", "lookup", "submit")
+    _BLOCKING_RECEIVERS = ("store", "cache", "backend", "shard", "tier")
+    _ALWAYS_BLOCKING_METHODS = ("journal_state", "shutdown", "restart")
+
+    def _receiver_name(self, func: ast.Attribute) -> str:
+        node = func.value
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else ""
+
+    def _blocking_reason(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "builtin open() blocks the event loop"
+        dotted = _dotted(func)
+        if dotted in self._MODULE_CALLS:
+            return f"{dotted}: {self._MODULE_CALLS[dotted]}"
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in self._PATH_METHODS and isinstance(
+            func.value, (ast.Name, ast.Attribute)
+        ):
+            # Path-flavoured file I/O; builtin-module calls (json.load
+            # on an handle etc.) need an open() first and are caught
+            # there.
+            if func.attr != "open" or not node.args or isinstance(
+                node.args[0], ast.Constant
+            ):
+                return f".{func.attr}() does file I/O on the event loop"
+        if func.attr in self._ALWAYS_BLOCKING_METHODS:
+            return f".{func.attr}() does disk/process work on the loop"
+        if func.attr in self._BLOCKING_METHODS:
+            receiver = self._receiver_name(func).lower()
+            if any(hint in receiver for hint in self._BLOCKING_RECEIVERS):
+                return (
+                    f"{receiver}.{func.attr}() is synchronous store/"
+                    "cache traffic on the event loop"
+                )
+        return None
+
+    def _scan(self, body: List[ast.stmt]) -> Iterator[ast.Call]:
+        """Calls lexically inside coroutine code, skipping nested
+        synchronous ``def`` bodies (they run off-loop)."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.FunctionDef):
+                continue  # sync helper: its body is not loop code
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in self._scan(node.body):
+                reason = self._blocking_reason(call)
+                if reason is not None:
+                    yield self.violation(
+                        ctx, call,
+                        f"blocking call in coroutine "
+                        f"{node.name!r}: {reason}; wrap in "
+                        "asyncio.to_thread (or justify with "
+                        "# repro: noqa[SRV001])",
+                    )
+
+
 __all__ = [
     "AtomicWriteRule",
     "BareExceptRule",
+    "BlockingCallInServeRule",
     "DirectPhaseTimingRule",
     "FloatEqualityRule",
     "FrozenConfigRule",

@@ -16,6 +16,8 @@ Examples::
     python -m repro lab run f2 --metrics       # merged metrics manifest
     python -m repro lab status
     python -m repro lab gc --max-age-days 30
+    python -m repro serve run --shards 4     # long-lived query service
+    python -m repro serve status
     python -m repro lint src/                  # AST rule pack, CI gate
     python -m repro lint src/ --format=json
     python -m repro simulate --workload mcf --sanitize
@@ -712,6 +714,84 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_run(args: argparse.Namespace) -> int:
+    """Start the sharded async experiment service (foreground)."""
+    import asyncio
+
+    from repro.serve.service import ExperimentService, ServeServer
+
+    console = _console(args)
+    if args.faults:
+        from repro.resilience import faults
+
+        faults.enable(args.faults)  # exported so shard workers inherit
+    service = ExperimentService(
+        store_root=args.cache_dir,
+        n_shards=args.shards,
+        tier0_items=args.tier0_items,
+        tier0_bytes=args.tier0_bytes,
+        use_cache=not args.no_cache,
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        console.info(
+            f"serve {service.service_id}: listening on "
+            f"{server.host}:{server.port} with {len(service.shards)} "
+            f"shard(s); store {service.store.root}"
+        )
+        console.info("stop with Ctrl-C or the 'shutdown' op")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        console.info("interrupted; shutting down")
+    manifest = service.store.runs_dir / f"{service.service_id}.serve.json"
+    console.info(f"metrics manifest: {manifest}")
+    return 0
+
+
+def cmd_serve_status(args: argparse.Namespace) -> int:
+    """Query a running service's counters, cache tiers, and shards."""
+    from repro.lab import ResultStore
+    from repro.obs.metrics import render_snapshot
+    from repro.serve.client import ServeClient, ServeClientError
+
+    console = _console(args)
+    store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+    try:
+        client = ServeClient.from_store(store.root, timeout_s=args.timeout)
+        with client:
+            response = client.status()
+    except ServeClientError as exc:
+        console.result(str(exc))
+        return 1
+    if not response.get("ok"):
+        console.result(f"status failed: {response.get('error')}")
+        return 1
+    status = response["result"]
+    console.result(f"service    : {status['service_id']} "
+                   f"(pid {status['pid']}, v{status['version']})")
+    console.result(f"uptime     : {status['uptime_s']:.1f}s")
+    console.result(f"store root : {status['store_root']}")
+    console.result(f"inflight   : {status['inflight']}")
+    for shard in status["shards"]:
+        console.result(
+            f"  shard {shard['index']}: {shard['submitted']} submitted, "
+            f"{shard['pending']} pending, {shard['restarts']} restart(s), "
+            f"workers {shard['worker_pids']}"
+        )
+    for tier in status["tiers"]:
+        stats = status["cache"].get(tier, {})
+        hits = stats.get("hits", 0)
+        misses = stats.get("misses", 0)
+        console.result(f"  cache {tier}: {hits} hit(s), {misses} miss(es)")
+    console.result(render_snapshot(status["metrics"]).rstrip("\n"))
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.harness.experiments import EXPERIMENTS
 
@@ -968,6 +1048,52 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--output", default=None,
                    help="write the report to a file instead of stdout")
     q.set_defaults(func=cmd_lab_fsck)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived sharded experiment service (coalescing, "
+        "tiered cache)",
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    q = serve_sub.add_parser(
+        "run", parents=[common],
+        help="start the service (foreground; Ctrl-C or 'shutdown' op "
+        "stops it)",
+    )
+    q.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    q.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = OS-assigned; the chosen "
+                   "port is advertised in <store>/serve/endpoint.json)")
+    q.add_argument("--shards", type=int, default=2,
+                   help="worker shards, each owning a hash-prefix range "
+                   "of the store (default 2)")
+    q.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    q.add_argument("--no-cache", action="store_true",
+                   help="bypass every cache tier (each request "
+                   "recomputes; coalescing still applies)")
+    q.add_argument("--tier0-items", type=int, default=512,
+                   help="tier-0 LRU entry bound (default 512)")
+    q.add_argument("--tier0-bytes", type=int, default=64 * 1024 * 1024,
+                   help="tier-0 LRU byte bound (default 64 MiB)")
+    q.add_argument("--faults", default=None,
+                   help="deterministic fault-injection plan (exported "
+                   "as REPRO_FAULTS so shard workers inherit it)")
+    q.set_defaults(func=cmd_serve_run)
+
+    q = serve_sub.add_parser(
+        "status", parents=[common],
+        help="query the running service (endpoint file under the store)",
+    )
+    q.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    q.add_argument("--timeout", type=float, default=10.0,
+                   help="connect/request timeout in seconds (default 10)")
+    q.set_defaults(func=cmd_serve_status)
 
     q = lab_sub.add_parser("gc", parents=[common],
                            help="evict stored results")

@@ -211,6 +211,23 @@ def _count_metric(name: str) -> None:
         metrics.counter(name).inc()
 
 
+def _stat_size(path: Path) -> Optional[int]:
+    """File size, or None when the file vanished mid-scan (another
+    process quarantined or gc'd it between glob and stat)."""
+    try:
+        return path.stat().st_size
+    except OSError:
+        return None
+
+
+def _stat_mtime(path: Path) -> Optional[float]:
+    """File mtime, or None when the file vanished mid-scan."""
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return None
+
+
 @dataclass
 class StoreStats:
     """Hit/miss/eviction accounting for one :class:`ResultStore`."""
@@ -336,7 +353,18 @@ class ResultStore:
         return sum(1 for _ in self.iter_objects())
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.iter_objects())
+        """Total object bytes, tolerating concurrent readers/writers.
+
+        Another process may quarantine (or gc) an object between the
+        directory scan and the ``stat`` — a torn scan must degrade to
+        "that object no longer counts", never to an exception.
+        """
+        total = 0
+        for path in self.iter_objects():
+            size = _stat_size(path)
+            if size is not None:
+                total += size
+        return total
 
     def gc(
         self,
@@ -350,18 +378,30 @@ class ResultStore:
         than that many seconds; ``max_entries`` keeps only the newest N
         by modification time.
         """
-        objects = list(self.iter_objects())
+        # mtimes are snapshotted once up front; an object quarantined or
+        # removed by a concurrent process mid-scan simply drops out of
+        # the candidate set instead of raising from a late ``stat``.
+        stamped = [
+            (p, mtime)
+            for p in self.iter_objects()
+            for mtime in (_stat_mtime(p),)
+            if mtime is not None
+        ]
         doomed: List[Path] = []
         if clear:
-            doomed = objects
+            doomed = [p for p, _ in stamped]
         else:
             if max_age_s is not None:
                 cutoff = time.time() - max_age_s
-                doomed.extend(p for p in objects if p.stat().st_mtime < cutoff)
-            if max_entries is not None and len(objects) > max_entries:
-                survivors = [p for p in objects if p not in set(doomed)]
-                survivors.sort(key=lambda p: p.stat().st_mtime)
-                doomed.extend(survivors[: len(survivors) - max_entries])
+                doomed.extend(p for p, mtime in stamped if mtime < cutoff)
+            if max_entries is not None and len(stamped) > max_entries:
+                survivors = [
+                    (p, mtime) for p, mtime in stamped if p not in set(doomed)
+                ]
+                survivors.sort(key=lambda pair: pair[1])
+                doomed.extend(
+                    p for p, _ in survivors[: len(survivors) - max_entries]
+                )
         removed = 0
         for path in doomed:
             try:
@@ -375,15 +415,15 @@ class ResultStore:
         """Run manifests, newest first (merged manifests excluded)."""
         if not self.runs_dir.is_dir():
             return []
-        return sorted(
-            (
-                p
-                for p in self.runs_dir.glob("*.json")
-                if not p.name.endswith(".merged.json")
-            ),
-            key=lambda p: p.stat().st_mtime,
-            reverse=True,
-        )
+        stamped = [
+            (p, mtime)
+            for p in self.runs_dir.glob("*.json")
+            if not p.name.endswith(".merged.json")
+            for mtime in (_stat_mtime(p),)
+            if mtime is not None
+        ]
+        stamped.sort(key=lambda pair: pair[1], reverse=True)
+        return [p for p, _ in stamped]
 
     def quarantined_files(self) -> List[Path]:
         """Quarantined objects on disk (the log itself excluded)."""

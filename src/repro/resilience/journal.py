@@ -105,6 +105,18 @@ class RunJournal:
             }
         )
 
+    def note(self, event: str, **fields: Any) -> None:
+        """Append a free-form record (``event`` plus keyword fields).
+
+        The serve shards use this to journal accepted request payloads
+        alongside the standard lifecycle records; :class:`JournalState`
+        ignores events it does not recognize, so notes never perturb
+        resume classification.
+        """
+        record: Dict[str, Any] = {"event": event}
+        record.update(fields)
+        self._writer.append(record)
+
     def interrupted(self) -> None:
         self._writer.append({"event": "interrupted"})
 

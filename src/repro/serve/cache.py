@@ -1,0 +1,250 @@
+"""The serve result cache: tier-0 LRU over pluggable disk backends.
+
+Lookup order is tier 0 (in-process :class:`repro.util.lru.LRUCache`,
+byte-bounded), then each configured :class:`CacheBackend` in priority
+order. A backend hit is promoted into tier 0 so the next identical
+request never leaves the process. Writes go everywhere (write-through)
+so a service restart only costs the tier-0 warmth.
+
+Two backends prove the interface is real:
+
+- :class:`StoreBackend` — the lab's content-addressed
+  ``.repro-cache`` store; every read is integrity-verified (payload
+  sha256 + content address + code salt) and corrupt objects are
+  quarantined, exactly as for batch runs.
+- :class:`DirectoryBackend` — a second, independent directory of
+  checksummed objects in the same verified envelope
+  (:func:`repro.lab.store.verify_object_bytes`), demonstrating that a
+  remote/blob tier can slot in without touching the service.
+
+Everything here is synchronous on purpose: the service calls it
+through ``asyncio.to_thread`` so the event loop never blocks on disk
+(SRV001 polices that discipline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lab.store import (
+    CODE_SALT,
+    ResultStore,
+    payload_digest,
+    quarantine_file,
+    verify_object_bytes,
+)
+from repro.resilience.atomic import atomic_write_bytes
+from repro.util.lru import LRUCache
+
+#: Tier-0 defaults: enough for a sweep's working set, bounded in bytes
+#: so a handful of huge timeline payloads cannot pin the heap.
+DEFAULT_TIER0_ITEMS = 512
+DEFAULT_TIER0_BYTES = 64 * 1024 * 1024
+
+TIER0_NAME = "tier0"
+
+
+def json_sizeof(value: Any) -> int:
+    """Measure a payload by its serialized JSON size.
+
+    ``sys.getsizeof`` is shallow (a dict of big lists measures tiny);
+    the JSON length is what the payload actually costs to hold and
+    ship, and it is deterministic across runs.
+    """
+    return len(json.dumps(value, separators=(",", ":")))
+
+
+class CacheBackend:
+    """One disk (or remote) tier below the in-process LRU.
+
+    ``get`` returns the verified payload or ``None`` — backends never
+    raise for a miss, a corrupt object, or an unreadable file, because
+    a cache failure must degrade to a recompute, not an error.
+    ``put`` failures are likewise swallowed by :class:`TieredCache`.
+    """
+
+    #: Short tier label used in metrics (``serve.cache_hits_<name>_total``)
+    #: and response ``meta.source``; lowercase alphanumerics only.
+    name: str = "backend"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        return {}
+
+
+class StoreBackend(CacheBackend):
+    """The lab's content-addressed store as a cache tier."""
+
+    name = "store"
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.store.get(key)
+
+    def put(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.store.put(key, payload, meta=meta)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.store.stats.as_dict()
+
+
+class DirectoryBackend(CacheBackend):
+    """An independent directory tier in the store's verified envelope.
+
+    Objects live at ``<root>/<key[:2]>/<key>.json`` with the same
+    salt + sha256 wrapper the primary store writes, so reads reuse
+    :func:`verify_object_bytes` and damaged objects are quarantined
+    into ``<root>/quarantine/`` rather than served.
+    """
+
+    name = "dir"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        status, obj = verify_object_bytes(raw, expected_key=key)
+        if status == "ok":
+            self.hits += 1
+            return obj.get("payload")
+        self.misses += 1
+        if status != "stale-salt":
+            quarantine_file(self.root, path, f"dir-tier get: {status}")
+        return None
+
+    def put(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        import time
+
+        obj = {
+            "key": key,
+            "salt": CODE_SALT,
+            "sha256": payload_digest(payload),
+            "stored_at": time.time(),
+            "meta": meta or {},
+            "payload": payload,
+        }
+        blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+        atomic_write_bytes(self._path(key), blob)
+
+    def count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for p in self.root.glob("*/*.json")
+            if p.parent.name != "quarantine"
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class TieredCache:
+    """Tier-0 LRU in front of an ordered list of backends."""
+
+    def __init__(
+        self,
+        tier0: Optional[LRUCache] = None,
+        backends: Sequence[CacheBackend] = (),
+    ) -> None:
+        # `tier0 or ...` would discard a caller-supplied cache: LRUCache
+        # defines __len__, so an empty one is falsy.
+        if tier0 is None:
+            tier0 = LRUCache(
+                DEFAULT_TIER0_ITEMS,
+                max_bytes=DEFAULT_TIER0_BYTES,
+                sizeof=json_sizeof,
+            )
+        self.tier0 = tier0
+        self.backends: List[CacheBackend] = list(backends)
+        names = [TIER0_NAME] + [b.name for b in self.backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cache tier names: {names}")
+
+    @property
+    def tier_names(self) -> List[str]:
+        return [TIER0_NAME] + [b.name for b in self.backends]
+
+    def lookup(self, key: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """``(payload, tier_name)`` on a hit; ``(None, None)`` on a miss.
+
+        A backend hit is promoted into tier 0 (and only tier 0 — the
+        backends already have it by write-through).
+        """
+        payload = self.tier0.get(key)
+        if payload is not None:
+            return payload, TIER0_NAME
+        for backend in self.backends:
+            payload = backend.get(key)
+            if payload is not None:
+                self.tier0[key] = payload
+                return payload, backend.name
+        return None, None
+
+    def store(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Write-through to every tier; backend failures are absorbed
+        (a result that cannot be cached is still a result)."""
+        self.tier0[key] = payload
+        for backend in self.backends:
+            try:
+                backend.put(key, payload, meta=meta)
+            except Exception:
+                continue
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            TIER0_NAME: self.tier0.stats(),
+            **{b.name: b.stats() for b in self.backends},
+        }
+
+
+__all__ = [
+    "CacheBackend",
+    "DEFAULT_TIER0_BYTES",
+    "DEFAULT_TIER0_ITEMS",
+    "DirectoryBackend",
+    "StoreBackend",
+    "TIER0_NAME",
+    "TieredCache",
+    "json_sizeof",
+]

@@ -1,0 +1,173 @@
+"""Synchronous JSON-lines client for the serve front door.
+
+Used by the tests, the CI traffic driver, and ``repro serve status``.
+Deliberately synchronous (plain ``socket``): callers are scripts and
+test code, and a blocking client exercises the server's concurrency
+from the outside instead of sharing its event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.serve import protocol
+from repro.serve.service import endpoint_path
+
+
+class ServeClientError(RuntimeError):
+    """Transport-level failure (connect, framing, truncated stream)."""
+
+
+def read_endpoint(store_root: Union[str, Path]) -> Dict[str, Any]:
+    """The running service's advertised address under ``store_root``."""
+    path = endpoint_path(store_root)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServeClientError(
+            f"no serve endpoint at {path} ({exc}); is the service running?"
+        ) from None
+    if not isinstance(record, dict) or "port" not in record:
+        raise ServeClientError(f"malformed endpoint file {path}")
+    return record
+
+
+class ServeClient:
+    """One connection, request/response in lockstep."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._sent = 0
+
+    @classmethod
+    def from_store(
+        cls, store_root: Union[str, Path], timeout_s: float = 60.0
+    ) -> "ServeClient":
+        record = read_endpoint(store_root)
+        return cls(
+            host=record.get("host", "127.0.0.1"),
+            port=int(record["port"]),
+            timeout_s=timeout_s,
+        )
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as exc:
+            raise ServeClientError(
+                f"cannot connect to serve at {self.host}:{self.port}: {exc}"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, read one frame; raises only on transport."""
+        self._ensure_connected()
+        if "id" not in obj:
+            self._sent += 1
+            obj = {**obj, "id": f"c{self._sent}"}
+        try:
+            self._sock.sendall(protocol.encode_line(obj))
+            raw = self._reader.readline()
+        except OSError as exc:
+            self.close()
+            raise ServeClientError(f"serve connection failed: {exc}") from None
+        if not raw:
+            self.close()
+            raise ServeClientError("serve closed the connection mid-request")
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeClientError(f"bad response frame: {exc}") from None
+        if not isinstance(response, dict):
+            raise ServeClientError("response frame is not an object")
+        return response
+
+    # -- op helpers ---------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("result") == "pong"
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def simulate(
+        self,
+        workload: str,
+        length: int = protocol.DEFAULT_LENGTH,
+        seed: int = protocol.DEFAULT_SEED,
+        core: str = "ooo",
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            {
+                "op": "simulate",
+                "workload": workload,
+                "length": length,
+                "seed": seed,
+                "core": core,
+                "config": config or {},
+            }
+        )
+
+    def sweep(
+        self,
+        workload: str,
+        parameter: str,
+        values: List[Any],
+        length: int = protocol.DEFAULT_LENGTH,
+        seed: int = protocol.DEFAULT_SEED,
+        core: str = "ooo",
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            {
+                "op": "sweep",
+                "workload": workload,
+                "parameter": parameter,
+                "values": values,
+                "length": length,
+                "seed": seed,
+                "core": core,
+                "config": config or {},
+            }
+        )
+
+    def close(self) -> None:
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        for closable in (reader, sock):
+            if closable is None:
+                continue
+            try:
+                closable.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ServeClient", "ServeClientError", "read_endpoint"]

@@ -1,0 +1,554 @@
+"""The asyncio front door: coalescing, cache tiers, shard dispatch.
+
+:class:`ExperimentService` is the transport-independent core — its
+:meth:`~ExperimentService.handle` coroutine maps one request dict to
+one response dict, and the TCP layer (:class:`ServeServer`) is a thin
+JSON-lines adapter over it. Tests drive ``handle`` directly with
+``asyncio.gather``; the CLI and the client helper go through TCP.
+
+Request path for ``simulate``:
+
+1. validate → :class:`repro.lab.jobs.SimJob` → content address;
+2. **singleflight**: if that key is already being computed, await the
+   leader's future (``serve.coalesced_total``) — registration happens
+   synchronously before the leader's first ``await``, so N identical
+   requests arriving in one scheduling window always collapse to one
+   computation, deterministically;
+3. **tiered cache** (:class:`repro.serve.cache.TieredCache`): tier-0
+   LRU, then the verified store, then further backends — a warm
+   request never touches a shard (``serve.cache_hits_<tier>_total``);
+4. **shard dispatch**: route by content address, journal write-ahead,
+   execute on the shard's worker (``serve.pool_executions_total``). If
+   the shard's worker dies mid-job (``BrokenProcessPool``), the shard
+   is restarted and the journal consulted: completed-before-death work
+   is replayed from the store, in-flight work is resubmitted once, and
+   a second crash surfaces as a *retryable* ``shard-crashed`` error —
+   waiters always get an answer or that error, never a hang.
+
+Every counter lives in a service-owned
+:class:`repro.obs.metrics.MetricsRegistry`; ``status`` responses carry
+the live snapshot and :meth:`write_manifest` persists it next to the
+lab's run manifests so ``repro obs metrics`` tooling can read it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import uuid
+from concurrent.futures import BrokenExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro import __version__
+from repro.lab.jobs import JobResult, SimJob
+from repro.lab.store import ResultStore
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.atomic import atomic_write_json
+from repro.resilience.watchdog import WatchdogPolicy
+from repro.serve import protocol
+from repro.serve.cache import (
+    DEFAULT_TIER0_BYTES,
+    DEFAULT_TIER0_ITEMS,
+    DirectoryBackend,
+    StoreBackend,
+    TieredCache,
+    json_sizeof,
+)
+from repro.serve.shards import ShardSet
+from repro.util.lru import LRUCache
+from repro.util.timing import Stopwatch
+
+#: Where a running service advertises its address, under the store root.
+ENDPOINT_FILE = "serve/endpoint.json"
+
+#: Latency histogram edges in milliseconds (sub-ms cache hits up to
+#: multi-second cold simulations).
+LATENCY_EDGES_MS = (0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
+                    2500, 5000, 10000)
+
+
+def endpoint_path(store_root: Union[str, Path]) -> Path:
+    return Path(store_root) / ENDPOINT_FILE
+
+
+class ExperimentService:
+    """Coalescing, caching, sharded execution — behind one coroutine."""
+
+    def __init__(
+        self,
+        store_root: Optional[Union[str, Path]] = None,
+        n_shards: int = 2,
+        tier0_items: int = DEFAULT_TIER0_ITEMS,
+        tier0_bytes: Optional[int] = DEFAULT_TIER0_BYTES,
+        dir_cache: Optional[Union[str, Path]] = None,
+        service_id: Optional[str] = None,
+        use_cache: bool = True,
+        watchdog_policy: Optional[WatchdogPolicy] = None,
+    ) -> None:
+        self.store = (
+            ResultStore(root=store_root) if store_root else ResultStore()
+        )
+        self.service_id = service_id or f"serve-{uuid.uuid4().hex[:10]}"
+        self.use_cache = use_cache
+        self.metrics = MetricsRegistry()
+        backends = [StoreBackend(self.store)]
+        if dir_cache is None:
+            dir_cache = self.store.root / "serve" / "l2"
+        backends.append(DirectoryBackend(dir_cache))
+        self.cache = TieredCache(
+            LRUCache(tier0_items, max_bytes=tier0_bytes, sizeof=json_sizeof),
+            backends,
+        )
+        self.shards = ShardSet(
+            n_shards,
+            self.service_id,
+            str(self.store.root),
+            self.store.runs_dir,
+            self.store.root / "serve" / "heartbeats" / self.service_id,
+            use_cache=use_cache,
+            watchdog_policy=watchdog_policy,
+        )
+        self._inflight: Dict[str, "asyncio.Future[Tuple[dict, str]]"] = {}
+        self._uptime = Stopwatch()
+        self.shutdown_requested = asyncio.Event()
+        # Pre-register every counter so a fresh snapshot shows explicit
+        # zeros (CI asserts on names, not just values).
+        for name in (
+            "serve.requests_total",
+            "serve.coalesced_total",
+            "serve.cache_misses_total",
+            "serve.pool_executions_total",
+            "serve.shard_restarts_total",
+            "serve.errors_total",
+        ):
+            self.metrics.counter(name)
+        for tier in self.cache.tier_names:
+            self.metrics.counter(f"serve.cache_hits_{tier}_total")
+        self.metrics.histogram(
+            "serve.request_latency_milliseconds", edges=LATENCY_EDGES_MS
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        self.shards.start()
+
+    def close(self) -> None:
+        self.write_manifest()
+        self.shards.close()
+
+    # -- dispatch -----------------------------------------------------
+
+    async def handle(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """One request dict in, one response dict out; never raises."""
+        rid = protocol.request_id(obj)
+        watch = Stopwatch()
+        self.metrics.counter("serve.requests_total").inc()
+        try:
+            op = protocol.request_op(obj)
+            if op == "ping":
+                response = protocol.ok_response(
+                    rid, "pong", {"service_id": self.service_id}
+                )
+            elif op == "status":
+                response = protocol.ok_response(
+                    rid, await asyncio.to_thread(self.status_payload), {}
+                )
+            elif op == "shutdown":
+                self.shutdown_requested.set()
+                response = protocol.ok_response(
+                    rid, "stopping", {"service_id": self.service_id}
+                )
+            elif op == "simulate":
+                response = await self._simulate(rid, obj)
+            else:  # sweep (request_op already validated the set)
+                response = await self._sweep(rid, obj)
+        except protocol.ProtocolError as exc:
+            self.metrics.counter("serve.errors_total").inc()
+            response = protocol.error_response(
+                rid, exc.error_type, str(exc), exc.retryable
+            )
+        except protocol.ShardCrashError as exc:
+            self.metrics.counter("serve.errors_total").inc()
+            response = protocol.error_response(
+                rid, exc.error_type, str(exc), exc.retryable
+            )
+        except Exception as exc:  # the front door absorbs everything
+            self.metrics.counter("serve.errors_total").inc()
+            response = protocol.error_response(
+                rid, protocol.ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}", False,
+            )
+        self.metrics.histogram(
+            "serve.request_latency_milliseconds", edges=LATENCY_EDGES_MS
+        ).add(watch.elapsed * 1000.0)
+        return response
+
+    async def _simulate(
+        self, rid: Optional[str], obj: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        spec = protocol.sim_job_from(obj)
+        key = spec.key()
+        payload, source, coalesced = await self._result_for(key, spec, obj)
+        return protocol.ok_response(
+            rid,
+            protocol.summarize_payload(payload),
+            {
+                "key": key,
+                "source": source,
+                "coalesced": coalesced,
+                "shard": self.shards.route(key).index,
+            },
+        )
+
+    async def _sweep(
+        self, rid: Optional[str], obj: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        specs = protocol.sweep_jobs_from(obj)
+        points = await asyncio.gather(
+            *(
+                self._result_for(spec.key(), spec, obj)
+                for spec in specs
+            )
+        )
+        results = []
+        for spec, (payload, source, coalesced) in zip(specs, points):
+            summary = protocol.summarize_payload(payload)
+            summary["label"] = spec.label
+            summary["key"] = spec.key()
+            summary["source"] = source
+            results.append(summary)
+        return protocol.ok_response(
+            rid,
+            results,
+            {
+                "points": len(results),
+                "coalesced": sum(1 for _, _, c in points if c),
+            },
+        )
+
+    # -- the singleflight + cache + shard core ------------------------
+
+    async def _result_for(
+        self, key: str, spec: SimJob, request: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], str, bool]:
+        """``(payload, source, coalesced)`` for one content address.
+
+        The inflight table is checked *and claimed* synchronously —
+        no ``await`` between the miss check and the claim — so on a
+        single event loop every concurrent duplicate either leads or
+        coalesces; there is no window to race through.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.counter("serve.coalesced_total").inc()
+            payload, source = await asyncio.shield(existing)
+            return payload, source, True
+        leader: "asyncio.Future[Tuple[dict, str]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        # A leader with no followers never awaits its own future; the
+        # callback marks any exception as retrieved so asyncio does not
+        # log a spurious "exception was never retrieved" at teardown.
+        leader.add_done_callback(
+            lambda f: f.cancelled() or f.exception()
+        )
+        self._inflight[key] = leader
+        try:
+            payload, source = await self._compute(key, spec, request)
+        except Exception as exc:
+            leader.set_exception(exc)
+            raise
+        else:
+            leader.set_result((payload, source))
+            return payload, source, False
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _compute(
+        self, key: str, spec: SimJob, request: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], str]:
+        if self.use_cache:
+            payload, tier = await asyncio.to_thread(self.cache.lookup, key)
+            if payload is not None:
+                self.metrics.counter(f"serve.cache_hits_{tier}_total").inc()
+                return payload, tier
+        self.metrics.counter("serve.cache_misses_total").inc()
+        payload = await self._run_on_shard(key, spec, request)
+        if self.use_cache:
+            await asyncio.to_thread(
+                self.cache.store, key, payload, {"label": spec.label}
+            )
+        return payload, "pool"
+
+    async def _run_on_shard(
+        self, key: str, spec: SimJob, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Execute on the owning shard with crash-recovery semantics."""
+        shard = self.shards.route(key)
+        self.metrics.counter("serve.pool_executions_total").inc()
+        wire_request = {
+            k: v for k, v in request.items() if k in (
+                "op", "workload", "length", "seed", "core", "config",
+                "parameter", "values",
+            )
+        }
+        future = await asyncio.to_thread(
+            shard.submit, key, spec, wire_request
+        )
+        for attempt in (1, 2):
+            try:
+                result: JobResult = await asyncio.wrap_future(future)
+            except BrokenExecutor:
+                self.metrics.counter("serve.shard_restarts_total").inc()
+                await asyncio.to_thread(shard.restart)
+                # Journal triage: work that finished before the crash
+                # replays from the store; everything else gets exactly
+                # one resubmission (at-least-once, then fail retryable).
+                state = await asyncio.to_thread(shard.journal_state)
+                if state.classify(key) == "complete" and self.use_cache:
+                    payload = await asyncio.to_thread(self.store.get, key)
+                    if payload is not None:
+                        shard.pending.pop(key, None)
+                        return payload
+                if attempt == 2:
+                    break
+                future = await asyncio.to_thread(shard.resubmit, key)
+                if future is None:
+                    break
+                continue
+            if result.ok and result.payload is not None:
+                await asyncio.to_thread(shard.complete, key, result)
+                return result.payload
+            error = (result.error or "job failed with no payload").strip()
+            await asyncio.to_thread(shard.fail, key, error)
+            last = error.splitlines()[-1] if error else "job failed"
+            raise _job_failure(last)
+        await asyncio.to_thread(
+            shard.fail, key, "shard crashed while executing"
+        )
+        raise protocol.ShardCrashError(
+            f"shard {shard.index} crashed while executing {spec.label}; "
+            "the request is safe to retry"
+        )
+
+    # -- introspection ------------------------------------------------
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``status`` op's result (sync; called off the loop)."""
+        return {
+            "service_id": self.service_id,
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_s": self._uptime.elapsed,
+            "store_root": str(self.store.root),
+            "shards": self.shards.describe(),
+            "cache": self.cache.stats(),
+            "tiers": self.cache.tier_names,
+            "inflight": len(self._inflight),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def write_manifest(self) -> Path:
+        """Persist the metrics/cache snapshot next to lab run manifests."""
+        path = self.store.runs_dir / f"{self.service_id}.serve.json"
+        atomic_write_json(path, self.status_payload())
+        return path
+
+
+def _job_failure(message: str) -> protocol.ProtocolError:
+    error = protocol.ProtocolError(message)
+    error.error_type = protocol.ERR_JOB_FAILED
+    return error
+
+
+class ServeServer:
+    """JSON-lines TCP adapter over an :class:`ExperimentService`."""
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: set = set()
+
+    async def start(self) -> None:
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES + 2,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        await asyncio.to_thread(self._write_endpoint)
+
+    def _write_endpoint(self) -> None:
+        atomic_write_json(
+            endpoint_path(self.service.store.root),
+            {
+                "host": self.host,
+                "port": self.port,
+                "pid": os.getpid(),
+                "service_id": self.service.service_id,
+            },
+        )
+
+    def _remove_endpoint(self) -> None:
+        try:
+            endpoint_path(self.service.store.root).unlink()
+        except OSError:
+            pass
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.encode_line(
+                        protocol.error_response(
+                            None, protocol.ERR_BAD_REQUEST,
+                            "request line too long", False,
+                        )
+                    ))
+                    await writer.drain()
+                    break
+                if not raw:
+                    break
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    obj = protocol.decode_line(line)
+                except protocol.ProtocolError as exc:
+                    response = protocol.error_response(
+                        None, exc.error_type, str(exc), exc.retryable
+                    )
+                else:
+                    response = await self.service.handle(obj)
+                writer.write(protocol.encode_line(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown with the connection still open: close out
+            # quietly instead of logging a cancelled handler task.
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` op (or cancellation) arrives."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self.service.shutdown_requested.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # ``Server.close`` stops accepting; established connections
+        # must be hung up explicitly so their handler tasks finish
+        # before the loop does.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                continue
+        await asyncio.sleep(0)
+        await asyncio.to_thread(self._remove_endpoint)
+        await asyncio.to_thread(self.service.close)
+
+
+class BackgroundServer:
+    """A :class:`ServeServer` on its own thread, for tests and drivers.
+
+    The caller's (synchronous) world sees ``host``/``port`` once
+    :meth:`start` returns and must call :meth:`stop` when done.
+    """
+
+    def __init__(self, service: ExperimentService, host: str = "127.0.0.1"):
+        self.service = service
+        self.server = ServeServer(service, host=host)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout_s: float = 30.0) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise RuntimeError("serve server failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(f"serve server failed: {self._error!r}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to the caller in stop()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(
+                self.service.shutdown_requested.set
+            )
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "BackgroundServer",
+    "ENDPOINT_FILE",
+    "ExperimentService",
+    "LATENCY_EDGES_MS",
+    "ServeServer",
+    "endpoint_path",
+]

@@ -1,0 +1,236 @@
+"""Shard-per-store-prefix execution: router, worker shards, replay.
+
+The service partitions the content-address space by first byte:
+shard ``i`` of ``n`` owns keys whose leading byte falls in
+``[i*256/n, (i+1)*256/n)``. Routing is pure arithmetic on the key, so
+any number of front doors agree on ownership without coordination, and
+each shard's journal/heartbeat state is disjoint by construction.
+
+Each :class:`Shard` owns:
+
+- a single-worker ``ProcessPoolExecutor`` whose initializer is the
+  lab's :func:`repro.resilience.watchdog.mark_worker_process` — the
+  worker writes heartbeats (with a mid-job pulse) and honours the
+  ``pool.worker`` fault site, exactly like batch pool workers;
+- a write-ahead :class:`repro.resilience.journal.RunJournal` under the
+  store's ``runs/`` directory (``<service>-shard<i>.journal.jsonl``):
+  every accepted job is journaled *before* it is submitted, so a
+  SIGKILL'd shard can be restarted and its in-flight work replayed —
+  at-least-once execution on top of an idempotent, content-addressed
+  job;
+- restart bookkeeping the service's watchdog loop and ``status`` op
+  report.
+
+Shards are synchronous objects; the async service drives them through
+``asyncio.to_thread`` / ``asyncio.wrap_future`` so the event loop
+never blocks on executor management.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.lab.jobs import JobResult, JobSpec, execute_job
+from repro.resilience.journal import JournalState, RunJournal
+from repro.resilience.watchdog import (
+    HeartbeatDir,
+    WatchdogPolicy,
+    mark_worker_process,
+)
+
+
+def shard_index(key: str, n_shards: int) -> int:
+    """Owner shard of a content address (leading-byte range split)."""
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    return int(key[:2], 16) * n_shards // 256
+
+
+class Shard:
+    """One hash-prefix range: its executor, journal, and heartbeats."""
+
+    def __init__(
+        self,
+        index: int,
+        run_id: str,
+        store_root: Optional[Union[str, Path]],
+        runs_dir: Union[str, Path],
+        heartbeat_root: Union[str, Path],
+        use_cache: bool = True,
+        watchdog_policy: Optional[WatchdogPolicy] = None,
+    ) -> None:
+        self.index = index
+        self.run_id = f"{run_id}-shard{index}"
+        self.store_root = str(store_root) if store_root else None
+        self.use_cache = use_cache
+        self.journal = RunJournal(runs_dir, self.run_id)
+        self.heartbeats = HeartbeatDir(Path(heartbeat_root) / f"shard{index}")
+        self.policy = watchdog_policy or WatchdogPolicy()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.restarts = 0
+        self.submitted = 0
+        #: key -> spec for accepted-but-unfinished work (replay source
+        #: within this process; the journal is the durable copy).
+        self.pending: Dict[str, JobSpec] = {}
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._executor is not None:
+            return
+        self.heartbeats.root.mkdir(parents=True, exist_ok=True)
+        self._executor = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=mark_worker_process,
+            initargs=(str(self.heartbeats.root), self.policy.worker_pulse_s),
+        )
+
+    def restart(self) -> None:
+        """Tear down a (possibly broken) executor and start fresh."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        # Stale beat files would make the old (dead) pid look current.
+        for path in self.heartbeats.root.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        self.restarts += 1
+        self.start()
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self.journal.close()
+
+    # -- work ---------------------------------------------------------
+
+    def submit(self, key: str, spec: JobSpec, request: Dict[str, Any]) -> Future:
+        """Journal the job (write-ahead), then hand it to the worker.
+
+        The ``accepted`` note carries the client request verbatim so a
+        future service generation could rebuild the spec from the
+        journal alone; ``queued``/``started`` are the standard resume
+        records :class:`JournalState` classifies.
+        """
+        if self._executor is None:
+            self.start()
+        if key not in self.pending:
+            self.journal.note("accepted", key=key, request=request)
+            self.journal.queued(self.submitted, key, spec.label)
+            self.pending[key] = spec
+        self.journal.started(self.submitted, key)
+        self.submitted += 1
+        return self._executor.submit(
+            execute_job, spec, self.store_root, self.use_cache
+        )
+
+    def resubmit(self, key: str) -> Optional[Future]:
+        """Replay one pending job after a restart (None if unknown)."""
+        spec = self.pending.get(key)
+        if spec is None:
+            return None
+        if self._executor is None:
+            self.start()
+        self.journal.note("replay", key=key)
+        self.journal.started(self.submitted, key)
+        self.submitted += 1
+        return self._executor.submit(
+            execute_job, spec, self.store_root, self.use_cache
+        )
+
+    def complete(self, key: str, result: JobResult) -> None:
+        from repro.lab.store import payload_digest
+
+        self.pending.pop(key, None)
+        self.journal.done(
+            self.submitted,
+            key,
+            result.status,
+            payload_digest(result.payload) if result.payload else None,
+            result.attempts,
+        )
+
+    def fail(self, key: str, error: str) -> None:
+        self.pending.pop(key, None)
+        self.journal.failed(self.submitted, key, error, attempts=1)
+
+    def journal_state(self) -> JournalState:
+        """Parse this shard's journal (torn final line tolerated)."""
+        return JournalState.load(self.journal.path)
+
+    # -- introspection ------------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        return sorted(
+            record["pid"]
+            for record in self.heartbeats.beats()
+            if record.get("pid") != os.getpid()
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "run_id": self.run_id,
+            "submitted": self.submitted,
+            "pending": len(self.pending),
+            "restarts": self.restarts,
+            "worker_pids": self.worker_pids(),
+        }
+
+
+class ShardSet:
+    """The fixed ring of shards plus the routing function."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        run_id: str,
+        store_root: Optional[Union[str, Path]],
+        runs_dir: Union[str, Path],
+        heartbeat_root: Union[str, Path],
+        use_cache: bool = True,
+        watchdog_policy: Optional[WatchdogPolicy] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.shards = [
+            Shard(
+                i,
+                run_id,
+                store_root,
+                runs_dir,
+                heartbeat_root,
+                use_cache=use_cache,
+                watchdog_policy=watchdog_policy,
+            )
+            for i in range(n_shards)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def route(self, key: str) -> Shard:
+        return self.shards[shard_index(key, len(self.shards))]
+
+    def start(self) -> None:
+        for shard in self.shards:
+            shard.start()
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [shard.describe() for shard in self.shards]
+
+
+__all__ = ["Shard", "ShardSet", "shard_index"]

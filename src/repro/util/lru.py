@@ -1,16 +1,30 @@
-"""A small bounded LRU mapping used by the harness caches.
+"""A small bounded LRU mapping used by the harness and serve caches.
 
 The harness used to memoize traces and simulations in unbounded dicts;
 long sweeps (hundreds of distinct configurations) made those grow
 without limit. :class:`LRUCache` keeps the dict interface the harness
 needs (``in``, ``[]``, ``[]=``, ``clear``, ``len``) while evicting the
 least-recently-used entry once ``capacity`` is exceeded.
+
+Two independent bounds are supported:
+
+- ``capacity`` — maximum entry count (always enforced);
+- ``max_bytes`` — maximum total payload size, measured by the
+  ``sizeof`` callable (default :func:`sys.getsizeof`). The serve
+  tier-0 result cache uses this mode so a handful of huge simulation
+  payloads cannot pin unbounded memory the way a pure item bound would
+  allow.
+
+Every lookup path (``get``, ``[]``) records hit/miss counts and
+evictions are tallied, so cache sizing can be audited — the lab
+telemetry and ``repro serve status`` both read :meth:`stats`.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
-from typing import Generic, Iterator, Optional, TypeVar
+from typing import Callable, Dict, Generic, Iterator, Optional, TypeVar, Union
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -22,39 +36,77 @@ class LRUCache(Generic[K, V]):
     """Bounded mapping with least-recently-used eviction.
 
     Both reads and writes refresh an entry's recency. ``capacity`` must
-    be positive; eviction counts are kept in :attr:`evictions` so cache
-    sizing can be audited (the lab telemetry reads it).
+    be positive. ``max_bytes`` (optional) adds a size bound: each
+    stored value is measured once, at insertion, by ``sizeof``; when
+    the running total exceeds ``max_bytes`` the least-recently-used
+    entries are evicted until it fits. A single value larger than
+    ``max_bytes`` is itself evicted immediately — the cache never holds
+    an entry it cannot afford.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        max_bytes: Optional[int] = None,
+        sizeof: Optional[Callable[[V], int]] = None,
+    ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._sizeof = sizeof or sys.getsizeof
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Total measured size of the stored values (max_bytes mode
+        #: only tracks it, but it is maintained unconditionally so
+        #: stats() is meaningful either way).
+        self.bytes = 0
         self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._sizes: Dict[K, int] = {}
 
     def __len__(self) -> int:
         return len(self._data)
 
     def __contains__(self, key: K) -> bool:
+        # Deliberately not counted: the harness probes with `in` before
+        # indexing, and counting both would double every hit.
         return key in self._data
 
     def __iter__(self) -> Iterator[K]:
         return iter(self._data)
 
     def __getitem__(self, key: K) -> V:
-        value = self._data[key]
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            raise
+        self.hits += 1
         self._data.move_to_end(key)
         return value
 
     def __setitem__(self, key: K, value: V) -> None:
         if key in self._data:
+            self.bytes -= self._sizes.get(key, 0)
             self._data.move_to_end(key)
+        size = int(self._sizeof(value))
         self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        self._sizes[key] = size
+        self.bytes += size
+        self._evict_to_bounds()
+
+    def _over_bounds(self) -> bool:
+        if len(self._data) > self.capacity:
+            return True
+        return self.max_bytes is not None and self.bytes > self.max_bytes
+
+    def _evict_to_bounds(self) -> None:
+        while self._data and self._over_bounds():
+            key, _ = self._data.popitem(last=False)
+            self.bytes -= self._sizes.pop(key, 0)
             self.evictions += 1
 
     def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
@@ -67,5 +119,27 @@ class LRUCache(Generic[K, V]):
         self._data.move_to_end(key)
         return value
 
+    def pop(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Remove and return an entry (no hit/miss accounting)."""
+        value = self._data.pop(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self.bytes -= self._sizes.pop(key, 0)
+        return value
+
     def clear(self) -> None:
         self._data.clear()
+        self._sizes.clear()
+        self.bytes = 0
+
+    def stats(self) -> Dict[str, Union[int, None]]:
+        """Hit/miss/eviction/size accounting for telemetry surfaces."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._data),
+            "bytes": self.bytes,
+            "capacity": self.capacity,
+            "max_bytes": self.max_bytes,
+        }

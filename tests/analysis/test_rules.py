@@ -360,3 +360,70 @@ def test_res_exempts_the_atomic_helper_module():
 def test_res_noqa_escape_hatch():
     source = 'h = open("scratch.txt", "w")  # repro: noqa[RES001]\n'
     assert "RES001" not in rules_hit(source, "src/repro/lab/x.py")
+
+
+# ---------------------------------------------------------------- SRV001
+
+
+def test_srv_flags_sleep_and_subprocess_in_coroutine():
+    source = (
+        "import time, subprocess\n"
+        "async def handler(req):\n"
+        "    time.sleep(0.1)\n"
+        "    subprocess.run(['ls'])\n"
+    )
+    hits = rules_hit(source, "src/repro/serve/service.py")
+    assert hits.count("SRV001") == 2
+
+
+def test_srv_flags_sync_store_and_file_io():
+    source = (
+        "async def handler(store, cache, path, key):\n"
+        "    a = store.get(key)\n"
+        "    b = cache.lookup(key)\n"
+        "    c = open('x.json').read()\n"
+        "    d = path.read_text()\n"
+    )
+    hits = rules_hit(source, "src/repro/serve/service.py")
+    assert hits.count("SRV001") == 4
+
+
+def test_srv_ignores_sync_functions_and_nested_defs():
+    source = (
+        "import time\n"
+        "def blocking_helper(store, key):\n"
+        "    time.sleep(0.1)\n"
+        "    return store.get(key)\n"
+        "async def handler(store, key):\n"
+        "    def inner():\n"
+        "        return store.get(key)\n"
+        "    return inner\n"
+    )
+    assert "SRV001" not in rules_hit(source, "src/repro/serve/service.py")
+
+
+def test_srv_allows_awaited_to_thread_wrappers():
+    source = (
+        "import asyncio\n"
+        "async def handler(store, key):\n"
+        "    return await asyncio.to_thread(store.get, key)\n"
+    )
+    assert "SRV001" not in rules_hit(source, "src/repro/serve/service.py")
+
+
+def test_srv_scoped_to_serve():
+    source = (
+        "import time\n"
+        "async def handler():\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert "SRV001" not in rules_hit(source, "src/repro/lab/pool.py")
+    assert "SRV001" in rules_hit(source, "src/repro/serve/shards.py")
+
+
+def test_srv_noqa_escape_hatch():
+    source = (
+        "async def handler(cache, key):\n"
+        "    return cache.get(key)  # repro: noqa[SRV001]  in-memory\n"
+    )
+    assert "SRV001" not in rules_hit(source, "src/repro/serve/service.py")

@@ -182,3 +182,83 @@ class TestResultStore:
         assert info["objects"] == 1
         assert info["size_bytes"] > 0
         assert info["salt"] == CODE_SALT
+
+
+class TestConcurrentReaders:
+    """A store scan must survive another process quarantining objects
+    mid-scan: the glob sees a file, the stat/read does not. (Regression:
+    ``size_bytes``/``gc``/``manifests`` used to raise FileNotFoundError
+    when an object vanished between the directory listing and its
+    ``stat``.)"""
+
+    @staticmethod
+    def _racy_stat(monkeypatch, doomed):
+        """Make the first stat of ``doomed`` look like a concurrent
+        quarantine: the file is moved away just before the stat runs."""
+        from pathlib import Path
+
+        import os
+
+        real_stat = Path.stat
+
+        def stat(self, **kwargs):
+            if self == doomed and os.path.exists(doomed):
+                quarantine = doomed.parent.parent.parent / "quarantine"
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(doomed, quarantine / doomed.name)
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", stat)
+
+    def test_size_bytes_tolerates_vanishing_object(self, tmp_path, monkeypatch):
+        store = ResultStore(root=tmp_path / "cache")
+        for i in range(3):
+            store.put(f"{i:064d}", {"i": i})
+        doomed = store._object_path(f"{1:064d}")
+        self._racy_stat(monkeypatch, doomed)
+        total = store.size_bytes()  # must not raise
+        assert total > 0
+        monkeypatch.undo()
+        assert store.count() == 2  # the quarantined object is gone
+
+    def test_gc_tolerates_vanishing_object(self, tmp_path, monkeypatch):
+        store = ResultStore(root=tmp_path / "cache")
+        for i in range(4):
+            store.put(f"{i:064d}", {"i": i})
+        doomed = store._object_path(f"{2:064d}")
+        self._racy_stat(monkeypatch, doomed)
+        removed = store.gc(max_entries=1)  # must not raise
+        monkeypatch.undo()
+        assert store.count() <= 1
+        assert removed >= 1
+
+    def test_manifests_tolerates_vanishing_manifest(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        store = ResultStore(root=tmp_path / "cache")
+        store.runs_dir.mkdir(parents=True)
+        for name in ("run-a.json", "run-b.json"):
+            (store.runs_dir / name).write_text("{}", encoding="utf-8")
+        import os
+
+        doomed = store.runs_dir / "run-a.json"
+        real_stat = Path.stat
+
+        def stat(self, **kwargs):
+            if self == doomed and os.path.exists(doomed):
+                doomed.unlink()
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", stat)
+        listed = store.manifests()  # must not raise
+        monkeypatch.undo()
+        assert [p.name for p in listed] == ["run-b.json"]
+
+    def test_get_after_external_quarantine_is_a_miss(self, tmp_path):
+        from repro.lab.store import quarantine_file
+
+        store = ResultStore(root=tmp_path / "cache")
+        path = store.put("a" * 64, {"x": 1})
+        quarantine_file(store.root, path, "external fsck")
+        assert store.get("a" * 64) is None
+        assert store.stats.misses == 1

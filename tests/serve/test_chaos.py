@@ -1,0 +1,167 @@
+"""Chaos coverage: shard death mid-request, replay, retryable errors.
+
+The issue's acceptance bar: killing one shard mid-flight never loses
+accepted work — the journal replays it and the client observes an
+answer or a retryable error, never a hang.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.resilience import faults
+from repro.serve.protocol import ERR_SHARD_CRASHED
+from repro.serve.service import ExperimentService
+
+REQUEST = {"op": "simulate", "workload": "twolf", "length": 1500}
+
+
+def _spec_key(service):
+    from repro.serve.protocol import sim_job_from
+
+    return sim_job_from(dict(REQUEST)).key()
+
+
+async def _kill_worker_when_busy(shard, deadline_s=20.0):
+    """SIGKILL the shard's worker once it is executing our job."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        pids = shard.worker_pids()
+        if pids and shard.pending:
+            await asyncio.sleep(0.3)  # let it get into the delay window
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            return True
+        await asyncio.sleep(0.02)
+    return False
+
+
+class TestShardDeath:
+    def test_sigkill_mid_request_replays_and_answers(self, tmp_path):
+        """One SIGKILL: the journal resubmits and every waiter (the
+        leader plus coalesced followers) still gets the answer."""
+        svc = ExperimentService(
+            store_root=tmp_path / "cache", n_shards=2,
+            service_id="serve-chaos-a",
+        )
+        svc.start()
+        # Hold the first execution open long enough to kill the worker
+        # mid-job; the replay (a fresh worker process) re-arms the
+        # per-process fault counter and just runs slow again.
+        faults.enable("job.execute:delay(0.8)x*")
+        try:
+            shard = svc.shards.route(_spec_key(svc))
+
+            async def drive():
+                waiters = [
+                    asyncio.create_task(svc.handle(dict(REQUEST)))
+                    for _ in range(3)
+                ]
+                killed = await _kill_worker_when_busy(shard)
+                responses = await asyncio.wait_for(
+                    asyncio.gather(*waiters), timeout=120
+                )
+                return killed, responses
+
+            killed, responses = asyncio.run(drive())
+            assert killed, "never saw a busy shard worker to kill"
+            assert all(r["ok"] for r in responses)
+            assert sum(1 for r in responses if r["meta"]["coalesced"]) == 2
+            snap = svc.metrics.snapshot()["counters"]
+            assert snap["serve.shard_restarts_total"] >= 1
+            # The journal closed the loop: accepted -> replay -> done.
+            state = shard.journal_state()
+            key = _spec_key(svc)
+            assert state.classify(key) == "complete"
+            events = [r["event"] for r in state.records]
+            assert "replay" in events
+            # The replayed result is durably stored and warm-servable.
+            warm = asyncio.run(svc.handle(dict(REQUEST)))
+            assert warm["ok"] and warm["meta"]["source"] == "tier0"
+        finally:
+            faults.reset()
+            svc.close()
+
+    def test_repeated_crashes_surface_retryable_error_not_hang(
+        self, tmp_path
+    ):
+        """Every worker process dies at its first job checkpoint
+        (``pool.worker:kill`` re-arms per process), so the replay dies
+        too: waiters must get a clean retryable error, promptly."""
+        svc = ExperimentService(
+            store_root=tmp_path / "cache", n_shards=2,
+            service_id="serve-chaos-b",
+        )
+        svc.start()
+        faults.enable("pool.worker:kill@1")
+        try:
+            async def drive():
+                waiters = [
+                    asyncio.create_task(svc.handle(dict(REQUEST)))
+                    for _ in range(4)
+                ]
+                return await asyncio.wait_for(
+                    asyncio.gather(*waiters), timeout=120
+                )
+
+            responses = asyncio.run(drive())
+            assert all(not r["ok"] for r in responses)
+            for response in responses:
+                assert response["error"]["type"] == ERR_SHARD_CRASHED
+                assert response["error"]["retryable"] is True
+            snap = svc.metrics.snapshot()["counters"]
+            assert snap["serve.shard_restarts_total"] >= 2
+            state = svc.shards.route(_spec_key(svc)).journal_state()
+            assert state.classify(_spec_key(svc)) == "requeue"
+        finally:
+            faults.reset()
+            svc.close()
+
+    def test_healthy_shards_unaffected_by_a_dead_one(self, tmp_path):
+        """Work owned by the surviving shard keeps flowing while the
+        killed shard recovers."""
+        svc = ExperimentService(
+            store_root=tmp_path / "cache", n_shards=2,
+            service_id="serve-chaos-c",
+        )
+        svc.start()
+        faults.enable("job.execute:delay(0.8)x*")
+        try:
+            key = _spec_key(svc)
+            victim = svc.shards.route(key)
+            other_requests = [
+                {"op": "simulate", "workload": w, "length": 1200}
+                for w in ("gzip", "mcf", "parser", "vpr")
+            ]
+            from repro.serve.protocol import sim_job_from
+
+            survivors = [
+                r for r in other_requests
+                if svc.shards.route(sim_job_from(dict(r)).key())
+                is not victim
+            ]
+            assert survivors, "need at least one key on the other shard"
+
+            async def drive():
+                doomed = asyncio.create_task(svc.handle(dict(REQUEST)))
+                await _kill_worker_when_busy(victim)
+                healthy = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(svc.handle(dict(r)) for r in survivors)
+                    ),
+                    timeout=120,
+                )
+                return await asyncio.wait_for(doomed, timeout=120), healthy
+
+            doomed, healthy = asyncio.run(drive())
+            assert all(r["ok"] for r in healthy)
+            assert doomed["ok"]  # replayed after restart
+        finally:
+            faults.reset()
+            svc.close()

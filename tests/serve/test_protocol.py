@@ -1,0 +1,123 @@
+"""Unit tests for the serve wire protocol and request validation."""
+
+import pytest
+
+from repro.lab.store import job_key
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        obj = {"op": "ping", "id": "r1"}
+        assert protocol.decode_line(protocol.encode_line(obj).strip()) == obj
+
+    def test_encode_is_one_line(self):
+        raw = protocol.encode_line({"op": "ping", "note": "a\nb"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(b"[1, 2]")
+
+    def test_rejects_oversized_line(self):
+        raw = b"x" * (protocol.MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(raw)
+
+
+class TestRequestValidation:
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.request_op({"op": "explode"})
+
+    def test_simulate_maps_to_content_address(self):
+        obj = {
+            "op": "simulate", "workload": "gzip", "length": 5000,
+            "seed": 7, "core": "ooo", "config": {"rob_size": 64},
+        }
+        spec = protocol.sim_job_from(obj)
+        expected = job_key(
+            kind="sim-ooo", workload="gzip", length=5000, seed=7,
+            config=spec.config,
+        )
+        assert spec.key() == expected
+        assert spec.config.rob_size == 64
+
+    def test_identical_requests_share_a_key(self):
+        obj = {"op": "simulate", "workload": "gzip"}
+        assert (
+            protocol.sim_job_from(dict(obj)).key()
+            == protocol.sim_job_from(dict(obj)).key()
+        )
+
+    def test_simulate_requires_workload(self):
+        with pytest.raises(ProtocolError):
+            protocol.sim_job_from({"op": "simulate"})
+
+    def test_simulate_bounds_length(self):
+        with pytest.raises(ProtocolError):
+            protocol.sim_job_from(
+                {"op": "simulate", "workload": "gzip",
+                 "length": protocol.MAX_LENGTH + 1}
+            )
+        with pytest.raises(ProtocolError):
+            protocol.sim_job_from(
+                {"op": "simulate", "workload": "gzip", "length": 0}
+            )
+
+    def test_simulate_rejects_bad_core_and_config(self):
+        with pytest.raises(ProtocolError):
+            protocol.sim_job_from(
+                {"op": "simulate", "workload": "gzip", "core": "vliw"}
+            )
+        with pytest.raises(ProtocolError):
+            protocol.sim_job_from(
+                {"op": "simulate", "workload": "gzip",
+                 "config": {"no_such_field": 1}}
+            )
+
+    def test_sweep_expands_points(self):
+        specs = protocol.sweep_jobs_from(
+            {"op": "sweep", "workload": "mcf", "parameter": "rob_size",
+             "values": [32, 64, 128], "length": 2000}
+        )
+        assert [s.config.rob_size for s in specs] == [32, 64, 128]
+        assert len({s.key() for s in specs}) == 3
+
+    def test_sweep_bounds_fanout(self):
+        with pytest.raises(ProtocolError):
+            protocol.sweep_jobs_from(
+                {"op": "sweep", "workload": "mcf", "parameter": "rob_size",
+                 "values": list(range(protocol.MAX_SWEEP_POINTS + 1))}
+            )
+
+
+class TestResponses:
+    def test_ok_response_echoes_id(self):
+        response = protocol.ok_response("r9", "pong", {"shard": 1})
+        assert response["id"] == "r9"
+        assert response["ok"] is True
+
+    def test_error_response_carries_retryability(self):
+        response = protocol.error_response(
+            "r1", protocol.ERR_SHARD_CRASHED, "boom", retryable=True
+        )
+        assert response["ok"] is False
+        assert response["error"]["retryable"] is True
+        assert response["error"]["type"] == protocol.ERR_SHARD_CRASHED
+
+    def test_summarize_payload(self):
+        summary = protocol.summarize_payload(
+            {"type": "simulation_result", "instructions": 100,
+             "cycles": 50, "events": [1, 2]}
+        )
+        assert summary == {
+            "type": "simulation_result", "instructions": 100,
+            "cycles": 50, "ipc": 2.0, "events": 2,
+        }

@@ -64,3 +64,90 @@ class TestLRUCache:
             cache[i] = i
         assert len(cache) == 5
         assert cache.evictions == 45
+
+    def test_getitem_counts_hits_and_misses(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        assert cache["a"] == 1
+        with pytest.raises(KeyError):
+            cache["missing"]
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_stats_payload(self):
+        cache = LRUCache(2, max_bytes=100, sizeof=len)
+        cache["a"] = "xxxx"
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+            "bytes": 4,
+            "capacity": 2,
+            "max_bytes": 100,
+        }
+
+
+class TestMaxBytes:
+    def test_rejects_nonpositive_max_bytes(self):
+        with pytest.raises(ValueError):
+            LRUCache(2, max_bytes=0)
+
+    def test_evicts_by_bytes_before_capacity(self):
+        cache = LRUCache(100, max_bytes=10, sizeof=len)
+        cache["a"] = "xxxx"  # 4 bytes
+        cache["b"] = "xxxx"  # 8 bytes
+        cache["c"] = "xxxx"  # 12 bytes -> evict a
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.bytes == 8
+        assert cache.evictions == 1
+
+    def test_eviction_order_is_lru_in_bytes_mode(self):
+        cache = LRUCache(100, max_bytes=10, sizeof=len)
+        cache["a"] = "xxxx"
+        cache["b"] = "xxxx"
+        cache.get("a")  # refresh a: b is now LRU
+        cache["c"] = "xxxx"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_oversized_value_never_sticks(self):
+        cache = LRUCache(100, max_bytes=10, sizeof=len)
+        cache["a"] = "xx"
+        cache["big"] = "y" * 50  # alone exceeds the bound
+        assert "big" not in cache
+        assert cache.bytes <= 10
+
+    def test_overwrite_replaces_size(self):
+        cache = LRUCache(100, max_bytes=10, sizeof=len)
+        cache["a"] = "x" * 8
+        cache["a"] = "x" * 2
+        assert cache.bytes == 2
+        cache["b"] = "x" * 8
+        assert "a" in cache and "b" in cache
+
+    def test_pop_releases_bytes(self):
+        cache = LRUCache(100, max_bytes=10, sizeof=len)
+        cache["a"] = "xxxx"
+        assert cache.pop("a") == "xxxx"
+        assert cache.pop("a", "gone") == "gone"
+        assert cache.bytes == 0
+        assert len(cache) == 0
+
+    def test_clear_resets_bytes(self):
+        cache = LRUCache(100, max_bytes=10, sizeof=len)
+        cache["a"] = "xxxx"
+        cache.clear()
+        assert cache.bytes == 0
+        cache["b"] = "x" * 10  # a full-width insert fits again
+        assert "b" in cache
+
+    def test_item_bound_still_enforced_with_bytes(self):
+        cache = LRUCache(2, max_bytes=1000, sizeof=len)
+        for key in "abcd":
+            cache[key] = "x"
+        assert len(cache) == 2
