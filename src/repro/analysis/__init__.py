@@ -1,12 +1,20 @@
 """repro.analysis — static analysis and runtime sanitizing.
 
-Two complementary guards for the paper's methodology:
+Three complementary guards for the paper's methodology:
 
 - :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an
   AST-based lint engine with a simulator-discipline rule pack
   (deterministic RNG, no wall-clock in the timing model, no float
   equality in the accounting layer, frozen configs, ...). CI gates on
   a clean ``repro lint src/``.
+- :mod:`repro.analysis.program` + :mod:`repro.analysis.callgraph` +
+  :mod:`repro.analysis.cfg` + :mod:`repro.analysis.iprules` — the
+  whole-program pass: import resolution into a symbol table and call
+  graph, await-annotated control flow, and the interprocedural rule
+  family (RACE001/RACE002 asyncio races, SRV002 blocking reachability,
+  RES002 atomic-write reachability, DET001 determinism taint), with
+  content-addressed per-file caching, SARIF export, and a checked-in
+  violation baseline so CI fails only on *new* findings.
 - :mod:`repro.analysis.sanitizer` — a runtime invariant sanitizer
   (``REPRO_SANITIZE=1`` or ``--sanitize``) that checks ROB occupancy
   bounds, commit monotonicity, per-instruction stage ordering, and the

@@ -1,0 +1,519 @@
+"""Per-function control flow with await-point annotations.
+
+The asyncio race rules need to reason about *interleaving windows*: on
+a single event loop, shared state is only ever touched concurrently at
+``await`` points, so the hazard shape is "read a shared cell, await,
+then write it back" — any other handler may have run in between and
+the write clobbers its update. A full basic-block CFG is more than the
+rules need; instead :func:`scan_race_windows` walks each function body
+in evaluation order as an abstract interpreter, threading a small
+per-attribute state machine through branches:
+
+- shared cells are ``self.<attr>`` loads/stores (including subscripts
+  like ``self._inflight[key]`` and mutating method calls like
+  ``self.pending.pop(...)``);
+- an ``await`` at lock depth zero *promotes* every attribute read so
+  far to "read across await";
+- a write to a promoted attribute is the RACE001 violation;
+- a write *before* the await kills the pending read — that is the
+  correct singleflight shape (check-and-claim synchronously, then
+  await), and it must not be flagged;
+- ``async with <lock-ish>`` bodies run at lock depth > 0: awaiting
+  while holding the lock serializes the read-modify-write, so no
+  promotion happens inside;
+- branches fork the state and join by per-attribute maximum; a branch
+  that terminates (``return``/``raise``/``break``/``continue``) drops
+  out of the join, which is what makes the early-return coalescing
+  path in the serve singleflight clean;
+- loop bodies are walked twice so a window spanning the back edge
+  (await at the bottom, write at the top) is still seen.
+
+:func:`scan_orphan_tasks` covers RACE002: ``asyncio.create_task`` /
+``ensure_future`` results that are neither awaited, gathered, stored,
+returned, nor given an ``add_done_callback`` — an exception in such a
+task is silently dropped by the event loop (and the task itself may be
+garbage collected mid-flight).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Receiver-name fragments treated as locks for ``async with`` regions.
+LOCK_HINTS = ("lock", "mutex", "sem", "guard", "gate")
+
+#: Methods on a shared cell that mutate it in place.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+    "update",
+})
+
+#: Methods that only observe a shared cell.
+READER_METHODS = frozenset({
+    "copy", "count", "get", "index", "items", "keys", "values",
+})
+
+#: Spawn calls whose result must not be dropped on the floor (RACE002).
+TASK_SPAWNERS = frozenset({
+    "asyncio.create_task",
+    "asyncio.ensure_future",
+    "create_task",
+    "ensure_future",
+})
+
+#: Task-consuming sinks: a spawned task passed here is supervised.
+_IDLE = 0          # attribute untouched (or window killed by a write)
+_READ = 1          # read since the last write, no await yet
+_READ_AWAIT = 2    # read, then crossed an unlocked await
+
+
+@dataclass(frozen=True)
+class RaceWindow:
+    """One RACE001 hit: a shared RMW window spanning an await."""
+
+    attr: str
+    read_line: int
+    await_line: int
+    write_line: int
+    write_end_line: int
+    write_col: int
+
+
+@dataclass(frozen=True)
+class OrphanTask:
+    """One RACE002 hit: a spawned task with no exception sink."""
+
+    spawn: str
+    line: int
+    end_line: int
+    col: int
+    name: Optional[str] = None
+
+
+@dataclass
+class _AttrState:
+    state: int = _IDLE
+    read_line: int = 0
+    await_line: int = 0
+
+
+class _RaceState:
+    """The abstract state threaded through one function body."""
+
+    __slots__ = ("attrs", "alive")
+
+    def __init__(self) -> None:
+        self.attrs: Dict[str, _AttrState] = {}
+        self.alive = True
+
+    def fork(self) -> "_RaceState":
+        copy = _RaceState()
+        copy.alive = self.alive
+        copy.attrs = {
+            name: _AttrState(st.state, st.read_line, st.await_line)
+            for name, st in self.attrs.items()
+        }
+        return copy
+
+    def join(self, other: "_RaceState") -> None:
+        """Per-attribute maximum of two branch outcomes."""
+        if not other.alive:
+            return
+        if not self.alive:
+            self.attrs = other.attrs
+            self.alive = True
+            return
+        for name, theirs in other.attrs.items():
+            ours = self.attrs.get(name)
+            if ours is None or theirs.state > ours.state:
+                self.attrs[name] = theirs
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lockish(node: ast.AST) -> bool:
+    dotted = (_dotted(node) or "").lower()
+    return any(hint in dotted for hint in LOCK_HINTS)
+
+
+class _RaceScanner:
+    """Walks one function, collecting RACE001 windows."""
+
+    def __init__(self) -> None:
+        self.windows: List[RaceWindow] = []
+        self._seen: Set[Tuple[str, int]] = set()
+
+    # -- events -------------------------------------------------------
+
+    def _read(self, state: _RaceState, attr: str, line: int) -> None:
+        st = state.attrs.setdefault(attr, _AttrState())
+        if st.state == _IDLE:
+            st.state = _READ
+            st.read_line = line
+
+    def _write(self, state: _RaceState, attr: str, node: ast.AST) -> None:
+        st = state.attrs.get(attr)
+        if st is None:
+            return
+        if st.state == _READ_AWAIT:
+            key = (attr, node.lineno)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.windows.append(RaceWindow(
+                    attr=attr,
+                    read_line=st.read_line,
+                    await_line=st.await_line,
+                    write_line=node.lineno,
+                    write_end_line=getattr(node, "end_lineno", None)
+                    or node.lineno,
+                    write_col=getattr(node, "col_offset", 0) + 1,
+                ))
+        # Any write closes the window: the read-check-claim completed
+        # (or the violation is already recorded) — start fresh.
+        st.state = _IDLE
+
+    def _await(self, state: _RaceState, line: int, lock_depth: int) -> None:
+        if lock_depth > 0:
+            return
+        for st in state.attrs.values():
+            if st.state == _READ:
+                st.state = _READ_AWAIT
+                st.await_line = line
+
+    # -- expression traversal (evaluation order, approximately) -------
+
+    def _expr(
+        self, node: ast.AST, state: _RaceState, lock_depth: int
+    ) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            self._expr(node.value, state, lock_depth)
+            self._await(state, node.lineno, lock_depth)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested scopes have their own timeline
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                self._read(state, attr, node.lineno)
+                return
+        if isinstance(node, ast.Subscript):
+            attr = _self_attr(node.value)
+            if attr is not None:
+                self._expr(node.slice, state, lock_depth)
+                if isinstance(node.ctx, ast.Load):
+                    self._read(state, attr, node.lineno)
+                else:
+                    self._write(state, attr, node)
+                return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    for arg in node.args:
+                        self._expr(arg, state, lock_depth)
+                    for kw in node.keywords:
+                        self._expr(kw.value, state, lock_depth)
+                    if func.attr in MUTATOR_METHODS:
+                        self._write(state, attr, node)
+                    else:
+                        # Reader and unknown methods observe the cell.
+                        self._read(state, attr, func.value.lineno)
+                    return
+        for child in ast.iter_child_nodes(node):
+            self._expr(child, state, lock_depth)
+
+    def _target(
+        self, node: ast.AST, state: _RaceState, lock_depth: int
+    ) -> None:
+        """Assignment targets: ``self.X = ...`` / ``self.X[k] = ...``."""
+        attr = _self_attr(node)
+        if attr is not None:
+            self._write(state, attr, node)
+            return
+        if isinstance(node, ast.Subscript):
+            attr = _self_attr(node.value)
+            if attr is not None:
+                self._expr(node.slice, state, lock_depth)
+                self._write(state, attr, node)
+                return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._target(element, state, lock_depth)
+            return
+        if isinstance(node, ast.Starred):
+            self._target(node.value, state, lock_depth)
+            return
+        self._expr(node, state, lock_depth)
+
+    # -- statement traversal ------------------------------------------
+
+    def _block(
+        self, body: List[ast.stmt], state: _RaceState, lock_depth: int
+    ) -> None:
+        for stmt in body:
+            if not state.alive:
+                return
+            self._stmt(stmt, state, lock_depth)
+
+    def _stmt(
+        self, stmt: ast.stmt, state: _RaceState, lock_depth: int
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return):
+                self._expr(stmt.value, state, lock_depth)
+            else:
+                self._expr(stmt.exc, state, lock_depth)
+                self._expr(stmt.cause, state, lock_depth)
+            state.alive = False
+            return
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            state.alive = False
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, state, lock_depth)
+            for target in stmt.targets:
+                self._target(target, state, lock_depth)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            # ``self.c += x`` reads then writes in one statement; no
+            # await can occur in between, so read+write collapses.
+            attr = _self_attr(stmt.target)
+            if attr is not None:
+                self._read(state, attr, stmt.lineno)
+            self._expr(stmt.value, state, lock_depth)
+            self._target(stmt.target, state, lock_depth)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._expr(stmt.value, state, lock_depth)
+            if stmt.value is not None:
+                self._target(stmt.target, state, lock_depth)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, state, lock_depth)
+            then = state.fork()
+            self._block(stmt.body, then, lock_depth)
+            other = state.fork()
+            self._block(stmt.orelse, other, lock_depth)
+            then.join(other)
+            state.attrs, state.alive = then.attrs, then.alive
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, state, lock_depth)
+            if isinstance(stmt, ast.AsyncFor):
+                self._await(state, stmt.lineno, lock_depth)
+            skip = state.fork()  # zero-iteration path
+            for _ in range(2):  # twice: windows across the back edge
+                body = state.fork()
+                self._target(stmt.target, body, lock_depth)
+                if isinstance(stmt, ast.AsyncFor):
+                    self._await(body, stmt.lineno, lock_depth)
+                self._block(stmt.body, body, lock_depth)
+                body.alive = True  # break/continue land at the loop exit
+                state.join(body)
+            self._block(stmt.orelse, state, lock_depth)
+            state.join(skip)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, state, lock_depth)
+            skip = state.fork()
+            for _ in range(2):
+                body = state.fork()
+                self._block(stmt.body, body, lock_depth)
+                body.alive = True
+                self._expr(stmt.test, body, lock_depth)
+                state.join(body)
+            self._block(stmt.orelse, state, lock_depth)
+            state.join(skip)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locked = any(_is_lockish(item.context_expr) for item in stmt.items)
+            for item in stmt.items:
+                self._expr(item.context_expr, state, lock_depth)
+                if item.optional_vars is not None:
+                    self._target(item.optional_vars, state, lock_depth)
+            if isinstance(stmt, ast.AsyncWith) and not locked:
+                # ``__aenter__`` suspends; a lock's acquisition is the
+                # serialization point itself, so only unlocked context
+                # managers promote.
+                self._await(state, stmt.lineno, lock_depth)
+            self._block(
+                stmt.body, state, lock_depth + (1 if locked else 0)
+            )
+            return
+        if isinstance(stmt, ast.Try):
+            pre = state.fork()
+            self._block(stmt.body, state, lock_depth)
+            self._block(stmt.orelse, state, lock_depth)
+            for handler in stmt.handlers:
+                # A handler can run from any point in the body: start
+                # from the pessimistic join of entry and body-exit.
+                branch = pre.fork()
+                branch.join(state)
+                branch.alive = True
+                self._block(handler.body, branch, lock_depth)
+                state.join(branch)
+            self._block(stmt.finalbody, state, lock_depth)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, state, lock_depth)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            self._expr(child, state, lock_depth)
+
+
+def scan_race_windows(func: ast.AsyncFunctionDef) -> List[RaceWindow]:
+    """RACE001 windows in one coroutine (shared RMW across an await)."""
+    scanner = _RaceScanner()
+    state = _RaceState()
+    scanner._block(func.body, state, 0)
+    scanner.windows.sort(key=lambda w: (w.write_line, w.attr))
+    return scanner.windows
+
+
+# -- RACE002: fire-and-forget tasks -----------------------------------
+
+
+def _spawn_name(node: ast.Call) -> Optional[str]:
+    """The spawner's dotted name when ``node`` spawns a task."""
+    dotted = _dotted(node.func)
+    if dotted is None:
+        return None
+    if dotted in TASK_SPAWNERS:
+        return dotted
+    # loop.create_task / self._loop.create_task / get_event_loop()...
+    if dotted.endswith(".create_task") or dotted.endswith(".ensure_future"):
+        return dotted
+    return None
+
+
+def _sink_names(func: ast.AST, task_names: Set[str]) -> Set[str]:
+    """Task-bound names that reach a supervision sink somewhere."""
+    sunk: Set[str] = set()
+
+    def is_task_name(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in task_names
+
+    for node in walk_own(func):
+        if isinstance(node, ast.Await) and is_task_name(node.value):
+            sunk.add(node.value.id)
+        elif isinstance(node, ast.Call):
+            func_node = node.func
+            if (
+                isinstance(func_node, ast.Attribute)
+                and is_task_name(func_node.value)
+            ):
+                # t.add_done_callback(...), t.cancel(), t.result(), ...
+                sunk.add(func_node.value.id)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if is_task_name(arg):
+                    sunk.add(arg.id)  # gather(t), wait({t}), shield(t)
+                elif isinstance(arg, (ast.Tuple, ast.List, ast.Set)):
+                    for element in arg.elts:
+                        if is_task_name(element):
+                            sunk.add(element.id)
+                elif isinstance(arg, ast.Starred) and is_task_name(arg.value):
+                    sunk.add(arg.value.id)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if is_task_name(sub):
+                    sunk.add(sub.id)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            value = node.value
+            if value is not None and is_task_name(value):
+                # Re-binding to an attribute/subscript stores the task
+                # somewhere longer-lived; treat as supervised.
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        sunk.add(value.id)
+    return sunk
+
+
+def walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, not nested function/lambda scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def scan_orphan_tasks(func: ast.AST) -> Iterator[OrphanTask]:
+    """RACE002: spawned tasks with no await/callback/store sink."""
+    spawns: List[Tuple[ast.Call, str, Optional[str]]] = []
+    task_names: Set[str] = set()
+    for node in walk_own(func):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            spawn = _spawn_name(node.value)
+            if spawn is not None:
+                spawns.append((node.value, spawn, None))
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            spawn = _spawn_name(node.value)
+            if spawn is None:
+                continue
+            [target] = node.targets if len(node.targets) == 1 else [None]
+            if isinstance(target, ast.Name):
+                spawns.append((node.value, spawn, target.id))
+                task_names.add(target.id)
+            # Assigning straight into an attribute or container is a
+            # store sink — supervised elsewhere, not an orphan.
+    sunk = _sink_names(func, task_names)
+    for call, spawn, name in spawns:
+        if name is not None and name in sunk:
+            continue
+        yield OrphanTask(
+            spawn=spawn,
+            line=call.lineno,
+            end_line=getattr(call, "end_lineno", None) or call.lineno,
+            col=call.col_offset + 1,
+            name=name,
+        )
+
+
+__all__ = [
+    "LOCK_HINTS",
+    "MUTATOR_METHODS",
+    "OrphanTask",
+    "RaceWindow",
+    "READER_METHODS",
+    "TASK_SPAWNERS",
+    "scan_orphan_tasks",
+    "scan_race_windows",
+    "walk_own",
+]

@@ -33,13 +33,24 @@ _NOQA_FILE = re.compile(r"#\s*repro:\s*noqa-file(?:\[(?P<rules>[\w\s,.-]+)\])?")
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One rule hit: where, which rule, and what to do about it."""
+    """One rule hit: where, which rule, and what to do about it.
+
+    ``end_line`` is the last physical line of the offending statement
+    (== ``line`` for single-line constructs); suppression comments are
+    honoured anywhere in that range, so a ``# repro: noqa`` on the
+    closing line of a multi-line call works.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -50,6 +61,7 @@ class LintViolation:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line,
             "message": self.message,
         }
 
@@ -84,13 +96,19 @@ class Rule:
     exempt: Tuple[str, ...] = ()
 
     def applies_to(self, ctx: FileContext) -> bool:
-        posix = "/".join(ctx.parts())
+        parts = ctx.parts()
+        posix = "/".join(parts)
         for suffix in self.exempt:
             if posix.endswith(suffix):
                 return False
         if self.scope is None:
             return True
-        return any(part in self.scope for part in ctx.parts()[:-1])
+        if any(part in self.scope for part in parts[:-1]):
+            return True
+        # A scope also matches the single-file module of the same name
+        # (``serve.py`` for scope "serve"), not just the directory form.
+        stem = PurePosixPath(parts[-1]).stem if parts else ""
+        return stem in self.scope
 
     def check(self, ctx: FileContext) -> Iterator[LintViolation]:
         raise NotImplementedError
@@ -98,12 +116,14 @@ class Rule:
     def violation(
         self, ctx: FileContext, node: ast.AST, message: str
     ) -> LintViolation:
+        line = getattr(node, "lineno", 1)
         return LintViolation(
             rule=self.id,
             path=ctx.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            end_line=getattr(node, "end_lineno", None) or line,
         )
 
 
@@ -196,6 +216,46 @@ def _line_suppresses(line: str, rule_id: str) -> bool:
     return rule_id in {n.strip() for n in names.split(",")}
 
 
+def suppresses(
+    lines: Sequence[str],
+    file_suppressed: Optional[set],
+    violation: LintViolation,
+) -> bool:
+    """True when a file- or line-level ``noqa`` covers ``violation``.
+
+    Line suppressions are honoured on *any* physical line of the
+    violating statement (``violation.line`` .. ``violation.end_line``),
+    so a trailing ``# repro: noqa`` on the closing line of a multi-line
+    call is not silently ignored.
+    """
+    if file_suppressed is not None and (
+        not file_suppressed or violation.rule in file_suppressed
+    ):
+        return True
+    first = max(violation.line - 1, 0)
+    last = min(max(violation.end_line, violation.line), len(lines))
+    for line_idx in range(first, last):
+        if _line_suppresses(lines[line_idx], violation.rule):
+            return True
+    return False
+
+
+def lint_parsed(
+    ctx: FileContext, rules: Sequence[Rule], report: LintReport
+) -> LintReport:
+    """Run ``rules`` over an already-parsed module into ``report``."""
+    file_suppressed = _file_suppressions(ctx.lines)
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if suppresses(ctx.lines, file_suppressed, violation):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+    return report
+
+
 def lint_source(
     source: str, path: str, rules: Optional[Sequence[Rule]] = None
 ) -> LintReport:
@@ -210,24 +270,21 @@ def lint_source(
         return report
     lines = tuple(source.splitlines())
     ctx = FileContext(path=path, tree=tree, source=source, lines=lines)
-    file_suppressed = _file_suppressions(lines)
-    for rule in rules:
-        if not rule.applies_to(ctx):
-            continue
-        for violation in rule.check(ctx):
-            if file_suppressed is not None and (
-                not file_suppressed or violation.rule in file_suppressed
-            ):
-                report.suppressed += 1
-                continue
-            line_idx = violation.line - 1
-            if 0 <= line_idx < len(lines) and _line_suppresses(
-                lines[line_idx], violation.rule
-            ):
-                report.suppressed += 1
-                continue
-            report.violations.append(violation)
-    return report
+    return lint_parsed(ctx, rules, report)
+
+
+def reported_path(path: Path) -> str:
+    """Stable reported form: repo-relative POSIX when under the cwd.
+
+    Lint artifacts (JSON reports, SARIF, baselines) are diffed across
+    machines and CI runners; an absolute ``str(path)`` bakes the
+    runner's checkout location into every record. Anything outside the
+    cwd keeps its own path, normalized to POSIX separators.
+    """
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 def discover_files(paths: Iterable[str]) -> List[Tuple[Path, str]]:
@@ -239,9 +296,9 @@ def discover_files(paths: Iterable[str]) -> List[Tuple[Path, str]]:
             for path in sorted(base.rglob("*.py")):
                 if "__pycache__" in path.parts:
                     continue
-                found.append((path, str(path)))
+                found.append((path, reported_path(path)))
         elif base.suffix == ".py":
-            found.append((base, str(base)))
+            found.append((base, reported_path(base)))
     return found
 
 
@@ -268,9 +325,15 @@ def lint_paths(
 
 
 def rule_catalogue() -> List[Dict[str, str]]:
-    """Id/name/description/scope rows for docs and ``lint --list``."""
+    """Id/name/description/scope rows for docs and ``lint --list``.
+
+    Covers both packs: the per-file rules registered here and the
+    whole-program rules from :mod:`repro.analysis.iprules`.
+    """
+    from repro.analysis.iprules import all_program_rules
+
     rows = []
-    for rule in all_rules():
+    for rule in all_rules() + list(all_program_rules()):
         rows.append(
             {
                 "id": rule.id,
@@ -279,6 +342,7 @@ def rule_catalogue() -> List[Dict[str, str]]:
                 "scope": ", ".join(rule.scope) if rule.scope else "everywhere",
             }
         )
+    rows.sort(key=lambda row: row["id"])
     return rows
 
 
@@ -290,8 +354,11 @@ __all__ = [
     "Rule",
     "all_rules",
     "discover_files",
+    "lint_parsed",
     "lint_paths",
     "lint_source",
     "register",
+    "reported_path",
     "rule_catalogue",
+    "suppresses",
 ]

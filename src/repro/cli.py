@@ -506,8 +506,22 @@ def cmd_lab_gc(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the AST rule pack over source paths; exit 1 on violations."""
-    from repro.analysis import lint_paths, rule_catalogue
+    """Run the whole-program analysis; exit 1 on findings/parse errors."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis import rule_catalogue
+    from repro.analysis.program import (
+        AnalysisCache,
+        _NullCache,
+        analyze_paths,
+        apply_baseline,
+        changed_files,
+        load_baseline,
+        to_sarif,
+        write_baseline,
+    )
+    from repro.resilience.atomic import atomic_write_text
 
     console = _console(args)
     if args.list_rules:
@@ -515,15 +529,59 @@ def cmd_lint(args: argparse.Namespace) -> int:
             console.result(f"{row['id']} ({row['name']}; scope: {row['scope']})")
             console.result(f"    {row['description']}")
         return 0
-    paths = args.paths or ["src"]
-    report = lint_paths(paths)
+
+    if args.changed is not None:
+        paths = changed_files(args.changed or None)
+        if not paths:
+            console.result("no changed python files; nothing to lint")
+            return 0
+    else:
+        paths = args.paths or ["src"]
+
+    if args.no_cache:
+        cache = _NullCache()
+    elif args.cache_dir:
+        cache = AnalysisCache(root=Path(args.cache_dir) / "analysis")
+    else:
+        cache = AnalysisCache()
+    rule_filter = (
+        {name.strip() for name in args.rules.split(",") if name.strip()}
+        if args.rules else None
+    )
+    report = analyze_paths(
+        paths,
+        cache=cache,
+        jobs=args.jobs,
+        rule_filter=rule_filter,
+    )
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        count = write_baseline(baseline_path, report)
+        console.result(
+            f"baseline updated: {count} finding(s) recorded in "
+            f"{baseline_path}"
+        )
+        return 0
+    baseline = load_baseline(baseline_path)
+    if baseline is not None:
+        report = apply_baseline(report, baseline)
+
+    if args.sarif:
+        document = to_sarif(report, rule_catalogue())
+        atomic_write_text(
+            args.sarif,
+            _json.dumps(document, indent=1, sort_keys=True) + "\n",
+            fsync=False,
+        )
+        console.info(f"wrote SARIF to {args.sarif}")
+
     text = (
         report.render_json() if args.format == "json"
         else report.render_human()
     )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(args.output, text + "\n", fsync=False)
         console.info(f"wrote {args.output}")
     else:
         console.result(text)
@@ -882,8 +940,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint", parents=[common],
-        help="run the simulator-discipline AST rule pack (CI gates on "
-        "a clean src/)",
+        help="run the whole-program analysis pass (per-file rule pack + "
+        "interprocedural race/reachability/taint rules; CI gates on a "
+        "clean src/)",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src)")
@@ -891,6 +950,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write the report here instead of stdout")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--sarif", metavar="PATH",
+                   help="also write a SARIF 2.1.0 report to PATH")
+    p.add_argument("--baseline", default="lint-baseline.json",
+                   help="baseline file for gating (applied when present; "
+                   "default: lint-baseline.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="record current findings as the baseline and exit 0")
+    p.add_argument("--changed", nargs="?", const="", metavar="BASE",
+                   help="lint only git-changed python files (vs BASE, or "
+                   "the working tree + index by default)")
+    p.add_argument("--rules", metavar="IDS",
+                   help="comma-separated rule ids to report (others still "
+                   "run and stay cached)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-addressed analysis cache")
+    p.add_argument("--cache-dir",
+                   help="store root for the analysis cache (default: "
+                   ".repro-cache or $REPRO_CACHE_DIR)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel extraction workers (default: auto)")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(

@@ -32,6 +32,7 @@ from repro.obs.tracer import (
     KIND_LONG_DMISS,
     RecordingTracer,
 )
+from repro.resilience.atomic import atomic_write_text
 
 PID = 0
 TID_BPRED = 1
@@ -179,12 +180,15 @@ def write_chrome_trace(
     path: Union[str, Path],
     label: str = "repro-sim",
 ) -> int:
-    """Write the Chrome trace JSON; returns the number of trace events."""
+    """Write the Chrome trace JSON; returns the number of trace events.
+
+    Lab jobs write traces next to run manifests, so the export must be
+    crash-safe like every other run-state file: serialize in memory,
+    then atomic-replace — a crash never leaves a torn trace.
+    """
     document = chrome_trace(tracer, label=label)
-    target = Path(path)
-    with target.open("w", encoding="utf-8") as handle:
-        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
-        handle.write("\n")
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    atomic_write_text(Path(path), text + "\n")
     return len(document["traceEvents"])
 
 
@@ -209,11 +213,15 @@ def jsonl_records(tracer: RecordingTracer) -> Iterator[dict]:
 
 
 def write_jsonl(tracer: RecordingTracer, path: Union[str, Path]) -> int:
-    """Write the JSONL export; returns the number of lines written."""
-    count = 0
-    with Path(path).open("w", encoding="utf-8") as handle:
-        for record in jsonl_records(tracer):
-            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
-            handle.write("\n")
-            count += 1
-    return count
+    """Write the JSONL export; returns the number of lines written.
+
+    Atomic-replace for the same reason as :func:`write_chrome_trace`:
+    the lab's trace sidecars must never be torn by a mid-write crash.
+    """
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in jsonl_records(tracer)
+    ]
+    text = "\n".join(lines) + "\n" if lines else ""
+    atomic_write_text(Path(path), text)
+    return len(lines)

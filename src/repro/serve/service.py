@@ -387,7 +387,9 @@ class ServeServer:
             self.port,
             limit=protocol.MAX_LINE_BYTES + 2,
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        # Benign RMW across the await: start() runs once, before any
+        # connection handler exists, so nothing can interleave on port.
+        self.port = self._server.sockets[0].getsockname()[1]  # repro: noqa[RACE001]
         await asyncio.to_thread(self._write_endpoint)
 
     def _write_endpoint(self) -> None:
@@ -463,10 +465,13 @@ class ServeServer:
             await self.stop()
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim the server reference synchronously before any await so
+        # two concurrent stop() calls cannot both enter the close path
+        # (the second claimant sees None and skips it).
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         # ``Server.close`` stops accepting; established connections
         # must be hung up explicitly so their handler tasks finish
         # before the loop does.

@@ -1,0 +1,6 @@
+"""Seeded-violation corpus for the whole-program analysis tests.
+
+Every deliberate violation line carries a trailing ``# seeded: RULE``
+marker; the detection-completeness test asserts the program pass finds
+exactly the marked set — nothing missed, nothing extra.
+"""

@@ -1,0 +1,18 @@
+"""Harness outside the sim packages: taint must not cross into them."""
+
+from raceapp.helpers import fixed_seed, now_seed
+from raceapp.pipeline import model
+
+
+def run_deterministic(state):
+    seed = fixed_seed()
+    return model.step(state, seed)
+
+
+def run_jittered(state):
+    seed = now_seed()
+    return model.step(state, seed)  # seeded: DET001
+
+
+def run_jittered_directly(state):
+    return model.step(state, now_seed())  # seeded: DET001

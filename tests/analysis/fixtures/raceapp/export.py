@@ -1,0 +1,14 @@
+"""Exporter outside lab/: raw writes legal here, but not reachable
+from the durable packages (RES002 flags the boundary call, not us)."""
+
+import json
+
+
+def export_results(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def export_deep(path, payload):
+    """One more frame so RES002 must follow a chain."""
+    export_results(path, payload)

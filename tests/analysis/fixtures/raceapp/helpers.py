@@ -1,0 +1,30 @@
+"""Sync helpers: SRV002 blocking seeds and DET001 taint sources."""
+
+import time
+
+
+def slow_save(payload):
+    """Blocking sleep two frames below the serve coroutine."""
+    time.sleep(0.5)
+    return payload
+
+
+def save_indirect(payload):
+    """One extra frame so SRV002 must walk a chain, not one edge."""
+    return slow_save(payload)
+
+
+def now_seed():
+    """Returns wall-clock entropy — the DET001 taint source."""
+    return int(time.time() * 1000)
+
+
+def relabel(seed):
+    """Taint flows through an intermediate return unchanged."""
+    value = seed
+    return value
+
+
+def fixed_seed():
+    """Deterministic counterpart: must NOT taint anything."""
+    return 0xC0FFEE

@@ -1,0 +1,16 @@
+"""Lab layer: run-state writes must route through resilience.atomic."""
+
+from raceapp.export import export_deep, export_results
+from raceapp.resilience.atomic import atomic_write_json
+
+
+def record_run(path, payload):
+    export_results(path, payload)  # seeded: RES002
+
+
+def record_run_deep(path, payload):
+    export_deep(path, payload)  # seeded: RES002
+
+
+def record_run_safely(path, payload):
+    atomic_write_json(path, payload)

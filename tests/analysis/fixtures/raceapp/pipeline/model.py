@@ -1,0 +1,15 @@
+"""Simulation core: inputs must be deterministic (DET001 territory)."""
+
+from raceapp.helpers import fixed_seed, now_seed
+
+
+def step(state, seed):
+    return (state * 1103515245 + seed) % (1 << 31)
+
+
+def reset():
+    return step(0, fixed_seed())
+
+
+def reset_jittered():
+    return step(0, now_seed())  # seeded: DET001

@@ -1,0 +1,15 @@
+"""The blessed atomic-write helper: exempt from RES001/RES002."""
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_json(path, payload):
+    directory = os.path.dirname(str(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,70 @@
+"""Asyncio service with seeded RACE001/RACE002/SRV002 violations.
+
+Each racy method has a clean twin right next to it so the tests cover
+false-positive behaviour too, not just detection.
+"""
+
+import asyncio
+
+from raceapp.helpers import save_indirect
+
+
+class Counter:
+    def __init__(self):
+        self.count = 0
+        self.cache = {}
+        self._lock = asyncio.Lock()
+        self._tasks = set()
+
+    async def bump(self):
+        value = self.count
+        await asyncio.sleep(0)
+        self.count = value + 1  # seeded: RACE001
+        return self.count
+
+    async def locked_bump(self):
+        async with self._lock:
+            value = self.count
+            await asyncio.sleep(0)
+            self.count = value + 1
+        return self.count
+
+    async def claimed_bump(self):
+        # Claim-before-await: the write happens synchronously, so the
+        # window never spans a suspension point.
+        value = self.count
+        self.count = value + 1
+        await asyncio.sleep(0)
+        return self.count
+
+    async def memoize(self, key):
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        built = await self._build(key)
+        self.cache[key] = built  # seeded: RACE001
+        return built
+
+    async def _build(self, key):
+        await asyncio.sleep(0)
+        return [key]
+
+    async def kickoff(self):
+        asyncio.create_task(self._build("bg"))  # seeded: RACE002
+        return None
+
+    async def kickoff_tracked(self):
+        task = asyncio.create_task(self._build("bg"))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def kickoff_awaited(self):
+        task = asyncio.create_task(self._build("bg"))
+        return await task
+
+    async def persist(self, payload):
+        return save_indirect(payload)  # seeded: SRV002
+
+    async def persist_offloaded(self, payload):
+        return await asyncio.to_thread(save_indirect, payload)

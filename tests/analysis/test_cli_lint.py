@@ -1,0 +1,141 @@
+"""CLI surface of the v2 lint: exits, baseline flow, SARIF, --changed."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture()
+def racy_tree(tmp_path):
+    """A tiny tree with one RACE001 finding and no cache side effects."""
+    tree = tmp_path / "app"
+    tree.mkdir()
+    (tree / "svc.py").write_text(
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.n = 0\n"
+        "\n"
+        "    async def bump(self):\n"
+        "        v = self.n\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.n = v + 1\n",
+        encoding="utf-8",
+    )
+    return tree
+
+
+def test_lint_exits_nonzero_on_parse_errors(tmp_path, capsys):
+    """Satellite: a parse error is a failed run, not a silent skip."""
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    rc = main(["lint", str(broken), "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "parse error" in out
+
+
+def test_lint_exits_nonzero_on_violations(racy_tree, capsys):
+    rc = main(["lint", str(racy_tree), "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RACE001" in out
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    rc = main(["lint", str(clean), "--no-cache"])
+    assert rc == 0
+
+
+def test_list_rules_includes_program_pack(capsys):
+    rc = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule_id in ("RACE001", "RACE002", "SRV002", "RES002", "DET001"):
+        assert rule_id in out
+    assert "SRV001" in out  # the per-file pack is still listed
+
+
+def test_update_baseline_then_gate(racy_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    rc = main([
+        "lint", str(racy_tree), "--no-cache",
+        "--baseline", str(baseline), "--update-baseline",
+    ])
+    assert rc == 0
+    assert baseline.exists()
+
+    # Same tree, baseline applied: the known finding no longer fails.
+    rc = main([
+        "lint", str(racy_tree), "--no-cache", "--baseline", str(baseline),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "baseline" in out
+
+    # A *new* finding still fails the gated run.
+    (racy_tree / "svc2.py").write_text(
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "async def orphan():\n"
+        "    asyncio.create_task(asyncio.sleep(0))\n",
+        encoding="utf-8",
+    )
+    rc = main([
+        "lint", str(racy_tree), "--no-cache", "--baseline", str(baseline),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RACE002" in out
+
+
+def test_sarif_flag_writes_valid_document(racy_tree, tmp_path):
+    sarif_path = tmp_path / "lint.sarif"
+    rc = main([
+        "lint", str(racy_tree), "--no-cache", "--sarif", str(sarif_path),
+    ])
+    assert rc == 1
+    doc = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"]
+    assert doc["runs"][0]["results"][0]["ruleId"] == "RACE001"
+
+
+def test_rules_filter_narrows_reporting(racy_tree, capsys):
+    rc = main([
+        "lint", str(racy_tree), "--no-cache", "--rules", "DET001",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0  # the RACE001 finding is filtered out of the report
+    assert "RACE001" not in out
+
+
+def test_changed_outside_git_lints_nothing(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = main(["lint", "--changed", "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "nothing to lint" in out
+
+
+def test_json_format_carries_cache_counters(racy_tree, capsys):
+    rc = main([
+        "lint", str(racy_tree), "--no-cache", "--format", "json",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 1
+    payload = json.loads(out)
+    assert payload["cache"] == {"hits": 0, "misses": 1}
+    assert payload["violations"][0]["rule"] == "RACE001"

@@ -103,9 +103,13 @@ def test_discovery_skips_pycache(tmp_path):
 
 
 def test_rule_catalogue_covers_the_whole_pack():
+    from repro.analysis.iprules import all_program_rules
+
     catalogue = rule_catalogue()
     ids = {row["id"] for row in catalogue}
-    assert ids == {rule.id for rule in all_rules()}
+    assert ids == {rule.id for rule in all_rules()} | {
+        rule.id for rule in all_program_rules()
+    }
     assert len(ids) >= 8
 
 

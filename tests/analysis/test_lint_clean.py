@@ -14,3 +14,12 @@ def test_repro_lint_src_is_clean():
     assert report.files_checked > 50
     assert not report.parse_errors
     assert report.ok, "\n" + report.render_human()
+
+
+def test_whole_program_pass_on_src_is_clean():
+    from repro.analysis.program import _NullCache, analyze_paths
+
+    report = analyze_paths([str(SRC)], cache=_NullCache())
+    assert report.files_checked > 50
+    assert not report.parse_errors
+    assert report.ok, "\n" + report.render_human()
