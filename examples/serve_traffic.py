@@ -11,10 +11,19 @@ each behaviour:
 * the identical burst coalesces to exactly one pool execution;
 * every request is accounted for in ``serve.requests_total``.
 
-CI runs this as the `serve` job and uploads the final metrics snapshot
-(``serve-metrics.json``) as an artifact; locally it is a smoke test:
+With ``--trace`` the service runs with request tracing on: every
+simulate/sweep response must carry a latency stack that sums exactly
+to its wall latency, the span trees are fetched over the wire via the
+``trace`` op and exported as a Perfetto-loadable cross-process Chrome
+trace (``--trace-out``), and a live ``stats`` snapshot (queue-depth
+samples, latency quantiles) is written via ``--stats-out``.
+
+CI runs this as the `serve` job (traced) and uploads the final metrics
+snapshot, the merged trace, and the stats snapshot as artifacts;
+locally it is a smoke test:
 
     python examples/serve_traffic.py [--store DIR] [--out FILE]
+        [--trace] [--trace-out FILE] [--stats-out FILE]
 """
 
 import argparse
@@ -29,9 +38,22 @@ from repro.serve import BackgroundServer, ExperimentService, ServeClient
 COLD_WORKLOADS = ("gzip", "mcf", "twolf", "parser", "vpr", "crafty")
 LENGTH = 2_000  # short jobs: the mix exercises the service, not the core
 BURST = 24
+TRACE_LIMIT = 10_000  # span-frame bound for the `trace` op fetch
 
 
-def run_mix(server: BackgroundServer) -> dict:
+def check_stack(response: dict) -> None:
+    """A traced response's latency stack must sum exactly to its wall."""
+    meta = response["meta"]
+    if "latency_stack_ns" not in meta:
+        return
+    stack = meta["latency_stack_ns"]
+    total, wall = sum(stack.values()), meta["wall_ns"]
+    assert total == wall, (
+        f"latency stack {stack} sums to {total}, wall is {wall}"
+    )
+
+
+def run_mix(server: BackgroundServer, traced: bool) -> dict:
     with ServeClient("127.0.0.1", server.port) as client:
         assert client.ping(), "service did not answer ping"
 
@@ -44,6 +66,7 @@ def run_mix(server: BackgroundServer) -> dict:
             response = client.simulate(workload, length=LENGTH, seed=2006)
             assert response["ok"], response
             assert response["meta"]["source"] == "pool", response["meta"]
+            check_stack(response)
 
         # 2. Warm phase: the same six again, none may touch the pool.
         warm_baseline = pool_executions()
@@ -51,6 +74,7 @@ def run_mix(server: BackgroundServer) -> dict:
             response = client.simulate(workload, length=LENGTH, seed=2006)
             assert response["ok"], response
             assert response["meta"]["source"] == "tier0", response["meta"]
+            check_stack(response)
         assert pool_executions() == warm_baseline, "warm hit ran the pool"
         burst_baseline = warm_baseline
 
@@ -64,6 +88,8 @@ def run_mix(server: BackgroundServer) -> dict:
         with concurrent.futures.ThreadPoolExecutor(BURST) as pool:
             burst = list(pool.map(one_burst_request, range(BURST)))
         assert all(r["ok"] for r in burst), burst
+        for response in burst:
+            check_stack(response)
         sources = sorted({r["meta"]["source"] for r in burst})
         coalesced = sum(1 for r in burst if r["meta"]["coalesced"])
         # The burst must have collapsed: exactly one execution for its
@@ -77,8 +103,27 @@ def run_mix(server: BackgroundServer) -> dict:
             "mcf", "rob_size", [32, 64, 128, 256], length=LENGTH
         )
         assert sweep["ok"] and len(sweep["result"]) == 4, sweep
+        check_stack(sweep)
 
         status = client.status()["result"]
+        stats = spans = None
+        if traced:
+            # 5. Telemetry plane, over the wire: a live stats snapshot
+            #    (pure memory — answered inline on the event loop) and
+            #    the span window the whole mix recorded.
+            stats_response = client.stats()
+            assert stats_response["ok"], stats_response
+            stats = stats_response["result"]
+            assert stats["tracing"] is True, stats
+            assert stats["latency_quantiles_ms"], stats
+            trace_response = client.trace(limit=TRACE_LIMIT)
+            assert trace_response["ok"], trace_response
+            spans = trace_response["result"]["spans"]
+            # Cross-process: service-side spans plus the worker spans
+            # that rode home on JobResult.spans, one tree per request.
+            processes = {s["process"] for s in spans}
+            assert processes >= {"serve", "worker"}, processes
+            assert all(s["end_ns"] is not None for s in spans), "dangling span"
         client.shutdown()
 
     counters = status["metrics"]["counters"]
@@ -96,14 +141,28 @@ def run_mix(server: BackgroundServer) -> dict:
     print(f"burst sources       : {', '.join(sources)}")
     print(f"tier0 hits          : {counters['serve.cache_hits_tier0_total']}")
     print(f"shards              : {len(status['shards'])}")
-    return status
+    if traced:
+        print(f"spans recorded      : {len(spans)}")
+        depths = [s["queue_depth"] for s in stats["samples"]]
+        print(f"max queue depth     : {max(depths) if depths else 0}")
+    return {"status": status, "stats": stats, "spans": spans}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--store", help="store root (default: a temp dir)")
     parser.add_argument("--out", help="write the final status snapshot here")
+    parser.add_argument("--trace", action="store_true",
+                        help="run with request tracing on and assert the "
+                        "latency-stack identity on every response")
+    parser.add_argument("--trace-out",
+                        help="write the merged Perfetto (Chrome trace) "
+                        "span export here (implies --trace)")
+    parser.add_argument("--stats-out",
+                        help="write the live `stats` snapshot here "
+                        "(implies --trace)")
     args = parser.parse_args(argv)
+    traced = bool(args.trace or args.trace_out or args.stats_out)
 
     if args.store:
         store_root = Path(args.store)
@@ -112,15 +171,32 @@ def main(argv=None) -> int:
         context = tempfile.TemporaryDirectory(prefix="repro-serve-")
         store_root = Path(context.name) / "cache"
     try:
-        service = ExperimentService(store_root=store_root, n_shards=2)
+        service = ExperimentService(
+            store_root=store_root, n_shards=2,
+            trace_requests=True if traced else None,
+        )
         with BackgroundServer(service) as server:
             print(f"service             : 127.0.0.1:{server.port}")
-            status = run_mix(server)
+            results = run_mix(server, traced)
         if args.out:
             Path(args.out).write_text(
-                json.dumps(status, indent=2, sort_keys=True), encoding="utf-8"
+                json.dumps(results["status"], indent=2, sort_keys=True),
+                encoding="utf-8",
             )
             print(f"snapshot written    : {args.out}")
+        if args.trace_out:
+            from repro.obs.export import write_chrome_trace_spans
+            from repro.obs.spans import merge_span_snapshots
+
+            merged = merge_span_snapshots([results["spans"]])
+            events = write_chrome_trace_spans(merged, args.trace_out)
+            print(f"trace written       : {args.trace_out} ({events} events)")
+        if args.stats_out:
+            Path(args.stats_out).write_text(
+                json.dumps(results["stats"], indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            print(f"stats written       : {args.stats_out}")
     finally:
         if context is not None:
             context.cleanup()

@@ -20,6 +20,9 @@ RES002     interprocedural atomic-write enforcement: lab/resilience
 DET001    determinism taint: wall-clock / unseeded-RNG values flowing
            through assignments and return values into a
            pipeline/interval/frontend call
+OBS003     trace-context propagation: serve/lab code recording spans
+           must link them into the request tree (``parent_id=``) —
+           an orphan span renders as a detached root in every export
 =========  ==========================================================
 
 RACE rules run at extraction time (they need the AST) and their
@@ -521,6 +524,81 @@ class DeterminismTaintRule(ProgramRule):
                     )
 
 
+# -- OBS003: trace-context propagation ----------------------------------
+
+#: Module components whose span recording must stay tree-linked.
+TRACED_PARTS = frozenset({"serve", "lab"})
+
+
+@register_program
+class TraceContextPropagationRule(ProgramRule):
+    """Spans recorded on the serve/lab path must join the request tree.
+
+    A ``SpanCollector.start(trace_id=...)`` or ``add_complete(...)``
+    call that omits ``parent_id=`` creates a span that shares the
+    request's trace id but hangs off nothing — Perfetto renders it as
+    a second root, and :func:`fold_latency_stack` cannot attribute its
+    time, silently breaking the sum-to-wall identity. Only the one
+    request-root span per trace may be parentless, and that is the
+    service's job; every other recording site must thread
+    ``parent_id`` from the ambient :func:`current_context`.
+
+    Runs at extraction time (it only needs the call expression), self-
+    scoped to serve/ and lab/ modules like the other whole-program
+    rules scope their reports.
+    """
+
+    id = "OBS003"
+    name = "trace-context-propagation"
+    description = (
+        "serve/lab span recordings (collector.start/add_complete with "
+        "an explicit trace_id) must pass parent_id= so the span joins "
+        "the request tree; thread it from "
+        "repro.obs.context.current_context() (escape hatch: "
+        "# repro: noqa[OBS003])"
+    )
+    scope = ("serve", "lab")
+
+    def check_module(
+        self, tree: ast.Module, module: str, path: str
+    ) -> Iterator[LintViolation]:
+        if not (_module_parts(module) & TRACED_PARTS):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("start", "add_complete"):
+                continue
+            kwargs = {kw.arg for kw in node.keywords if kw.arg is not None}
+            # A **splat may carry parent_id; give it the benefit of
+            # the doubt rather than false-positive on dynamic kwargs.
+            has_splat = any(kw.arg is None for kw in node.keywords)
+            if "trace_id" not in kwargs:
+                # `.start()` is a common lifecycle verb (shards,
+                # servers); only the span-recording signature — which
+                # requires trace_id — is in scope.
+                continue
+            if "parent_id" in kwargs or has_splat:
+                continue
+            yield LintViolation(
+                rule=self.id,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                end_line=getattr(node, "end_lineno", node.lineno),
+                message=(
+                    f"span recording {func.attr!r} passes trace_id but "
+                    "no parent_id — the span detaches from the request "
+                    "tree (a second root in the export; excluded from "
+                    "the latency stack); thread parent_id from "
+                    "current_context().span_id"
+                ),
+            )
+
+
 def program_rule_catalogue() -> List[Dict[str, str]]:
     rows = []
     for rule in all_program_rules():
@@ -544,8 +622,10 @@ __all__ = [
     "ProgramIndex",
     "ProgramRule",
     "SharedStateRaceRule",
+    "TraceContextPropagationRule",
     "all_program_rules",
     "program_rule_catalogue",
     "register_program",
     "SIM_PARTS",
+    "TRACED_PARTS",
 ]

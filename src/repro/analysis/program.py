@@ -407,6 +407,11 @@ def analyze_paths(
             summaries = list(pool.map(summarize_safe, files))
         for position, summary in enumerate(summaries):
             if summary is None:
+                # The failed worker-thread attempt already counted this
+                # file's cache miss before extraction overflowed; the
+                # serial retry re-counts it, so take one back to keep
+                # misses == files on a cold run.
+                cache.misses = max(0, cache.misses - 1)
                 summaries[position] = summarize(files[position])
     else:
         summaries = [summarize(item) for item in files]

@@ -700,6 +700,45 @@ def cmd_obs_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_flame(args: argparse.Namespace) -> int:
+    """Fold a span export into collapsed flame-graph stacks."""
+    import json as _json
+
+    from repro.obs.spans import collapse_stacks, span_from_dict
+
+    console = _console(args)
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            payload = _json.load(handle)
+    except (OSError, _json.JSONDecodeError) as exc:
+        console.result(f"cannot read {args.trace}: {exc}")
+        return 1
+    # Accept a bare span list, a {"spans": [...]} envelope (serve
+    # manifests and `trace` op responses), or a `trace` op response
+    # still wrapped in its protocol frame.
+    if isinstance(payload, dict) and isinstance(payload.get("result"), dict):
+        payload = payload["result"]
+    records = payload.get("spans") if isinstance(payload, dict) else payload
+    if not isinstance(records, list):
+        console.result(f"{args.trace}: no span list found")
+        return 1
+    spans = []
+    for record in records:
+        if isinstance(record, dict) and "span_id" in record:
+            # Round-trip through SpanRecord: malformed records fail
+            # loudly here instead of producing a nonsense fold.
+            spans.append(span_from_dict(record).as_dict())
+    if args.trace_id:
+        spans = [s for s in spans if s["trace_id"] == args.trace_id]
+    lines = collapse_stacks(spans)
+    if not lines:
+        console.result("(no closed spans to fold)")
+        return 1
+    for line in lines:
+        console.result(line)
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Profile one simulate+analyze pass and report phase wall times."""
     from repro.obs import runtime as obs_runtime
@@ -789,6 +828,7 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
         tier0_items=args.tier0_items,
         tier0_bytes=args.tier0_bytes,
         use_cache=not args.no_cache,
+        trace_requests=True if args.trace else None,
     )
     server = ServeServer(service, host=args.host, port=args.port)
 
@@ -848,6 +888,76 @@ def cmd_serve_status(args: argparse.Namespace) -> int:
         console.result(f"  cache {tier}: {hits} hit(s), {misses} miss(es)")
     console.result(render_snapshot(status["metrics"]).rstrip("\n"))
     return 0
+
+
+def cmd_serve_top(args: argparse.Namespace) -> int:
+    """Live dashboard over the service's `stats` op (pure memory)."""
+    import time as _time
+
+    from repro.lab import ResultStore
+    from repro.serve.client import ServeClient, ServeClientError
+
+    console = _console(args)
+    store = ResultStore(root=args.cache_dir) if args.cache_dir else ResultStore()
+    iteration = 0
+    try:
+        client = ServeClient.from_store(store.root, timeout_s=args.timeout)
+    except ServeClientError as exc:
+        console.result(str(exc))
+        return 1
+    with client:
+        while True:
+            try:
+                response = client.stats()
+            except ServeClientError as exc:
+                console.result(str(exc))
+                return 1
+            if not response.get("ok"):
+                console.result(f"stats failed: {response.get('error')}")
+                return 1
+            stats = response["result"]
+            console.result(_render_serve_top(stats))
+            iteration += 1
+            if args.iterations is not None and iteration >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+
+
+def _render_serve_top(stats: dict) -> str:
+    """One refresh of the `serve top` dashboard as a text block."""
+    lines = [
+        f"serve {stats['service_id']}  up {stats['uptime_s']:.1f}s  "
+        f"tracing={'on' if stats.get('tracing') else 'off'}  "
+        f"inflight={stats['inflight']}  "
+        f"spans={stats.get('spans_buffered', 0)}"
+    ]
+    for shard in stats.get("shards", []):
+        lines.append(
+            f"  shard {shard['index']}: depth={shard['queue_depth']} "
+            f"submitted={shard['submitted']} restarts={shard['restarts']}"
+        )
+    gauges = stats.get("gauges", {})
+    lines.append(
+        "  gauges: "
+        + " ".join(f"{name}={value:g}" for name, value in sorted(gauges.items()))
+        if gauges
+        else "  gauges: (none)"
+    )
+    quantiles = stats.get("latency_quantiles_ms", {})
+    for name in sorted(quantiles):
+        qs = quantiles[name]
+        rendered = " ".join(
+            f"{label}={qs[label]:.3f}ms"
+            for label in ("p50", "p95", "p99")
+            if qs.get(label) is not None
+        )
+        lines.append(f"  {name}: {rendered}")
+    samples = stats.get("samples", [])
+    if samples:
+        recent = samples[-10:]
+        depths = " ".join(str(s["queue_depth"]) for s in recent)
+        lines.append(f"  queue depth (last {len(recent)}): {depths}")
+    return "\n".join(lines)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -1056,6 +1166,17 @@ def build_parser() -> argparse.ArgumentParser:
                    "$REPRO_CACHE_DIR)")
     q.set_defaults(func=cmd_obs_metrics)
 
+    q = obs_sub.add_parser(
+        "flame", parents=[common],
+        help="fold a span export into collapsed flame-graph stacks",
+    )
+    q.add_argument("trace",
+                   help="span JSON: a serve manifest, a `trace` op "
+                   "response, or a bare span list")
+    q.add_argument("--trace-id", default=None,
+                   help="fold only this trace's spans")
+    q.set_defaults(func=cmd_obs_flame)
+
     p = sub.add_parser(
         "lab",
         help="parallel experiment execution with the persistent "
@@ -1161,6 +1282,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--faults", default=None,
                    help="deterministic fault-injection plan (exported "
                    "as REPRO_FAULTS so shard workers inherit it)")
+    q.add_argument("--trace", action="store_true",
+                   help="trace every request (span tree + latency "
+                   "stack in each response's meta)")
     q.set_defaults(func=cmd_serve_run)
 
     q = serve_sub.add_parser(
@@ -1173,6 +1297,22 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--timeout", type=float, default=10.0,
                    help="connect/request timeout in seconds (default 10)")
     q.set_defaults(func=cmd_serve_status)
+
+    q = serve_sub.add_parser(
+        "top", parents=[common],
+        help="live telemetry dashboard (polls the pure-memory "
+        "'stats' op; never disturbs coalescing)",
+    )
+    q.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    q.add_argument("--timeout", type=float, default=10.0,
+                   help="connect/request timeout in seconds (default 10)")
+    q.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2)")
+    q.add_argument("--iterations", type=int, default=None,
+                   help="stop after N refreshes (default: run forever)")
+    q.set_defaults(func=cmd_serve_top)
 
     q = lab_sub.add_parser("gc", parents=[common],
                            help="evict stored results")

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import sanitizer as _sanitizer
 from repro.lab import codec
+from repro.obs import context as _obs_context
 from repro.lab.store import ResultStore, job_key
 from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
@@ -224,6 +225,10 @@ class JobResult:
     #: Path of the per-job JSONL trace, when tracing was on and
     #: ``REPRO_TRACE_DIR`` named a directory to write it into.
     trace_file: Optional[str] = None
+    #: Request-scoped spans recorded in the worker when the submitter
+    #: passed a ``trace_ctx`` (serve requests); the service absorbs
+    #: them into the request's cross-process span tree.
+    spans: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -290,6 +295,7 @@ def execute_job(
     spec: JobSpec,
     store_root: Optional[str] = None,
     use_cache: bool = True,
+    trace_ctx: Optional[Dict[str, str]] = None,
 ) -> JobResult:
     """Run one job end to end: store lookup, retries, error capture.
 
@@ -298,7 +304,63 @@ def execute_job(
     Runs identically in the parent (serial mode) and in pool workers;
     in a marked worker process the checkpoint below also writes the
     watchdog heartbeat and arms the ``pool.worker`` fault site.
+
+    ``trace_ctx`` (``{"trace_id": ..., "parent_span": ...}``) joins
+    this execution to a serve request's distributed trace: the context
+    arrives as an argument (workers outlive requests, so parent env
+    mutation cannot reach them), is re-exported to this process's
+    environment + contextvar for the duration of the job — the same
+    ambient pattern the obs pillars use — and the recorded spans ride
+    home on ``JobResult.spans``.
     """
+    if trace_ctx is None or not trace_ctx.get("trace_id"):
+        return _execute_job_impl(spec, store_root, use_cache)
+    from repro.obs import context as obs_context
+    from repro.obs.spans import SpanCollector
+
+    # Namespace this worker's span ids under the dispatch span that
+    # submitted the job: worker ids must never alias the service
+    # collector's ids once absorbed (parent edges resolve by id), and
+    # deriving the prefix from the parent keeps exports deterministic.
+    parent = trace_ctx.get("parent_span")
+    collector = SpanCollector(
+        process="worker", id_prefix=f"{parent}." if parent else "w."
+    )
+    span = collector.start(
+        "worker_execute",
+        trace_id=str(trace_ctx["trace_id"]),
+        parent_id=parent,
+        label=spec.label,
+    )
+    ctx = obs_context.TraceContext(span.trace_id, span.span_id)
+    tokens = obs_context.activate(ctx, collector)
+    obs_context.export_env(ctx)
+    try:
+        result = _execute_job_impl(spec, store_root, use_cache)
+    except BaseException:
+        # execute_job's contract is never-raises for job failures, so
+        # this is teardown (SIGTERM, interpreter exit): close the span
+        # rather than leave it dangling, then let the signal go.
+        collector.finish(span, status="aborted")
+        raise
+    finally:
+        obs_context.deactivate(tokens)
+        obs_context.clear_env()
+    collector.finish(
+        span,
+        status="ok" if result.ok else "error",
+        job_status=result.status,
+        attempts=result.attempts,
+    )
+    result.spans = collector.drain()
+    return result
+
+
+def _execute_job_impl(
+    spec: JobSpec,
+    store_root: Optional[str] = None,
+    use_cache: bool = True,
+) -> JobResult:
     worker_checkpoint(spec.label)
     key = spec.key()
     if spec.timeout_s is not None:
@@ -307,10 +369,25 @@ def execute_job(
         # wait behind a busy pool never counts against the budget.
         stamp_job_start(key)
     watch = Stopwatch()
+    # Ambient request-scoped collector (serve jobs only; None for batch
+    # runs) — store reads/writes below are recorded as child spans.
+    collector = _obs_context.current_collector()
+    ctx = _obs_context.current_context() if collector is not None else None
     store = None
     if use_cache and store_root is not None:
         store = ResultStore(root=store_root)
-        payload = store.get(key)
+        if collector is not None and ctx is not None:
+            t0 = collector.now()
+            payload = store.get(key)
+            collector.add_complete(
+                "store_get",
+                trace_id=ctx.trace_id,
+                parent_id=ctx.span_id,
+                start_ns=t0,
+                hit=payload is not None,
+            )
+        else:
+            payload = store.get(key)
         if payload is not None:
             return JobResult(
                 key=key,
@@ -346,7 +423,17 @@ def execute_job(
     payload = codec.payload_from_value(value)
     if store is not None:
         try:
-            store.put(key, payload, meta={"label": spec.label})
+            if collector is not None and ctx is not None:
+                t0 = collector.now()
+                store.put(key, payload, meta={"label": spec.label})
+                collector.add_complete(
+                    "store_put",
+                    trace_id=ctx.trace_id,
+                    parent_id=ctx.span_id,
+                    start_ns=t0,
+                )
+            else:
+                store.put(key, payload, meta={"label": spec.label})
         except Exception:
             # The result is good; a failed cache write (disk full, an
             # injected store.write fault) must not fail the job or —

@@ -17,6 +17,12 @@ variables, which lab worker processes inherit. See
 
 from __future__ import annotations
 
+from repro.obs.context import (
+    ENV_TRACE_CONTEXT,
+    TraceContext,
+    current_collector,
+    current_context,
+)
 from repro.obs.metrics import (
     DEFAULT_EDGES,
     METRIC_NAME_PATTERN,
@@ -26,11 +32,24 @@ from repro.obs.metrics import (
     Gauge,
     MetricNameError,
     MetricsRegistry,
+    histogram_quantile,
+    histogram_quantiles,
     merge_snapshots,
     render_snapshot,
     validate_metric_name,
 )
 from repro.obs.phases import PhaseProfiler, PhaseReport, PhaseRow
+from repro.obs.spans import (
+    SPAN_STATUSES,
+    STACK_COMPONENTS,
+    SpanCollector,
+    SpanRecord,
+    collapse_stacks,
+    fold_latency_stack,
+    fold_latency_stack_records,
+    merge_span_snapshots,
+    span_from_dict,
+)
 from repro.obs.tracer import (
     KIND_BPRED,
     KIND_ICACHE,
@@ -44,6 +63,21 @@ from repro.obs.tracer import (
 
 __all__ = [
     "DEFAULT_EDGES",
+    "ENV_TRACE_CONTEXT",
+    "SPAN_STATUSES",
+    "STACK_COMPONENTS",
+    "SpanCollector",
+    "SpanRecord",
+    "TraceContext",
+    "collapse_stacks",
+    "current_collector",
+    "current_context",
+    "fold_latency_stack",
+    "fold_latency_stack_records",
+    "histogram_quantile",
+    "histogram_quantiles",
+    "merge_span_snapshots",
+    "span_from_dict",
     "METRIC_NAME_PATTERN",
     "METRIC_NAME_RE",
     "Counter",

@@ -1,0 +1,119 @@
+"""Ambient trace context: which request does this work belong to?
+
+The serve path crosses three execution domains — the event loop, the
+``asyncio.to_thread`` worker threads it delegates blocking calls to,
+and the shard pool's worker *processes*. A request-scoped
+``trace_id``/``span_id`` pair has to survive all three so every span
+recorded along the way lands in the same tree.
+
+Two carriers cover them:
+
+* a :mod:`contextvars` variable — ``asyncio`` copies the context into
+  tasks and ``to_thread`` calls, so code running in a cache-lookup
+  thread still sees the request that scheduled it;
+* the ``REPRO_TRACE_CONTEXT`` environment variable — the same
+  env-propagation pattern the sanitizer and the obs pillars use, but
+  *inside* the pool worker: the context rides into ``execute_job`` as
+  an argument (pool workers outlive any single request, so parent-side
+  env mutation cannot reach them) and the worker re-exports it to its
+  own environment + contextvar for the duration of the job.
+
+Alongside the identity, :func:`activate` can install the *collector*
+(a :class:`repro.obs.spans.SpanCollector`) that ambient instrumentation
+sites — e.g. the tiered cache — append spans to.  Both are restored by
+:func:`deactivate`, so nesting behaves.
+"""
+
+from __future__ import annotations
+
+import os
+from contextvars import ContextVar, Token
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: Worker-side carrier: ``<trace_id>/<parent span id>`` (span part optional).
+ENV_TRACE_CONTEXT = "REPRO_TRACE_CONTEXT"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """Identity of the active request: trace id + current span id."""
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+    def as_env(self) -> str:
+        if self.span_id:
+            return f"{self.trace_id}/{self.span_id}"
+        return self.trace_id
+
+
+# One variable holding ``(context, collector)`` rather than two: the
+# serve path pays an activate/deactivate cycle per traced request, and
+# a single contextvar set/reset halves that cost.
+_active: ContextVar[Tuple[Optional[TraceContext], Optional[Any]]] = ContextVar(
+    "repro_trace_active", default=(None, None)
+)
+
+
+def context_from_env(raw: Optional[str] = None) -> Optional[TraceContext]:
+    """Parse ``trace_id[/span_id]`` from the env carrier, if present."""
+    if raw is None:
+        raw = os.environ.get(ENV_TRACE_CONTEXT, "")
+    raw = raw.strip()
+    if not raw:
+        return None
+    trace_id, _, span_id = raw.partition("/")
+    if not trace_id:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id or None)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The active trace context: contextvar first, env carrier second."""
+    ctx = _active.get()[0]
+    if ctx is not None:
+        return ctx
+    return context_from_env()
+
+
+def current_collector() -> Optional[Any]:
+    """The ambient span collector installed by :func:`activate`, if any."""
+    return _active.get()[1]
+
+
+def activate(ctx: TraceContext, collector: Optional[Any] = None) -> Token:
+    """Install *ctx* (and optionally a collector) as the ambient context.
+
+    Returns an opaque token for :func:`deactivate`; always pair the two
+    in ``try/finally`` so a failing request cannot leak its identity
+    into the next one handled on the same task.
+    """
+    return _active.set((ctx, collector))
+
+
+def deactivate(token: Token) -> None:
+    """Restore whatever context/collector *activate* displaced."""
+    _active.reset(token)
+
+
+def export_env(ctx: TraceContext) -> None:
+    """Write *ctx* to this process's environment (worker-side re-export)."""
+    os.environ[ENV_TRACE_CONTEXT] = ctx.as_env()
+
+
+def clear_env() -> None:
+    os.environ.pop(ENV_TRACE_CONTEXT, None)
+
+
+__all__ = [
+    "ENV_TRACE_CONTEXT",
+    "TraceContext",
+    "activate",
+    "clear_env",
+    "context_from_env",
+    "current_collector",
+    "current_context",
+    "deactivate",
+    "export_env",
+]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator, List, Union
+from typing import Iterator, List, Sequence, Union
 
 from repro.obs.tracer import (
     KIND_BPRED,
@@ -187,6 +187,96 @@ def write_chrome_trace(
     then atomic-replace — a crash never leaves a torn trace.
     """
     document = chrome_trace(tracer, label=label)
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    atomic_write_text(Path(path), text + "\n")
+    return len(document["traceEvents"])
+
+
+def chrome_trace_events_from_spans(
+    spans: Sequence[dict], label: str = "repro-serve"
+) -> List[dict]:
+    """Trace events for request-scoped spans (:mod:`repro.obs.spans`).
+
+    Unlike the single-process MissSpan layout above, request spans are
+    *cross-process*: the event loop, its worker threads, and the shard
+    pool workers each record under their own ``(process, pid)``. Each
+    distinct pair becomes one Perfetto process row (metadata first, in
+    sorted order so exports are deterministic); span timestamps are
+    integer nanoseconds rendered as fractional microseconds.
+    """
+    rows = sorted(
+        {(int(record.get("pid", 0)), str(record.get("process", "main")))
+         for record in spans}
+    )
+    events: List[dict] = []
+    for pid, process in rows:
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"{label}:{process}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "name": "thread_name",
+                "args": {"name": "request spans"},
+            }
+        )
+    ordered = sorted(
+        spans,
+        key=lambda r: (
+            str(r.get("trace_id", "")),
+            int(r.get("start_ns", 0)),
+            str(r.get("span_id", "")),
+        ),
+    )
+    for record in ordered:
+        if record.get("end_ns") is None:
+            continue
+        start_ns = int(record["start_ns"])
+        args = {
+            "trace_id": record.get("trace_id"),
+            "span_id": record.get("span_id"),
+            "parent_id": record.get("parent_id"),
+            "status": record.get("status", "ok"),
+        }
+        args.update(record.get("args") or {})
+        events.append(
+            {
+                "ph": "X",
+                "pid": int(record.get("pid", 0)),
+                "tid": 1,
+                "name": str(record.get("name", "span")),
+                "cat": "request",
+                "ts": start_ns / 1000.0,
+                "dur": (int(record["end_ns"]) - start_ns) / 1000.0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace_from_spans(spans: Sequence[dict], label: str = "repro-serve") -> dict:
+    return {
+        "traceEvents": chrome_trace_events_from_spans(spans, label=label),
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "wall nanoseconds rendered as us"},
+    }
+
+
+def write_chrome_trace_spans(
+    spans: Sequence[dict],
+    path: Union[str, Path],
+    label: str = "repro-serve",
+) -> int:
+    """Atomic-replace Chrome trace export for request spans."""
+    document = chrome_trace_from_spans(spans, label=label)
     text = json.dumps(document, sort_keys=True, separators=(",", ":"))
     atomic_write_text(Path(path), text + "\n")
     return len(document["traceEvents"])

@@ -190,6 +190,63 @@ def _histogram_payload(hist: FixedHistogram) -> dict:
     }
 
 
+def histogram_quantile(payload: dict, q: float) -> Optional[float]:
+    """Deterministic bucket-interpolated quantile of a histogram payload.
+
+    Walks the cumulative counts to the ``q``-th observation and
+    interpolates linearly inside the bucket that holds it, using the
+    recorded ``min``/``max`` to bound the open-ended first and overflow
+    buckets. Pure arithmetic over the payload — two equal snapshots
+    give bit-equal quantiles. Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    count = payload.get("count", 0)
+    if not count:
+        return None
+    edges = payload["edges"]
+    counts = payload["counts"]
+    vmin = payload.get("min")
+    vmax = payload.get("max")
+    target = q * count
+    cumulative = 0
+    for idx, bucket in enumerate(counts):
+        if bucket == 0:
+            continue
+        if cumulative + bucket >= target:
+            lower = vmin if idx == 0 else edges[idx - 1]
+            upper = edges[idx] if idx < len(edges) else vmax
+            if lower is None:
+                lower = upper
+            if upper is None:
+                upper = lower
+            fraction = (target - cumulative) / bucket
+            value = lower + (upper - lower) * fraction
+            if vmin is not None:
+                value = max(value, vmin)
+            if vmax is not None:
+                value = min(value, vmax)
+            return float(value)
+        cumulative += bucket
+    return float(vmax) if vmax is not None else None
+
+
+#: The quantiles surfaced by default: median plus the two tail points
+#: the latency-stack histograms report.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def histogram_quantiles(
+    payload: dict, qs: Sequence[float] = DEFAULT_QUANTILES
+) -> Dict[str, Optional[float]]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for a histogram payload."""
+    summary: Dict[str, Optional[float]] = {}
+    for q in qs:
+        label = f"p{q * 100:g}".replace(".", "_")
+        summary[label] = histogram_quantile(payload, q)
+    return summary
+
+
 def empty_snapshot() -> dict:
     return {"counters": {}, "gauges": {}, "histograms": {}}
 
@@ -267,6 +324,15 @@ def render_snapshot(snapshot: dict) -> str:
                 f"  {name}: count={payload['count']} sum={payload['sum']}"
                 f" min={payload['min']} max={payload['max']}"
             )
+            if payload["count"]:
+                quantiles = histogram_quantiles(payload)
+                lines.append(
+                    "    "
+                    + " ".join(
+                        f"{label}={quantiles[label]:g}"
+                        for label in ("p50", "p95", "p99")
+                    )
+                )
             edges = payload["edges"]
             for idx, bucket in enumerate(payload["counts"]):
                 if bucket == 0:

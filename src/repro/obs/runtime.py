@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional
 
+from repro.obs import context as obs_context
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.phases import PhaseProfiler, PhaseReport
 from repro.obs.tracer import RecordingTracer
@@ -111,6 +112,7 @@ def reset() -> None:
         _forced[pillar] = None
         os.environ.pop(_ENV_BY_PILLAR[pillar], None)
     os.environ.pop(ENV_TRACE_DIR, None)
+    obs_context.clear_env()
     _ambient_tracer = None
     _ambient_metrics = None
     _ambient_profiler = None

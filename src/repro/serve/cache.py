@@ -28,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import context as obs_context
 from repro.lab.store import (
     CODE_SALT,
     ResultStore,
@@ -205,12 +206,53 @@ class TieredCache:
 
         A backend hit is promoted into tier 0 (and only tier 0 — the
         backends already have it by write-through).
+
+        When the calling request carries an ambient span collector
+        (:func:`repro.obs.context.current_collector` — contextvars
+        survive the service's ``asyncio.to_thread`` hop into here), the
+        tier-0 probe and the backend walk are recorded as
+        ``cache_tier0`` / ``cache_backend`` latency-stack spans. With
+        tracing off the collector is ``None`` and this is the single
+        extra attribute read the overhead benchmark budgets for.
         """
+        collector = obs_context.current_collector()
+        if collector is None:
+            payload = self.tier0.get(key)
+            if payload is not None:
+                return payload, TIER0_NAME
+            for backend in self.backends:
+                payload = backend.get(key)
+                if payload is not None:
+                    self.tier0[key] = payload
+                    return payload, backend.name
+            return None, None
+        ctx = obs_context.current_context()
+        trace_id = ctx.trace_id if ctx else ""
+        parent_id = ctx.span_id if ctx else None
+        t0 = collector.now()
         payload = self.tier0.get(key)
+        collector.add_complete(
+            "cache_tier0",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            start_ns=t0,
+            hit=payload is not None,
+            key=key[:12],
+        )
         if payload is not None:
             return payload, TIER0_NAME
         for backend in self.backends:
+            t0 = collector.now()
             payload = backend.get(key)
+            collector.add_complete(
+                "cache_backend",
+                trace_id=trace_id,
+                parent_id=parent_id,
+                start_ns=t0,
+                tier=backend.name,
+                hit=payload is not None,
+                key=key[:12],
+            )
             if payload is not None:
                 self.tier0[key] = payload
                 return payload, backend.name

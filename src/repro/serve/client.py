@@ -110,6 +110,21 @@ class ServeClient:
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})
 
+    def stats(self) -> Dict[str, Any]:
+        """Live telemetry snapshot (queue depths, quantiles, samples)."""
+        return self.request({"op": "stats"})
+
+    def trace(
+        self, trace_id: Optional[str] = None, limit: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Span snapshot — one request's tree, or the recent window."""
+        obj: Dict[str, Any] = {"op": "trace"}
+        if trace_id is not None:
+            obj["trace_id"] = trace_id
+        if limit is not None:
+            obj["limit"] = limit
+        return self.request(obj)
+
     def simulate(
         self,
         workload: str,
@@ -117,17 +132,22 @@ class ServeClient:
         seed: int = protocol.DEFAULT_SEED,
         core: str = "ooo",
         config: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> Dict[str, Any]:
-        return self.request(
-            {
-                "op": "simulate",
-                "workload": workload,
-                "length": length,
-                "seed": seed,
-                "core": core,
-                "config": config or {},
-            }
-        )
+        obj = {
+            "op": "simulate",
+            "workload": workload,
+            "length": length,
+            "seed": seed,
+            "core": core,
+            "config": config or {},
+        }
+        if trace_id is not None:
+            obj["trace_id"] = trace_id
+        if parent_span is not None:
+            obj["parent_span"] = parent_span
+        return self.request(obj)
 
     def sweep(
         self,
@@ -138,19 +158,24 @@ class ServeClient:
         seed: int = protocol.DEFAULT_SEED,
         core: str = "ooo",
         config: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> Dict[str, Any]:
-        return self.request(
-            {
-                "op": "sweep",
-                "workload": workload,
-                "parameter": parameter,
-                "values": values,
-                "length": length,
-                "seed": seed,
-                "core": core,
-                "config": config or {},
-            }
-        )
+        obj = {
+            "op": "sweep",
+            "workload": workload,
+            "parameter": parameter,
+            "values": values,
+            "length": length,
+            "seed": seed,
+            "core": core,
+            "config": config or {},
+        }
+        if trace_id is not None:
+            obj["trace_id"] = trace_id
+        if parent_span is not None:
+            obj["parent_span"] = parent_span
+        return self.request(obj)
 
     def close(self) -> None:
         reader, self._reader = self._reader, None

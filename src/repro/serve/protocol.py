@@ -16,6 +16,16 @@ Request shapes (``op`` discriminates)::
      "config": {"rob_size": 256}}
     {"op": "sweep", "id": "r5", "workload": "gzip",
      "parameter": "rob_size", "values": [32, 64, 128], ...}
+    {"op": "stats", "id": "r6"}
+    {"op": "trace", "id": "r7", "trace_id": "t-serve-000001",
+     "limit": 200}
+
+Every request may additionally carry ``trace_id`` (adopt the caller's
+distributed-trace identity) and ``parent_span`` (the caller-side span
+the request span should parent to); both are optional opaque tokens
+validated by :func:`trace_fields`. ``stats`` and ``trace`` are served
+from in-memory state on the event loop — they never touch the pool or
+the store, so polling them cannot perturb coalescing.
 
 Responses::
 
@@ -36,13 +46,14 @@ replays the stored result or recomputes it).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import re
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.lab.jobs import SimJob, SweepJob
 from repro.pipeline.config import CoreConfig
 
 #: Operations the service understands.
-OPS = ("ping", "status", "simulate", "sweep", "shutdown")
+OPS = ("ping", "status", "simulate", "sweep", "shutdown", "stats", "trace")
 
 #: Hard ceiling on one request line (bytes); guards the reader buffer.
 MAX_LINE_BYTES = 1_000_000
@@ -113,6 +124,28 @@ def request_id(obj: Dict[str, Any]) -> Optional[str]:
     """The client's correlation id, if it sent one (echoed verbatim)."""
     rid = obj.get("id")
     return str(rid) if rid is not None else None
+
+
+#: Opaque trace tokens: printable, no whitespace, bounded. Deliberately
+#: loose — they only have to be safe to echo into journals and exports.
+TRACE_TOKEN_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+
+def trace_fields(obj: Dict[str, Any]) -> Tuple[Optional[str], Optional[str]]:
+    """Validate the optional ``trace_id``/``parent_span`` request fields."""
+    tokens = []
+    for name in ("trace_id", "parent_span"):
+        raw = obj.get(name)
+        if raw is None:
+            tokens.append(None)
+            continue
+        if not isinstance(raw, str) or not TRACE_TOKEN_RE.match(raw):
+            raise ProtocolError(
+                f"{name!r} must be a short printable token"
+                f" (pattern {TRACE_TOKEN_RE.pattern})"
+            )
+        tokens.append(raw)
+    return tokens[0], tokens[1]
 
 
 def _int_field(
@@ -241,6 +274,7 @@ __all__ = [
     "MAX_SWEEP_POINTS",
     "OPS",
     "ProtocolError",
+    "TRACE_TOKEN_RE",
     "ShardCrashError",
     "decode_line",
     "encode_line",
@@ -251,4 +285,5 @@ __all__ = [
     "sim_job_from",
     "summarize_payload",
     "sweep_jobs_from",
+    "trace_fields",
 ]

@@ -37,14 +37,23 @@ import asyncio
 import os
 import threading
 import uuid
+from collections import deque
 from concurrent.futures import BrokenExecutor
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import __version__
 from repro.lab.jobs import JobResult, SimJob
 from repro.lab.store import ResultStore
-from repro.obs.metrics import MetricsRegistry
+from repro.obs import context as obs_context
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry, histogram_quantiles
+from repro.obs.spans import (
+    STACK_COMPONENTS,
+    SpanCollector,
+    fold_latency_stack_records,
+    merge_span_snapshots,
+)
 from repro.resilience.atomic import atomic_write_json
 from repro.resilience.watchdog import WatchdogPolicy
 from repro.serve import protocol
@@ -58,7 +67,7 @@ from repro.serve.cache import (
 )
 from repro.serve.shards import ShardSet
 from repro.util.lru import LRUCache
-from repro.util.timing import Stopwatch
+from repro.util.timing import Stopwatch, default_clock_ns
 
 #: Where a running service advertises its address, under the store root.
 ENDPOINT_FILE = "serve/endpoint.json"
@@ -67,6 +76,18 @@ ENDPOINT_FILE = "serve/endpoint.json"
 #: multi-second cold simulations).
 LATENCY_EDGES_MS = (0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
                     2500, 5000, 10000)
+
+#: Closed-span buffer bound for the service collector: old spans are
+#: dropped FIFO so a long-running service cannot grow without bound.
+SPAN_BUFFER_LIMIT = 20_000
+
+#: Telemetry ring size: queue-depth/in-flight samples kept for the
+#: ``stats`` op and the serve manifest.
+TELEMETRY_SAMPLES = 256
+
+#: Ops that are introspection, not traffic: they are never traced (a
+#: ``trace`` query must not append spans to the tree it is reading).
+UNTRACED_OPS = ("stats", "trace")
 
 
 def endpoint_path(store_root: Union[str, Path]) -> Path:
@@ -86,6 +107,8 @@ class ExperimentService:
         service_id: Optional[str] = None,
         use_cache: bool = True,
         watchdog_policy: Optional[WatchdogPolicy] = None,
+        trace_requests: Optional[bool] = None,
+        span_clock: Optional[Callable[[], int]] = None,
     ) -> None:
         self.store = (
             ResultStore(root=store_root) if store_root else ResultStore()
@@ -110,9 +133,25 @@ class ExperimentService:
             use_cache=use_cache,
             watchdog_policy=watchdog_policy,
         )
-        self._inflight: Dict[str, "asyncio.Future[Tuple[dict, str]]"] = {}
+        #: key -> (payload, source, exec_span_id) singleflight futures.
+        self._inflight: Dict[
+            str, "asyncio.Future[Tuple[dict, str, Optional[str]]]"
+        ] = {}
         self._uptime = Stopwatch()
         self.shutdown_requested = asyncio.Event()
+        #: None = follow the ambient REPRO_TRACE switch; True/False pin
+        #: request tracing regardless (``repro serve run --trace``).
+        self.trace_requests = trace_requests
+        self.spans = SpanCollector(
+            process="serve",
+            clock_ns=span_clock or default_clock_ns,
+            max_spans=SPAN_BUFFER_LIMIT,
+        )
+        #: Event-loop samples of queue depth / in-flight, kept in a ring
+        #: for the ``stats`` op. Always on: appending one small dict at
+        #: request milestones is inside the disabled-overhead budget.
+        self._telemetry: "deque[Dict[str, Any]]" = deque(maxlen=TELEMETRY_SAMPLES)
+        self._telemetry_seq = 0
         # Pre-register every counter so a fresh snapshot shows explicit
         # zeros (CI asserts on names, not just values).
         for name in (
@@ -129,6 +168,52 @@ class ExperimentService:
         self.metrics.histogram(
             "serve.request_latency_milliseconds", edges=LATENCY_EDGES_MS
         )
+        # Telemetry-plane metrics, registered with literal names so
+        # OBS002's static check vets each one. (``serve.inflight`` as
+        # named in planning would fail the subsystem.noun_unit pattern —
+        # no unit suffix — hence ``serve.inflight_requests``.)
+        self.metrics.gauge("serve.queue_depth")
+        self.metrics.gauge("serve.inflight_requests")
+        self.metrics.histogram(
+            "serve.simulate_latency_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.sweep_latency_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        # One histogram per latency-stack component — the service-level
+        # CPI stack. Recorded via _record_stack; the names here keep
+        # them statically checkable and visible in fresh snapshots.
+        self.metrics.histogram(
+            "serve.latency_stack_queue_wait_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.latency_stack_coalesce_wait_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.latency_stack_cache_tier0_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.latency_stack_cache_backend_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.latency_stack_pool_execute_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.latency_stack_store_put_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        self.metrics.histogram(
+            "serve.latency_stack_serialize_milliseconds", edges=LATENCY_EDGES_MS
+        )
+        # Handles resolved once: _record_stack runs per traced request,
+        # and re-looking histograms up by formatted name there is
+        # measurable against the enabled-overhead bound.
+        self._stack_hists = {
+            component: self.metrics.histogram(
+                f"serve.latency_stack_{component}_milliseconds",
+                edges=LATENCY_EDGES_MS,
+            )
+            for component in STACK_COMPONENTS
+        }
 
     # -- lifecycle ----------------------------------------------------
 
@@ -136,18 +221,66 @@ class ExperimentService:
         self.shards.start()
 
     def close(self) -> None:
+        # Whatever is still open at shutdown (a request cut off by the
+        # loop going down) closes as ``aborted`` — exports never see a
+        # span without an end timestamp.
+        self.spans.abort_open("service-shutdown")
         self.write_manifest()
         self.shards.close()
 
     # -- dispatch -----------------------------------------------------
+
+    def _tracing_on(self) -> bool:
+        if self.trace_requests is not None:
+            return self.trace_requests
+        return obs_runtime.tracing_enabled()
+
+    def _sample_queues(self) -> None:
+        """One event-loop sample of queue depth and in-flight requests.
+
+        Pure memory — reading ``len`` of per-shard pending tables and
+        the inflight map — so sampling at request milestones is safe on
+        the loop and cheap enough to leave always on.
+        """
+        per_shard = [len(shard.pending) for shard in self.shards]
+        depth = sum(per_shard)
+        inflight = len(self._inflight)
+        self.metrics.gauge("serve.queue_depth").set_max(depth)
+        self.metrics.gauge("serve.inflight_requests").set_max(inflight)
+        self._telemetry_seq += 1
+        self._telemetry.append(
+            {
+                "seq": self._telemetry_seq,
+                "queue_depth": depth,
+                "inflight": inflight,
+                "shards": per_shard,
+            }
+        )
 
     async def handle(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         """One request dict in, one response dict out; never raises."""
         rid = protocol.request_id(obj)
         watch = Stopwatch()
         self.metrics.counter("serve.requests_total").inc()
+        self._sample_queues()
+        collector = self.spans if self._tracing_on() else None
+        root = None
+        mark = 0
+        tokens = None
+        op: Optional[str] = None
         try:
             op = protocol.request_op(obj)
+            if collector is not None and op not in UNTRACED_OPS:
+                trace_id, parent_span = protocol.trace_fields(obj)
+                if trace_id is None:
+                    trace_id = collector.new_trace_id()
+                mark = collector.mark()
+                root = collector.start(
+                    "request", trace_id=trace_id, parent_id=parent_span, op=op
+                )
+                tokens = obs_context.activate(
+                    obs_context.TraceContext(trace_id, root.span_id), collector
+                )
             if op == "ping":
                 response = protocol.ok_response(
                     rid, "pong", {"service_id": self.service_id}
@@ -155,6 +288,18 @@ class ExperimentService:
             elif op == "status":
                 response = protocol.ok_response(
                     rid, await asyncio.to_thread(self.status_payload), {}
+                )
+            elif op == "stats":
+                # Pure in-memory snapshot, answered inline on the loop:
+                # polling it can never block or perturb coalescing.
+                response = protocol.ok_response(
+                    rid, self.stats_payload(),
+                    {"service_id": self.service_id},
+                )
+            elif op == "trace":
+                response = protocol.ok_response(
+                    rid, self.trace_payload(obj),
+                    {"service_id": self.service_id},
                 )
             elif op == "shutdown":
                 self.shutdown_requested.set()
@@ -181,10 +326,44 @@ class ExperimentService:
                 rid, protocol.ERR_INTERNAL,
                 f"{type(exc).__name__}: {exc}", False,
             )
+        if root is not None:
+            if tokens is not None:
+                obs_context.deactivate(tokens)
+            ok = bool(response.get("ok"))
+            collector.finish(root, status="ok" if ok else "error")
+            # Records straight from the buffer, unfiltered: the fold
+            # skips foreign-trace spans itself, so filtering here too
+            # would just walk the window twice.
+            stack = fold_latency_stack_records(
+                root, collector.since_records(mark)
+            )
+            self._record_stack(stack)
+            meta = response.get("meta")
+            if ok and isinstance(meta, dict):
+                meta["trace_id"] = root.trace_id
+                meta["span_id"] = root.span_id
+                meta["wall_ns"] = root.duration_ns
+                meta["latency_stack_ns"] = stack
+        elapsed_ms = watch.elapsed * 1000.0
         self.metrics.histogram(
             "serve.request_latency_milliseconds", edges=LATENCY_EDGES_MS
-        ).add(watch.elapsed * 1000.0)
+        ).add(elapsed_ms)
+        if op == "simulate":
+            self.metrics.histogram(
+                "serve.simulate_latency_milliseconds", edges=LATENCY_EDGES_MS
+            ).add(elapsed_ms)
+        elif op == "sweep":
+            self.metrics.histogram(
+                "serve.sweep_latency_milliseconds", edges=LATENCY_EDGES_MS
+            ).add(elapsed_ms)
+        self._sample_queues()
         return response
+
+    def _record_stack(self, stack: Dict[str, int]) -> None:
+        """Aggregate one request's latency stack into the histograms."""
+        hists = self._stack_hists
+        for component, ns in stack.items():
+            hists[component].add(ns / 1e6)
 
     async def _simulate(
         self, rid: Optional[str], obj: Dict[str, Any]
@@ -192,7 +371,10 @@ class ExperimentService:
         spec = protocol.sim_job_from(obj)
         key = spec.key()
         payload, source, coalesced = await self._result_for(key, spec, obj)
-        return protocol.ok_response(
+        collector = obs_context.current_collector()
+        ctx = obs_context.current_context() if collector is not None else None
+        t0 = collector.now() if collector is not None else 0
+        response = protocol.ok_response(
             rid,
             protocol.summarize_payload(payload),
             {
@@ -202,6 +384,14 @@ class ExperimentService:
                 "shard": self.shards.route(key).index,
             },
         )
+        if collector is not None and ctx is not None:
+            collector.add_complete(
+                "serialize",
+                trace_id=ctx.trace_id,
+                parent_id=ctx.span_id,
+                start_ns=t0,
+            )
+        return response
 
     async def _sweep(
         self, rid: Optional[str], obj: Dict[str, Any]
@@ -213,6 +403,9 @@ class ExperimentService:
                 for spec in specs
             )
         )
+        collector = obs_context.current_collector()
+        ctx = obs_context.current_context() if collector is not None else None
+        t0 = collector.now() if collector is not None else 0
         results = []
         for spec, (payload, source, coalesced) in zip(specs, points):
             summary = protocol.summarize_payload(payload)
@@ -220,7 +413,7 @@ class ExperimentService:
             summary["key"] = spec.key()
             summary["source"] = source
             results.append(summary)
-        return protocol.ok_response(
+        response = protocol.ok_response(
             rid,
             results,
             {
@@ -228,6 +421,15 @@ class ExperimentService:
                 "coalesced": sum(1 for _, _, c in points if c),
             },
         )
+        if collector is not None and ctx is not None:
+            collector.add_complete(
+                "serialize",
+                trace_id=ctx.trace_id,
+                parent_id=ctx.span_id,
+                start_ns=t0,
+                points=len(results),
+            )
+        return response
 
     # -- the singleflight + cache + shard core ------------------------
 
@@ -244,9 +446,25 @@ class ExperimentService:
         existing = self._inflight.get(key)
         if existing is not None:
             self.metrics.counter("serve.coalesced_total").inc()
-            payload, source = await asyncio.shield(existing)
+            collector = obs_context.current_collector()
+            if collector is not None:
+                ctx = obs_context.current_context()
+                t0 = collector.now()
+                payload, source, exec_span = await asyncio.shield(existing)
+                # The waiter span parents to the *leader's* pool_execute
+                # span when there was one — that is the cross-request
+                # edge that makes a coalesced burst one legible tree.
+                collector.add_complete(
+                    "coalesce_wait",
+                    trace_id=ctx.trace_id if ctx else "",
+                    parent_id=exec_span or (ctx.span_id if ctx else None),
+                    start_ns=t0,
+                    key=key[:12],
+                )
+            else:
+                payload, source, _ = await asyncio.shield(existing)
             return payload, source, True
-        leader: "asyncio.Future[Tuple[dict, str]]" = (
+        leader: "asyncio.Future[Tuple[dict, str, Optional[str]]]" = (
             asyncio.get_running_loop().create_future()
         )
         # A leader with no followers never awaits its own future; the
@@ -257,36 +475,57 @@ class ExperimentService:
         )
         self._inflight[key] = leader
         try:
-            payload, source = await self._compute(key, spec, request)
+            payload, source, exec_span = await self._compute(key, spec, request)
         except Exception as exc:
             leader.set_exception(exc)
             raise
         else:
-            leader.set_result((payload, source))
+            leader.set_result((payload, source, exec_span))
             return payload, source, False
         finally:
             self._inflight.pop(key, None)
 
     async def _compute(
         self, key: str, spec: SimJob, request: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], str]:
+    ) -> Tuple[Dict[str, Any], str, Optional[str]]:
         if self.use_cache:
+            # ``to_thread`` copies the contextvars context, so the
+            # cache records its tier-probe spans against this request.
             payload, tier = await asyncio.to_thread(self.cache.lookup, key)
             if payload is not None:
                 self.metrics.counter(f"serve.cache_hits_{tier}_total").inc()
-                return payload, tier
+                return payload, tier, None
         self.metrics.counter("serve.cache_misses_total").inc()
-        payload = await self._run_on_shard(key, spec, request)
+        payload, exec_span = await self._run_on_shard(key, spec, request)
         if self.use_cache:
-            await asyncio.to_thread(
-                self.cache.store, key, payload, {"label": spec.label}
-            )
-        return payload, "pool"
+            collector = obs_context.current_collector()
+            if collector is not None:
+                ctx = obs_context.current_context()
+                t0 = collector.now()
+                await asyncio.to_thread(
+                    self.cache.store, key, payload, {"label": spec.label}
+                )
+                collector.add_complete(
+                    "store_put",
+                    trace_id=ctx.trace_id if ctx else "",
+                    parent_id=ctx.span_id if ctx else None,
+                    start_ns=t0,
+                    key=key[:12],
+                )
+            else:
+                await asyncio.to_thread(
+                    self.cache.store, key, payload, {"label": spec.label}
+                )
+        return payload, "pool", exec_span
 
     async def _run_on_shard(
         self, key: str, spec: SimJob, request: Dict[str, Any]
-    ) -> Dict[str, Any]:
-        """Execute on the owning shard with crash-recovery semantics."""
+    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Execute on the owning shard with crash-recovery semantics.
+
+        Returns ``(payload, pool_execute span id)`` — the span id is
+        what coalesced waiters parent their ``coalesce_wait`` spans to.
+        """
         shard = self.shards.route(key)
         self.metrics.counter("serve.pool_executions_total").inc()
         wire_request = {
@@ -295,9 +534,27 @@ class ExperimentService:
                 "parameter", "values",
             )
         }
+        collector = obs_context.current_collector()
+        ctx = obs_context.current_context() if collector is not None else None
+        exec_span = None
+        trace_ctx = None
+        if collector is not None and ctx is not None:
+            exec_span = collector.start(
+                "pool_execute",
+                trace_id=ctx.trace_id,
+                parent_id=ctx.span_id,
+                shard=shard.index,
+                key=key[:12],
+            )
+            trace_ctx = {
+                "trace_id": ctx.trace_id,
+                "parent_span": exec_span.span_id,
+            }
+        exec_span_id = exec_span.span_id if exec_span is not None else None
         future = await asyncio.to_thread(
-            shard.submit, key, spec, wire_request
+            shard.submit, key, spec, wire_request, trace_ctx
         )
+        self._sample_queues()
         for attempt in (1, 2):
             try:
                 result: JobResult = await asyncio.wrap_future(future)
@@ -312,7 +569,12 @@ class ExperimentService:
                     payload = await asyncio.to_thread(self.store.get, key)
                     if payload is not None:
                         shard.pending.pop(key, None)
-                        return payload
+                        shard.pending_ctx.pop(key, None)
+                        if collector is not None and exec_span is not None:
+                            collector.finish(
+                                exec_span, status="ok", replayed=True
+                            )
+                        return payload, exec_span_id
                 if attempt == 2:
                     break
                 future = await asyncio.to_thread(shard.resubmit, key)
@@ -321,14 +583,28 @@ class ExperimentService:
                 continue
             if result.ok and result.payload is not None:
                 await asyncio.to_thread(shard.complete, key, result)
-                return result.payload
+                if collector is not None and exec_span is not None:
+                    # Adopt the worker-process spans (worker_execute,
+                    # store reads/writes) into this request's tree.
+                    collector.absorb(result.spans)
+                    collector.finish(exec_span, status="ok")
+                return result.payload, exec_span_id
             error = (result.error or "job failed with no payload").strip()
             await asyncio.to_thread(shard.fail, key, error)
+            if collector is not None and exec_span is not None:
+                collector.absorb(result.spans)
+                collector.finish(exec_span, status="error")
             last = error.splitlines()[-1] if error else "job failed"
             raise _job_failure(last)
         await asyncio.to_thread(
             shard.fail, key, "shard crashed while executing"
         )
+        if collector is not None and exec_span is not None:
+            # The worker died with the job: its spans are gone, so the
+            # dispatch span is force-closed rather than left dangling.
+            collector.finish(
+                exec_span, status="aborted", abort_reason="shard-crashed"
+            )
         raise protocol.ShardCrashError(
             f"shard {shard.index} crashed while executing {spec.label}; "
             "the request is safe to retry"
@@ -337,7 +613,8 @@ class ExperimentService:
     # -- introspection ------------------------------------------------
 
     def status_payload(self) -> Dict[str, Any]:
-        """The ``status`` op's result (sync; called off the loop)."""
+        """The ``status`` op's result (sync; called off the loop —
+        ``shards.describe()`` reads heartbeat files from disk)."""
         return {
             "service_id": self.service_id,
             "version": __version__,
@@ -351,10 +628,79 @@ class ExperimentService:
             "metrics": self.metrics.snapshot(),
         }
 
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` op's result: the live telemetry plane.
+
+        Strictly in-memory (unlike :meth:`status_payload`, which walks
+        heartbeat files): per-shard queue depths from the pending
+        tables, the telemetry ring of event-loop samples, and the
+        latency quantiles — so it runs inline on the loop and a
+        dashboard polling it cannot disturb request coalescing.
+        """
+        snapshot = self.metrics.snapshot()
+        return {
+            "service_id": self.service_id,
+            "uptime_s": self._uptime.elapsed,
+            "tracing": self._tracing_on(),
+            "inflight": len(self._inflight),
+            "shards": [
+                {
+                    "index": shard.index,
+                    "queue_depth": len(shard.pending),
+                    "submitted": shard.submitted,
+                    "restarts": shard.restarts,
+                }
+                for shard in self.shards
+            ],
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "latency_quantiles_ms": {
+                name: histogram_quantiles(payload)
+                for name, payload in snapshot["histograms"].items()
+                if payload["count"]
+            },
+            "samples": list(self._telemetry),
+            "spans_buffered": len(self.spans),
+        }
+
+    def trace_payload(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``trace`` op's result: a non-draining span snapshot.
+
+        ``trace_id`` filters to one request's tree; ``limit`` bounds
+        the frame (most recent spans win). In-memory only.
+        """
+        trace_id, _ = protocol.trace_fields(obj)
+        limit = obj.get("limit", 500)
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+            raise protocol.ProtocolError(
+                "'limit' must be a non-negative integer"
+            )
+        spans = self.spans.snapshot(trace_id=trace_id, limit=limit)
+        return {
+            "service_id": self.service_id,
+            "count": len(spans),
+            "spans": spans,
+        }
+
     def write_manifest(self) -> Path:
-        """Persist the metrics/cache snapshot next to lab run manifests."""
+        """Persist the metrics/cache snapshot next to lab run manifests.
+
+        The v2 manifest also carries the telemetry ring, the merged
+        span snapshot (order-independent: shard/worker spans were
+        absorbed as they arrived, then canonicalized here), and the
+        latency-stack quantiles.
+        """
+        payload = self.status_payload()
+        snapshot = payload["metrics"]
+        payload["telemetry"] = list(self._telemetry)
+        payload["spans"] = merge_span_snapshots([self.spans.snapshot()])
+        payload["latency_quantiles_ms"] = {
+            name: histogram_quantiles(hist)
+            for name, hist in snapshot["histograms"].items()
+            if hist["count"]
+        }
         path = self.store.runs_dir / f"{self.service_id}.serve.json"
-        atomic_write_json(path, self.status_payload())
+        atomic_write_json(path, payload)
         return path
 
 
@@ -554,6 +900,9 @@ __all__ = [
     "ENDPOINT_FILE",
     "ExperimentService",
     "LATENCY_EDGES_MS",
+    "SPAN_BUFFER_LIMIT",
+    "TELEMETRY_SAMPLES",
     "ServeServer",
+    "UNTRACED_OPS",
     "endpoint_path",
 ]

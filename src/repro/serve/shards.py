@@ -75,6 +75,10 @@ class Shard:
         #: key -> spec for accepted-but-unfinished work (replay source
         #: within this process; the journal is the durable copy).
         self.pending: Dict[str, JobSpec] = {}
+        #: key -> trace context dict for pending work, so a journal
+        #: replay after a crash keeps the span tree of the original
+        #: request instead of starting an orphan.
+        self.pending_ctx: Dict[str, Dict[str, str]] = {}
 
     # -- lifecycle ----------------------------------------------------
 
@@ -110,24 +114,39 @@ class Shard:
 
     # -- work ---------------------------------------------------------
 
-    def submit(self, key: str, spec: JobSpec, request: Dict[str, Any]) -> Future:
+    def submit(
+        self,
+        key: str,
+        spec: JobSpec,
+        request: Dict[str, Any],
+        trace_ctx: Optional[Dict[str, str]] = None,
+    ) -> Future:
         """Journal the job (write-ahead), then hand it to the worker.
 
         The ``accepted`` note carries the client request verbatim so a
         future service generation could rebuild the spec from the
         journal alone; ``queued``/``started`` are the standard resume
-        records :class:`JournalState` classifies.
+        records :class:`JournalState` classifies. ``trace_ctx``
+        (``{"trace_id": ..., "parent_span": ...}``) rides into the
+        journal and the worker as data — pool workers outlive any one
+        request, so parent-side env mutation cannot carry it.
         """
         if self._executor is None:
             self.start()
         if key not in self.pending:
-            self.journal.note("accepted", key=key, request=request)
+            if trace_ctx:
+                self.journal.note("accepted", key=key, request=request, **trace_ctx)
+            else:
+                self.journal.note("accepted", key=key, request=request)
             self.journal.queued(self.submitted, key, spec.label)
             self.pending[key] = spec
+            if trace_ctx:
+                self.pending_ctx[key] = dict(trace_ctx)
         self.journal.started(self.submitted, key)
         self.submitted += 1
         return self._executor.submit(
-            execute_job, spec, self.store_root, self.use_cache
+            execute_job, spec, self.store_root, self.use_cache,
+            trace_ctx=trace_ctx,
         )
 
     def resubmit(self, key: str) -> Optional[Future]:
@@ -137,17 +156,23 @@ class Shard:
             return None
         if self._executor is None:
             self.start()
-        self.journal.note("replay", key=key)
+        trace_ctx = self.pending_ctx.get(key)
+        if trace_ctx:
+            self.journal.note("replay", key=key, **trace_ctx)
+        else:
+            self.journal.note("replay", key=key)
         self.journal.started(self.submitted, key)
         self.submitted += 1
         return self._executor.submit(
-            execute_job, spec, self.store_root, self.use_cache
+            execute_job, spec, self.store_root, self.use_cache,
+            trace_ctx=trace_ctx,
         )
 
     def complete(self, key: str, result: JobResult) -> None:
         from repro.lab.store import payload_digest
 
         self.pending.pop(key, None)
+        self.pending_ctx.pop(key, None)
         self.journal.done(
             self.submitted,
             key,
@@ -158,6 +183,7 @@ class Shard:
 
     def fail(self, key: str, error: str) -> None:
         self.pending.pop(key, None)
+        self.pending_ctx.pop(key, None)
         self.journal.failed(self.submitted, key, error, attempts=1)
 
     def journal_state(self) -> JournalState:

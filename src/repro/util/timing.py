@@ -18,6 +18,11 @@ from typing import Callable
 #: The default clock: monotonic, high-resolution, unaffected by NTP.
 default_clock: Callable[[], float] = time.perf_counter
 
+#: Integer-nanosecond variant of :data:`default_clock`. Span timestamps
+#: (:mod:`repro.obs.spans`) use this so latency-stack components can sum
+#: to wall latency *exactly* — integer arithmetic carries no rounding.
+default_clock_ns: Callable[[], int] = time.perf_counter_ns
+
 
 class Stopwatch:
     """Measure an elapsed wall-time span via an injectable clock."""
@@ -35,4 +40,4 @@ class Stopwatch:
         return self._clock() - self._started
 
 
-__all__ = ["Stopwatch", "default_clock"]
+__all__ = ["Stopwatch", "default_clock", "default_clock_ns"]

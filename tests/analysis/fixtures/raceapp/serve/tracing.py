@@ -1,0 +1,48 @@
+"""Span bookkeeping with a seeded OBS003 violation per method kind.
+
+Each orphaned recording has a correctly-parented twin next to it, so
+the corpus exercises both detection and false-positive behaviour for
+the trace-context propagation rule.
+"""
+
+
+class SpanSink:
+    """Stand-in for the obs SpanCollector's recording surface."""
+
+    def start(self, name, *, trace_id, parent_id=None, **args):
+        return (name, trace_id, parent_id, args)
+
+    def add_complete(
+        self, name, *, trace_id, parent_id=None, start_ns=0, end_ns=0, **args
+    ):
+        return (name, trace_id, parent_id, start_ns, end_ns, args)
+
+
+def record_orphan(sink, trace_id):
+    return sink.start("lookup", trace_id=trace_id)  # seeded: OBS003
+
+
+def record_child(sink, trace_id, parent):
+    return sink.start("lookup", trace_id=trace_id, parent_id=parent)
+
+
+def backfill_orphan(sink, trace_id, t0, t1):
+    return sink.add_complete(  # seeded: OBS003
+        "wait", trace_id=trace_id, start_ns=t0, end_ns=t1
+    )
+
+
+def backfill_child(sink, trace_id, parent, t0, t1):
+    return sink.add_complete(
+        "wait", trace_id=trace_id, parent_id=parent, start_ns=t0, end_ns=t1
+    )
+
+
+def backfill_dynamic(sink, trace_id, extra):
+    # A **splat may carry parent_id; the rule must not flag it.
+    return sink.add_complete("wait", trace_id=trace_id, **extra)
+
+
+def restart_pool(executor):
+    # Lifecycle `.start()` (no trace_id) is out of scope entirely.
+    return executor.start()

@@ -132,3 +132,63 @@ class TestSnapshot:
 
     def test_render_empty_snapshot(self):
         assert "no metrics" in render_snapshot(empty_snapshot())
+
+
+class TestQuantiles:
+    def _payload(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("serve.request_milliseconds",
+                                  edges=(1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 4.0, 8.0, 50.0):
+            hist.add(value)
+        return registry.snapshot()["histograms"]["serve.request_milliseconds"]
+
+    def test_empty_histogram_has_no_quantiles(self):
+        from repro.obs.metrics import histogram_quantile, histogram_quantiles
+
+        empty = {"edges": [1.0], "counts": [0, 0], "count": 0,
+                 "sum": 0, "min": None, "max": None}
+        assert histogram_quantile(empty, 0.5) is None
+        assert histogram_quantiles(empty) == {
+            "p50": None, "p95": None, "p99": None,
+        }
+
+    def test_quantiles_interpolate_within_buckets(self):
+        from repro.obs.metrics import histogram_quantile
+
+        payload = self._payload()
+        p50 = histogram_quantile(payload, 0.5)
+        # The median observation is the 2.5th of 5; three land in the
+        # (1, 10] bucket, so the estimate interpolates inside it.
+        assert 1.0 <= p50 <= 10.0
+        # Tails are clamped to the recorded extremes.
+        assert histogram_quantile(payload, 0.0) == 0.5
+        assert histogram_quantile(payload, 1.0) == 50.0
+
+    def test_quantiles_are_monotone_and_deterministic(self):
+        from repro.obs.metrics import histogram_quantile
+
+        payload = self._payload()
+        values = [histogram_quantile(payload, q)
+                  for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert values == sorted(values)
+        again = [histogram_quantile(payload, q)
+                 for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert values == again
+
+    def test_quantile_rejects_out_of_range(self):
+        from repro.obs.metrics import histogram_quantile
+
+        with pytest.raises(ValueError):
+            histogram_quantile(self._payload(), 1.5)
+
+    def test_render_includes_quantile_line(self):
+        from repro.obs.metrics import render_snapshot, MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.histogram("serve.request_milliseconds",
+                           edges=(1.0, 10.0)).add(5.0)
+        rendered = render_snapshot(registry.snapshot())
+        assert "p50=" in rendered and "p99=" in rendered
