@@ -511,25 +511,35 @@ class PerRecordLoopRule(Rule):
 
     The perf package exists to keep hot paths columnar; a Python loop
     over the record objects silently reintroduces the very overhead the
-    :class:`~repro.perf.packed.PackedTrace` layout removes. The two
-    legitimate record walks — packing itself and the scalar baselines
-    the benchmarks measure against — carry ``# repro: noqa[PERF001]``
-    with a justification.
+    :class:`~repro.perf.packed.PackedTrace` layout removes. Loops over
+    an ``.unpack()`` result are the same regression through the other
+    door — unpacking a column store back to records to iterate them —
+    so they are flagged too (``batchcore``/``checkpoint`` must go
+    through :class:`~repro.perf.batchcore.TraceColumns`, never back to
+    record objects). The legitimate record walks — packing itself and
+    the scalar baselines the benchmarks measure against — carry
+    ``# repro: noqa[PERF001]`` with a justification.
     """
 
     id = "PERF001"
     name = "per-record-loop"
     description = (
-        "no Python for-loops/comprehensions over trace.records in "
-        "perf/; operate on PackedTrace columns (escape hatch: "
-        "# repro: noqa[PERF001])"
+        "no Python for-loops/comprehensions over trace.records or "
+        ".unpack() results in perf/; operate on PackedTrace/"
+        "TraceColumns columns (escape hatch: # repro: noqa[PERF001])"
     )
     scope = ("perf",)
 
     def _is_records(self, node: ast.AST) -> bool:
         if isinstance(node, ast.Attribute) and node.attr == "records":
             return True
-        if isinstance(node, ast.Call):  # enumerate(t.records), zip(...)
+        if isinstance(node, ast.Call):
+            func = node.func
+            # packed.unpack() hands back per-record objects; iterating
+            # the result (Trace is iterable) is a per-record loop.
+            if isinstance(func, ast.Attribute) and func.attr == "unpack":
+                return True
+            # enumerate(t.records), zip(...), iter(packed.unpack()), ...
             return any(self._is_records(arg) for arg in node.args)
         return False
 

@@ -11,6 +11,8 @@ Examples::
     python -m repro trace --workload gzip --length 50000 --out gzip.trc
     python -m repro trace-info gzip.trc
     python -m repro list
+    python -m repro sweep --workload gzip --parameter rob_size \\
+        --values 32,64,128,256 --batch         # lockstep batched sweep
     python -m repro lab run --workers 4        # parallel, store-cached
     python -m repro lab run f2 f3 --no-cache
     python -m repro lab run f2 --metrics       # merged metrics manifest
@@ -811,6 +813,107 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_value(text: str):
+    """A sweep value from its CLI spelling (int, then float, then str)."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """One-dimensional CoreConfig sweep through the lab pool.
+
+    ``--batch`` chunks the points into lockstep batches routed through
+    ``repro.perf.batchcore`` — results are field-exact equal to the
+    scalar path and land in the same content-addressed store entries,
+    so the two modes share caches point by point.
+    """
+    from repro.lab.jobs import SweepJob
+    from repro.lab.pool import run_jobs
+
+    console = _console(args)
+    if args.workload not in ALL_PROFILES:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; see `python -m repro list`"
+        )
+    values = [
+        _sweep_value(part.strip())
+        for part in args.values.split(",")
+        if part.strip()
+    ]
+    if not values:
+        raise SystemExit("--values needs at least one value")
+    sweep = SweepJob(
+        parameter=args.parameter,
+        values=values,
+        workload=args.workload,
+        length=args.length,
+        seed=args.seed,
+        base_config=_config_from(args),
+    )
+    try:
+        jobs = (
+            sweep.expand_batched(batch_size=args.batch_size)
+            if args.batch
+            else sweep.expand()
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.batch:
+        value_groups = [
+            values[lo : lo + args.batch_size]
+            for lo in range(0, len(values), args.batch_size)
+        ]
+    else:
+        value_groups = [[value] for value in values]
+    results, telemetry = run_jobs(
+        jobs,
+        workers=args.workers,
+        store_root=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    rows = []
+    exit_code = 0
+    for spec, group, outcome in zip(jobs, value_groups, results):
+        if not outcome.ok:
+            exit_code = 1
+            last = (outcome.error or "").strip().splitlines()
+            console.result(
+                f"  FAILED {outcome.label}: {last[-1] if last else '?'}"
+            )
+            continue
+        decoded = spec.decode(outcome.payload)
+        group_results = decoded if isinstance(decoded, list) else [decoded]
+        for value, result in zip(group, group_results):
+            rows.append(
+                [
+                    value,
+                    result.ipc,
+                    result.cycles,
+                    len(result.events),
+                    result.rob_peak_occupancy,
+                ]
+            )
+    if rows:
+        console.result(
+            format_table(
+                [args.parameter, "IPC", "cycles", "events", "rob_peak"],
+                rows,
+                float_fmt=".3f",
+                title=(
+                    f"sweep {args.workload} {args.parameter} "
+                    f"({'batched' if args.batch else 'scalar'}, "
+                    f"{len(values)} point(s))"
+                ),
+            )
+        )
+    console.info(telemetry.summary())
+    return exit_code
+
+
 def cmd_serve_run(args: argparse.Namespace) -> int:
     """Start the sharded async experiment service (foreground)."""
     import asyncio
@@ -1130,6 +1233,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=None,
                    help="regression threshold as a fraction (default 0.15)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "sweep", parents=[common],
+        help="one-dimensional CoreConfig sweep through the lab pool "
+        "(--batch routes points through the lockstep batched core)",
+    )
+    p.add_argument("--workload", required=True,
+                   help="SPEC-like workload name")
+    p.add_argument("--parameter", required=True,
+                   help="CoreConfig field to sweep (e.g. rob_size)")
+    p.add_argument("--values", required=True,
+                   help="comma-separated values for the swept field")
+    p.add_argument("--length", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--batch", action="store_true",
+                   help="simulate points in lockstep batches "
+                   "(field-exact equal to the scalar path)")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="lockstep configs per batched job (default 8)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool worker processes (default: serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent result store")
+    p.add_argument("--cache-dir",
+                   help="store root (default: .repro-cache or "
+                   "$REPRO_CACHE_DIR)")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "obs",

@@ -21,7 +21,7 @@ double the store's footprint for no reuse win.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.lab.codec import result_from_payload, result_to_payload
 from repro.lab.store import (
@@ -118,6 +118,104 @@ def simulate_workload(
             return result
 
     result = simulate(workload_trace(name, length, seed), config)
+    _sim_cache[key] = result
+    if store is not None:
+        store.put(
+            persist_key,
+            result_to_payload(result),
+            meta={"workload": name, "length": length, "seed": seed},
+        )
+    return result
+
+
+def simulate_workload_batch(
+    name: str,
+    configs: "Sequence[CoreConfig]",
+    length: int = DEFAULT_LENGTH,
+    seed: int = DEFAULT_SEED,
+) -> "List[SimulationResult]":
+    """Simulate one workload under N configs via the lockstep batch core.
+
+    Results are field-exact equal to :func:`simulate_workload` per
+    config (the batched kernel is bit-exact against the scalar oracle,
+    and unsupported configs fall back to it), so both paths share the
+    same ``sim-ooo`` cache entries: points already simulated scalar are
+    served from cache, only the missing subset runs batched, and every
+    batched result is stored where a later scalar call will find it.
+    """
+    from repro.perf.batchcore import run_batch
+
+    configs = [
+        baseline_config() if config is None else config for config in configs
+    ]
+    results: List[Optional[SimulationResult]] = [None] * len(configs)
+    store = _persistent_store()
+    missing: List[int] = []
+    for index, config in enumerate(configs):
+        key = (name, length, seed, _config_key(config))
+        cached = _sim_cache.get(key)
+        if cached is not None:
+            results[index] = cached
+            continue
+        if store is not None:
+            payload = store.get(job_key("sim-ooo", name, length, seed, config))
+            if payload is not None:
+                result = result_from_payload(payload)
+                _sim_cache[key] = result
+                results[index] = result
+                continue
+        missing.append(index)
+
+    if missing:
+        trace = workload_trace(name, length, seed)
+        fresh = run_batch(trace, [configs[i] for i in missing])
+        for index, result in zip(missing, fresh):
+            config = configs[index]
+            results[index] = result
+            _sim_cache[(name, length, seed, _config_key(config))] = result
+            if store is not None:
+                store.put(
+                    job_key("sim-ooo", name, length, seed, config),
+                    result_to_payload(result),
+                    meta={"workload": name, "length": length, "seed": seed},
+                )
+    return [result for result in results if result is not None]
+
+
+def simulate_workload_sharded(
+    name: str,
+    config: Optional[CoreConfig] = None,
+    length: int = DEFAULT_LENGTH,
+    seed: int = DEFAULT_SEED,
+    shards: int = 4,
+) -> SimulationResult:
+    """Simulate one workload by checkpoint-sharding its trace.
+
+    Bit-exact vs :func:`simulate_workload`, so it reads and writes the
+    same cache entries; the sharded path only pays off when the cache
+    misses and the trace is long enough to split across pool workers.
+    """
+    if config is None:
+        config = baseline_config()
+    key = (name, length, seed, _config_key(config))
+    result = _sim_cache.get(key)
+    if result is not None:
+        return result
+
+    store = _persistent_store()
+    persist_key = job_key("sim-ooo", name, length, seed, config)
+    if store is not None:
+        payload = store.get(persist_key)
+        if payload is not None:
+            result = result_from_payload(payload)
+            _sim_cache[key] = result
+            return result
+
+    from repro.perf.checkpoint import simulate_sharded
+
+    result = simulate_sharded(
+        workload_trace(name, length, seed), config, shards=shards
+    )
     _sim_cache[key] = result
     if store is not None:
         store.put(

@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.analysis import sanitizer as _sanitizer
 from repro.lab import codec
 from repro.obs import context as _obs_context
-from repro.lab.store import ResultStore, job_key
+from repro.lab.store import ResultStore, config_digest, job_key
 from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
 from repro.resilience import faults
@@ -129,6 +129,120 @@ class SimJob(JobSpec):
 
 
 @dataclass(frozen=True)
+class BatchSimJob(JobSpec):
+    """Simulate one workload under N lockstep configurations at once.
+
+    One job, one trace decode, N :class:`SimulationResult`s — routed
+    through :class:`repro.perf.batchcore.BatchedSuperscalarCore`, whose
+    results are field-exact equal to running each config through the
+    scalar core (configs the batched kernel cannot model fall back to
+    the scalar oracle inside ``run_batch`` transparently). The job key
+    hashes every config digest so reordering or editing any point
+    re-addresses the whole batch.
+    """
+
+    workload: str = ""
+    length: int = 60_000
+    seed: int = 2006
+    configs: Tuple[CoreConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("BatchSimJob needs a workload name")
+        if not self.configs:
+            raise ValueError("BatchSimJob needs at least one config")
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.label:
+            object.__setattr__(
+                self,
+                "label",
+                f"batch:{self.workload}:{len(self.configs)}cfg",
+            )
+
+    def key(self) -> str:
+        return job_key(
+            kind="sim-batch",
+            workload=self.workload,
+            length=self.length,
+            seed=self.seed,
+            config=self.configs[0],
+            extra={"configs": [config_digest(c) for c in self.configs]},
+        )
+
+    def execute(self) -> Any:
+        from repro.perf.batchcore import run_batch
+        from repro.trace.synthetic import generate_trace
+        from repro.util.rng import derive_seed
+        from repro.workloads.spec_profiles import ALL_PROFILES
+
+        try:
+            profile = ALL_PROFILES[self.workload]
+        except KeyError:
+            raise ValueError(f"unknown workload {self.workload!r}") from None
+        trace = generate_trace(
+            profile, self.length, seed=derive_seed(self.seed, self.workload)
+        )
+        return run_batch(trace, list(self.configs))
+
+
+@dataclass(frozen=True)
+class ShardSimJob(JobSpec):
+    """Simulate one checkpoint shard ``[start, stop)`` of a workload.
+
+    The shard's result is in its own relative time base; the submitter
+    stitches the pieces with :func:`repro.perf.checkpoint.stitch`.
+    ``start`` must be 0 or an interval boundary of the trace — the
+    natural drain points where resume is provably clean.
+    """
+
+    workload: str = ""
+    length: int = 60_000
+    seed: int = 2006
+    config: CoreConfig = field(default_factory=CoreConfig)
+    start: int = 0
+    stop: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("ShardSimJob needs a workload name")
+        if not (0 <= self.start < self.stop):
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+        if not self.label:
+            object.__setattr__(
+                self,
+                "label",
+                f"shard:{self.workload}:[{self.start},{self.stop})",
+            )
+
+    def key(self) -> str:
+        return job_key(
+            kind="sim-shard",
+            workload=self.workload,
+            length=self.length,
+            seed=self.seed,
+            config=self.config,
+            extra={"start": self.start, "stop": self.stop},
+        )
+
+    def execute(self) -> Any:
+        from repro.perf.checkpoint import simulate_shard
+        from repro.trace.synthetic import generate_trace
+        from repro.util.rng import derive_seed
+        from repro.workloads.spec_profiles import ALL_PROFILES
+
+        try:
+            profile = ALL_PROFILES[self.workload]
+        except KeyError:
+            raise ValueError(f"unknown workload {self.workload!r}") from None
+        trace = generate_trace(
+            profile, self.length, seed=derive_seed(self.seed, self.workload)
+        )
+        return simulate_shard(trace, self.config, self.start, self.stop)
+
+
+@dataclass(frozen=True)
 class ExperimentJob(JobSpec):
     """Run one registered experiment (``t1``..``t3``, ``f1``..``f21``)."""
 
@@ -192,6 +306,46 @@ class SweepJob:
                     seed=self.seed,
                     config=config,
                     core=self.core,
+                    timeout_s=self.timeout_s,
+                    retries=self.retries,
+                )
+            )
+        return jobs
+
+    def expand_batched(self, batch_size: int = 8) -> List[BatchSimJob]:
+        """Expansion into lockstep batches instead of scalar points.
+
+        Values are chunked in declaration order into
+        :class:`BatchSimJob`s of at most ``batch_size`` configs. Only
+        meaningful for the out-of-order core (the batched kernel models
+        it alone); the in-order core raises so a sweep never silently
+        simulates the wrong machine.
+        """
+        if self.core != "ooo":
+            raise ValueError(
+                f"batched expansion only supports the 'ooo' core, "
+                f"got {self.core!r}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        jobs = []
+        values = list(self.values)
+        for lo in range(0, len(values), batch_size):
+            chunk = values[lo : lo + batch_size]
+            configs = tuple(
+                self.base_config.with_overrides(**{self.parameter: value})
+                for value in chunk
+            )
+            jobs.append(
+                BatchSimJob(
+                    label=(
+                        f"sweep:{self.workload}:{self.parameter}="
+                        f"{chunk[0]}..{chunk[-1]}"
+                    ),
+                    workload=self.workload,
+                    length=self.length,
+                    seed=self.seed,
+                    configs=configs,
                     timeout_s=self.timeout_s,
                     retries=self.retries,
                 )
@@ -461,10 +615,12 @@ def _execute_job_impl(
 
 
 __all__ = [
+    "BatchSimJob",
     "ExperimentJob",
     "JobResult",
     "JobSpec",
     "JobStatus",
+    "ShardSimJob",
     "SimJob",
     "SweepJob",
     "execute_job",

@@ -21,6 +21,13 @@ package is the performance layer on top of that representation:
   same :class:`~repro.interval.fast_sim.FastEstimate`;
 * :mod:`repro.perf.annotate_fast` — the packed-array oracle-annotation
   fast path the detailed core reads on its hot path;
+* :mod:`repro.perf.batchcore` — the batched structure-of-arrays
+  detailed core: lockstep multi-config simulation over shared trace
+  columns, bit-exact against the scalar
+  :class:`~repro.pipeline.core.SuperscalarCore` oracle;
+* :mod:`repro.perf.checkpoint` — interval-boundary checkpointing:
+  shard a long trace at mispredict drain points, simulate the shards
+  independently, and stitch the per-shard results bit-identically;
 * :mod:`repro.perf.bench` — the ``repro bench`` throughput harness and
   the ``BENCH_simulator.json`` regression baseline format.
 
@@ -29,19 +36,43 @@ stay vectorized — no per-record Python loops over ``trace.records``
 outside the explicitly marked pack/unpack boundary.
 """
 
+from repro.perf.batchcore import (
+    BatchedSuperscalarCore,
+    TraceColumns,
+    batch_supported,
+    run_batch,
+)
 from repro.perf.cache import PackedTraceCache, packed_trace_for
+from repro.perf.checkpoint import (
+    PipelineCheckpoint,
+    ShardResult,
+    interval_boundaries,
+    simulate_shard,
+    simulate_sharded,
+    stitch,
+)
 from repro.perf.fast import VectorizedIntervalSimulator
 from repro.perf.kernels import packed_critical_path_length, packed_statistics
 from repro.perf.packed import PackedTrace
 from repro.perf.replay import ReplayResult, replay
 
 __all__ = [
+    "BatchedSuperscalarCore",
     "PackedTrace",
     "PackedTraceCache",
+    "PipelineCheckpoint",
     "ReplayResult",
+    "ShardResult",
+    "TraceColumns",
     "VectorizedIntervalSimulator",
+    "batch_supported",
+    "interval_boundaries",
     "packed_critical_path_length",
     "packed_statistics",
     "packed_trace_for",
     "replay",
+    "run_batch",
+    "simulate_shard",
+    "simulate_sharded",
+    "stitch",
 ]

@@ -29,6 +29,7 @@ from repro.frontend.bimodal import BimodalPredictor
 from repro.frontend.gshare import GSharePredictor
 from repro.frontend.local import LocalPredictor
 from repro.interval.fast_sim import FastIntervalSimulator
+from repro.perf.batchcore import BatchedSuperscalarCore
 from repro.perf.cache import PackedTraceCache
 from repro.perf.fast import VectorizedIntervalSimulator
 from repro.perf.kernels import packed_statistics
@@ -184,6 +185,22 @@ def run_benchmarks(
         n,
     )
 
+    # Lockstep batched detailed core: 8 ROB sweep points per call, so
+    # per-point throughput counts n instructions per config. The core
+    # is built once (a sweep reuses it the same way) and its column/
+    # plan caches warm on the first timed call, matching steady-state
+    # sweep behaviour.
+    batch_configs = [
+        config.with_overrides(rob_size=r)
+        for r in (32, 48, 64, 96, 128, 160, 192, 256)
+    ]
+    batch_core = BatchedSuperscalarCore(batch_configs)
+    spec(
+        "detailed_core_batched",
+        lambda: batch_core.run(trace),
+        n * len(batch_configs),
+    )
+
     # Interval simulation.
     scalar_sim = FastIntervalSimulator(config)
     vector_sim = VectorizedIntervalSimulator(config)
@@ -282,6 +299,7 @@ def run_benchmarks(
         "replay_local": ratio("replay_local_vectorized", "replay_local_scalar"),
         "statistics": ratio("statistics_vectorized", "statistics_scalar"),
         "detailed_core": ratio("detailed_core", "detailed_core_scalar_annotate"),
+        "detailed_core_batched": ratio("detailed_core_batched", "detailed_core"),
         "end_to_end": ratio("end_to_end_perf", "end_to_end_scalar"),
     }
 

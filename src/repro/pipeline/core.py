@@ -50,12 +50,29 @@ from repro.util.rng import SplitMix, derive_seed
 
 _GHOST = -1  # seq marker for wrong-path ghost instructions
 
+_oracle_annotations = None
+
+
+def _oracle_annotations_fn():
+    """Lazy cached import of the columnar oracle annotator.
+
+    repro.perf sits above the pipeline layer, so the import cannot be
+    top-level; caching the resolved function keeps the per-run cost to
+    one global read instead of import machinery on every ``run``.
+    """
+    global _oracle_annotations
+    if _oracle_annotations is None:
+        from repro.perf.annotate_fast import oracle_annotations
+
+        _oracle_annotations = oracle_annotations
+    return _oracle_annotations
+
 
 class SuperscalarCore:
     """One simulated core; construct per run."""
 
-    def __init__(self, config: CoreConfig = CoreConfig()):
-        self.config = config
+    def __init__(self, config: Optional[CoreConfig] = None):
+        self.config = config if config is not None else CoreConfig()
 
     def run(
         self, trace: Trace, annotator: Optional[Annotator] = None
@@ -101,10 +118,7 @@ class SuperscalarCore:
             # Oracle annotations are a pure column function of the trace:
             # precompute them all through the packed arrays instead of
             # building one Annotation object per dispatched record.
-            # Imported here because repro.perf sits above the pipeline.
-            from repro.perf.annotate_fast import oracle_annotations
-
-            annotations: List[Optional[Annotation]] = oracle_annotations(
+            annotations: List[Optional[Annotation]] = _oracle_annotations_fn()(
                 trace, config
             )
         else:
@@ -471,7 +485,7 @@ class SuperscalarCore:
 
 def simulate(
     trace: Trace,
-    config: CoreConfig = CoreConfig(),
+    config: Optional[CoreConfig] = None,
     annotator: Optional[Annotator] = None,
 ) -> SimulationResult:
     """Convenience wrapper: run ``trace`` on a fresh core."""

@@ -310,6 +310,39 @@ def test_perf_noqa_escape_hatch():
     assert "PERF001" not in rules_hit(source, "src/repro/perf/x.py")
 
 
+def test_perf_flags_loop_over_unpack_result():
+    source = (
+        "def f(packed):\n"
+        "    for r in packed.unpack():\n"
+        "        pass\n"
+    )
+    assert "PERF001" in rules_hit(source, "src/repro/perf/batchcore.py")
+
+
+def test_perf_flags_aliased_unpack_result():
+    source = (
+        "def f(packed):\n"
+        "    trace = packed.unpack()\n"
+        "    return [r.pc for r in trace]\n"
+    )
+    assert "PERF001" in rules_hit(source, "src/repro/perf/checkpoint.py")
+
+
+def test_perf_flags_enumerate_of_unpack():
+    source = (
+        "def f(packed):\n"
+        "    for i, r in enumerate(packed.unpack()):\n"
+        "        pass\n"
+    )
+    assert "PERF001" in rules_hit(source, "src/repro/perf/x.py")
+
+
+def test_perf_allows_unpack_outside_loops():
+    # Calling unpack is fine — only iterating its records is not.
+    source = "def f(packed):\n    return packed.unpack()\n"
+    assert rules_hit(source, "src/repro/perf/x.py") == []
+
+
 # -- RES001 ----------------------------------------------------------------
 
 def test_res_flags_bare_write_open_in_lab():

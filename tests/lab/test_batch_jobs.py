@@ -1,0 +1,182 @@
+"""Batched/sharded simulation jobs: keys, execution, codec, caching."""
+
+import json
+
+import pytest
+
+from repro.lab.codec import (
+    batch_from_payload,
+    batch_to_payload,
+    payload_from_value,
+    shard_from_payload,
+    shard_to_payload,
+    value_from_payload,
+)
+from repro.lab.jobs import BatchSimJob, ShardSimJob, SweepJob, execute_job
+from repro.lab.store import ResultStore
+from repro.perf.checkpoint import simulate_shard
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import simulate
+from repro.trace.synthetic import generate_trace
+from repro.util.rng import derive_seed
+from repro.workloads.spec_profiles import ALL_PROFILES
+
+WORKLOAD = sorted(ALL_PROFILES)[0]
+
+
+def reference_trace(length=400, seed=2006):
+    return generate_trace(
+        ALL_PROFILES[WORKLOAD], length, derive_seed(seed, WORKLOAD)
+    )
+
+
+class TestBatchSimJob:
+    def test_requires_workload_and_configs(self):
+        with pytest.raises(ValueError):
+            BatchSimJob(configs=(CoreConfig(),))
+        with pytest.raises(ValueError):
+            BatchSimJob(workload=WORKLOAD)
+
+    def test_default_label_counts_configs(self):
+        job = BatchSimJob(
+            workload=WORKLOAD, configs=(CoreConfig(), CoreConfig(rob_size=32))
+        )
+        assert job.label == f"batch:{WORKLOAD}:2cfg"
+
+    def test_key_covers_every_config(self):
+        configs = (CoreConfig(), CoreConfig(rob_size=32))
+        base = BatchSimJob(workload=WORKLOAD, configs=configs)
+        reordered = BatchSimJob(workload=WORKLOAD, configs=configs[::-1])
+        edited = BatchSimJob(
+            workload=WORKLOAD,
+            configs=(configs[0], CoreConfig(rob_size=48)),
+        )
+        assert len({base.key(), reordered.key(), edited.key()}) == 3
+
+    def test_execute_matches_scalar_simulation(self):
+        configs = (CoreConfig(rob_size=32), CoreConfig(rob_size=128))
+        job = BatchSimJob(workload=WORKLOAD, length=400, configs=configs)
+        results = job.execute()
+        trace = reference_trace()
+        for config, result in zip(configs, results):
+            assert vars(result) == vars(simulate(trace, config))
+
+
+class TestShardSimJob:
+    def test_validates_span(self):
+        with pytest.raises(ValueError):
+            ShardSimJob(workload=WORKLOAD, start=100, stop=100)
+        with pytest.raises(ValueError):
+            ShardSimJob(workload=WORKLOAD, start=-1, stop=10)
+
+    def test_key_separates_spans(self):
+        first = ShardSimJob(workload=WORKLOAD, start=0, stop=200)
+        second = ShardSimJob(workload=WORKLOAD, start=200, stop=400)
+        assert first.key() != second.key()
+
+    def test_execute_matches_direct_shard(self):
+        job = ShardSimJob(workload=WORKLOAD, length=400, start=100, stop=300)
+        piece = job.execute()
+        direct = simulate_shard(reference_trace(), CoreConfig(), 100, 300)
+        assert piece.start == direct.start
+        assert piece.stop == direct.stop
+        assert piece.resume_cycle == direct.resume_cycle
+        assert piece.clean == direct.clean
+        assert vars(piece.result) == vars(direct.result)
+
+
+class TestExpandBatched:
+    def test_chunks_in_declaration_order(self):
+        sweep = SweepJob(
+            parameter="rob_size",
+            values=(16, 32, 64, 128, 256),
+            workload=WORKLOAD,
+        )
+        jobs = sweep.expand_batched(batch_size=2)
+        sizes = [[c.rob_size for c in job.configs] for job in jobs]
+        assert sizes == [[16, 32], [64, 128], [256]]
+
+    def test_rejects_inorder_core(self):
+        sweep = SweepJob(
+            parameter="rob_size", values=(32,), workload=WORKLOAD, core="inorder"
+        )
+        with pytest.raises(ValueError):
+            sweep.expand_batched()
+
+    def test_rejects_bad_batch_size(self):
+        sweep = SweepJob(
+            parameter="rob_size", values=(32,), workload=WORKLOAD
+        )
+        with pytest.raises(ValueError):
+            sweep.expand_batched(batch_size=0)
+
+    def test_batched_points_equal_scalar_points(self):
+        sweep = SweepJob(
+            parameter="rob_size",
+            values=(32, 64, 128),
+            workload=WORKLOAD,
+            length=400,
+        )
+        scalar = [job.execute() for job in sweep.expand()]
+        batched = []
+        for job in sweep.expand_batched(batch_size=2):
+            batched.extend(job.execute())
+        for a, b in zip(batched, scalar):
+            assert vars(a) == vars(b)
+
+
+class TestCodec:
+    def test_batch_payload_round_trips_through_json(self):
+        trace = reference_trace(length=200)
+        results = [
+            simulate(trace, CoreConfig(rob_size=r)) for r in (32, 128)
+        ]
+        payload = json.loads(json.dumps(batch_to_payload(results)))
+        decoded = batch_from_payload(payload)
+        for a, b in zip(decoded, results):
+            assert vars(a) == vars(b)
+
+    def test_shard_payload_round_trips_through_json(self):
+        piece = simulate_shard(reference_trace(length=300), CoreConfig(), 50, 250)
+        payload = json.loads(json.dumps(shard_to_payload(piece)))
+        decoded = shard_from_payload(payload)
+        assert decoded.start == piece.start
+        assert decoded.stop == piece.stop
+        assert decoded.resume_cycle == piece.resume_cycle
+        assert decoded.clean == piece.clean
+        assert vars(decoded.result) == vars(piece.result)
+
+    def test_dispatch_by_value_type(self):
+        trace = reference_trace(length=200)
+        results = [simulate(trace, CoreConfig())]
+        assert payload_from_value(results)["type"] == "simulation_batch"
+        piece = simulate_shard(trace, CoreConfig(), 0, 100)
+        assert payload_from_value(piece)["type"] == "simulation_shard"
+
+    def test_value_from_payload_inverts_dispatch(self):
+        trace = reference_trace(length=200)
+        results = [simulate(trace, CoreConfig())]
+        decoded = value_from_payload(payload_from_value(results))
+        assert vars(decoded[0]) == vars(results[0])
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError):
+            batch_from_payload({"type": "simulation_shard"})
+        with pytest.raises(ValueError):
+            shard_from_payload({"type": "simulation_batch"})
+
+
+class TestBatchCaching:
+    def test_batch_job_store_round_trip(self, tmp_path):
+        job = BatchSimJob(
+            workload=WORKLOAD,
+            length=300,
+            configs=(CoreConfig(rob_size=32), CoreConfig(rob_size=64)),
+        )
+        cold = execute_job(job, str(tmp_path), use_cache=True)
+        assert not cold.cache_hit
+        warm = execute_job(job, str(tmp_path), use_cache=True)
+        assert warm.cache_hit
+        assert ResultStore(root=tmp_path).count() == 1
+        for a, b in zip(cold.value(job), warm.value(job)):
+            assert vars(a) == vars(b)

@@ -1,0 +1,207 @@
+"""Sharded simulation must stitch to the unsharded result exactly.
+
+The checkpoint layer's contract is byte-identity: cut a trace at
+interval boundaries, simulate each shard from a fresh pipeline, stitch,
+and the composite :class:`SimulationResult` equals the whole-trace run
+on every field.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.batchcore import TraceColumns
+from repro.perf.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    PipelineCheckpoint,
+    checkpoints_of,
+    interval_boundaries,
+    plan_shards,
+    simulate_shard,
+    simulate_sharded,
+    simulate_sharded_detailed,
+    stitch,
+)
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import SuperscalarCore
+from repro.trace.profiles import WorkloadProfile
+from repro.trace.synthetic import generate_trace
+
+
+def profile(**overrides):
+    params = dict(
+        name="checkpoint-eq",
+        mispredict_rate=0.08,
+        il1_mpki=2.0,
+        dl1_miss_rate=0.05,
+        dl2_miss_rate=0.02,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def assert_result_equal(sharded, whole, context=""):
+    assert vars(sharded) == vars(whole), context
+
+
+class TestIntervalBoundaries:
+    def test_boundaries_follow_mispredicts(self):
+        trace = generate_trace(profile(), 500, seed=3)
+        cols = TraceColumns.build(trace)
+        for boundary in interval_boundaries(trace):
+            assert 0 < boundary < len(trace)
+            assert cols.misp[boundary - 1]
+
+    def test_min_gap_respected(self):
+        trace = generate_trace(profile(mispredict_rate=0.3), 500, seed=5)
+        boundaries = interval_boundaries(trace, min_gap=50)
+        previous = 0
+        for boundary in boundaries:
+            assert boundary - previous >= 50
+            previous = boundary
+
+    def test_limit_truncates(self):
+        trace = generate_trace(profile(mispredict_rate=0.3), 500, seed=7)
+        assert len(interval_boundaries(trace, limit=3)) <= 3
+
+    def test_plan_shards_monotonic(self):
+        trace = generate_trace(profile(), 2000, seed=9)
+        cuts = plan_shards(trace, 4)
+        assert cuts == sorted(set(cuts))
+        assert all(0 < cut < len(trace) for cut in cuts)
+
+
+class TestShardStitchIdentity:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_sharded_equals_whole(self, shards):
+        trace = generate_trace(profile(), 2500, seed=11)
+        whole = SuperscalarCore(CoreConfig()).run(trace)
+        sharded = simulate_sharded(trace, CoreConfig(), shards=shards)
+        assert_result_equal(sharded, whole, f"shards={shards}")
+
+    def test_split_at_every_boundary(self):
+        """The stress case: one shard per interval."""
+        config = CoreConfig()
+        trace = generate_trace(profile(), 1200, seed=13)
+        boundaries = interval_boundaries(trace)
+        assert boundaries, "trace must contain mispredicts for this test"
+        whole = SuperscalarCore(config).run(trace)
+        sharded = simulate_sharded(trace, config, boundaries=boundaries)
+        assert_result_equal(sharded, whole)
+
+    def test_manual_stitch_matches(self):
+        """Drive simulate_shard + stitch by hand, healing dirty cuts
+        the same way the orchestrator does: merge with the successor
+        span and re-simulate."""
+        config = CoreConfig()
+        trace = generate_trace(profile(), 1000, seed=17)
+        cuts = plan_shards(trace, 3)
+        spans = list(zip([0] + cuts, cuts + [len(trace)]))
+        pieces = [simulate_shard(trace, config, a, b) for a, b in spans]
+        index = 0
+        while index < len(pieces) - 1:
+            piece = pieces[index]
+            if piece.clean:
+                index += 1
+                continue
+            merged = simulate_shard(
+                trace, config, piece.start, pieces[index + 1].stop
+            )
+            pieces[index:index + 2] = [merged]
+        stitched = stitch(pieces, config)
+        assert_result_equal(stitched, SuperscalarCore(config).run(trace))
+
+    def test_stitch_refuses_dirty_pieces(self):
+        heavy = profile(dl1_miss_rate=0.3, dl2_miss_rate=0.6)
+        config = CoreConfig()
+        trace = generate_trace(heavy, 1500, seed=17)
+        boundaries = interval_boundaries(trace)
+        spans = list(zip([0] + boundaries, boundaries + [len(trace)]))
+        pieces = [simulate_shard(trace, config, a, b) for a, b in spans]
+        if all(piece.clean for piece in pieces[:-1]):
+            pytest.skip("all cuts happened to be clean")
+        with pytest.raises(ValueError):
+            stitch(pieces, config)
+
+    def test_sharded_without_timeline(self):
+        config = CoreConfig(record_timeline=False)
+        trace = generate_trace(profile(), 1500, seed=19)
+        whole = SuperscalarCore(config).run(trace)
+        sharded = simulate_sharded(trace, config, shards=4)
+        assert_result_equal(sharded, whole)
+        assert sharded.dispatch_cycle is None
+
+    def test_dirty_boundaries_are_healed(self):
+        """Long D-miss shadows make many cuts dirty; stitching must
+        merge across them and still match exactly."""
+        heavy = profile(dl1_miss_rate=0.3, dl2_miss_rate=0.5)
+        config = CoreConfig()
+        trace = generate_trace(heavy, 1500, seed=23)
+        boundaries = interval_boundaries(trace)
+        if not boundaries:
+            pytest.skip("no mispredicts in generated trace")
+        whole = SuperscalarCore(config).run(trace)
+        result, report = simulate_sharded_detailed(
+            trace, config, boundaries=boundaries
+        )
+        assert_result_equal(result, whole)
+        assert report.merged_boundaries >= 0
+
+    def test_no_boundaries_falls_back_to_whole_run(self):
+        calm = profile(mispredict_rate=0.0, il1_mpki=0.0)
+        config = CoreConfig()
+        trace = generate_trace(calm, 400, seed=29)
+        whole = SuperscalarCore(config).run(trace)
+        result, report = simulate_sharded_detailed(trace, config, shards=4)
+        assert_result_equal(result, whole)
+
+
+class TestCheckpointPayload:
+    def test_round_trip(self):
+        checkpoint = PipelineCheckpoint(
+            boundary=120,
+            resume_cycle=431,
+            last_commit_cycle=430,
+            max_fu_free=429,
+            clean=True,
+        )
+        restored = PipelineCheckpoint.from_payload(checkpoint.to_payload())
+        assert restored == checkpoint
+
+    def test_schema_version_enforced(self):
+        payload = PipelineCheckpoint(
+            boundary=1,
+            resume_cycle=2,
+            last_commit_cycle=1,
+            max_fu_free=1,
+            clean=True,
+        ).to_payload()
+        payload["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            PipelineCheckpoint.from_payload(payload)
+
+    def test_checkpoints_describe_cuts(self):
+        config = CoreConfig()
+        trace = generate_trace(profile(), 800, seed=31)
+        cuts = plan_shards(trace, 3)
+        spans = list(zip([0] + cuts, cuts + [len(trace)]))
+        pieces = [simulate_shard(trace, config, a, b) for a, b in spans]
+        checkpoints = checkpoints_of(pieces, config)
+        assert [c.boundary for c in checkpoints] == [p.stop for p in pieces[:-1]]
+
+
+class TestShardProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shards=st.integers(min_value=2, max_value=6),
+        rob_size=st.sampled_from([32, 64, 128]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sharding_is_invisible(self, seed, shards, rob_size):
+        config = CoreConfig(rob_size=rob_size)
+        trace = generate_trace(profile(), 600, seed=seed)
+        whole = SuperscalarCore(config).run(trace)
+        sharded = simulate_sharded(trace, config, shards=shards)
+        assert_result_equal(sharded, whole)

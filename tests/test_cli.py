@@ -320,3 +320,43 @@ class TestLabResume:
                      "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "resumed" in out
+
+
+class TestSweep:
+    def test_scalar_sweep_prints_table(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--workload", "gzip", "--parameter", "rob_size",
+            "--values", "32,64", "--length", "2000",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rob_size" in out
+        assert "32" in out and "64" in out
+
+    def test_batched_sweep_matches_scalar_sweep(self, tmp_path, capsys):
+        args = [
+            "sweep", "--workload", "gzip", "--parameter", "rob_size",
+            "--values", "32,64,128", "--length", "2000", "--no-cache",
+        ]
+        assert main(args) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(args + ["--batch", "--batch-size", "2"]) == 0
+        batch_out = capsys.readouterr().out
+        scalar_rows = [l for l in scalar_out.splitlines() if l.strip()]
+        batch_rows = [l for l in batch_out.splitlines() if l.strip()]
+        # identical tables after the mode header: IPC, cycles, events
+        assert scalar_rows[1:6] == batch_rows[1:6]
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--workload", "nosuch", "--parameter", "rob_size",
+                "--values", "32", "--no-cache",
+            ])
+
+    def test_batched_inorder_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--workload", "gzip", "--parameter", "rob_size",
+                "--values", "32", "--batch", "--inorder", "--no-cache",
+            ])
