@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Seeded overload + worker-death drill against the serve plane.
+
+Boots `repro.serve` with deliberately tight admission budgets and
+multi-worker shards, then does three things to it at once that
+production does one at a time on a bad day:
+
+1. a seeded 200-request burst from bare clients (no retries), far
+   over the admission budget, so the service must shed;
+2. one SIGKILLed shard worker mid-burst, so the journal's
+   at-least-once machinery must replay in-flight work on the
+   rebuilt pool;
+3. a resilient client (seeded retry/backoff + circuit breaker)
+   afterwards, which must complete the *entire* unique workload
+   against the same battered service.
+
+The drill asserts the overload contract end to end:
+
+* every burst request resolves — success or a *typed, retryable*
+  error (``overloaded`` with a ``retry_after_ms`` hint, or
+  ``shard-crashed``); never a hang, never an untyped failure;
+* the service shed under pressure (``serve.overload_sheds_total`` > 0)
+  and the shed responses carried retry hints;
+* no accepted-and-journaled work is lost: every journal-``accepted``
+  key terminates as ``done`` or ``failed`` — nothing dangles;
+* worker width is a throughput knob only: the canonical subset run at
+  ``workers=2`` and ``workers=4`` is byte-identical to ``workers=1``.
+
+CI runs this as the `overload` job and uploads the summary + final
+metrics snapshot as artifacts; locally it is a smoke test:
+
+    python examples/serve_overload.py [--out FILE] [--metrics-out FILE]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.serve import BackgroundServer, ExperimentService, ServeClient
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import retryable_error
+from repro.util.rng import SplitMix
+
+SEED = 2006
+BURST = 200
+CLIENT_THREADS = 24
+WORKLOADS = ("gzip", "mcf", "twolf", "parser", "vpr", "crafty")
+LENGTHS = (400, 700, 1000)
+RETRYABLE_TYPES = {"overloaded", "shard-crashed"}
+
+#: The canonical subset used for the worker-width identity check.
+IDENTITY_REQUESTS = [
+    {"op": "simulate", "workload": w, "length": 500, "seed": SEED}
+    for w in WORKLOADS[:3]
+] + [
+    {
+        "op": "sweep", "workload": "vpr", "parameter": "rob_size",
+        "values": [32, 64], "length": 400, "seed": SEED,
+    }
+]
+
+
+def unique_specs() -> list:
+    """The drill's unique workload: 18 distinct simulate requests."""
+    return [
+        {"op": "simulate", "workload": w, "length": length, "seed": SEED}
+        for w in WORKLOADS
+        for length in LENGTHS
+    ]
+
+
+def seeded_burst(specs: list) -> list:
+    """200 requests sampled from the unique specs, seeded order."""
+    rng = SplitMix(SEED)
+    return [
+        dict(specs[rng.randint(0, len(specs) - 1)]) for _ in range(BURST)
+    ]
+
+
+def assert_worker_width_is_pure(scratch: Path) -> None:
+    """workers=2 / workers=4 answers are byte-identical to workers=1."""
+    outputs = {}
+    for workers in (1, 2, 4):
+        svc = ExperimentService(
+            store_root=scratch / f"width{workers}", n_shards=2,
+            shard_workers=workers, service_id=f"overload-width{workers}",
+        )
+        with BackgroundServer(svc) as server:
+            with ServeClient("127.0.0.1", server.port) as client:
+                responses = [
+                    client.request(dict(r)) for r in IDENTITY_REQUESTS
+                ]
+        assert all(r["ok"] for r in responses), responses
+        outputs[workers] = json.dumps(
+            [r["result"] for r in responses], sort_keys=True
+        )
+    assert outputs[2] == outputs[1], "workers=2 changed results"
+    assert outputs[4] == outputs[1], "workers=4 changed results"
+    print(f"  width check: 1/2/4 workers byte-identical "
+          f"({len(IDENTITY_REQUESTS)} requests)")
+
+
+def fire_burst(port: int, service: ExperimentService) -> dict:
+    """The seeded burst + one SIGKILL; returns outcome tallies."""
+    specs = unique_specs()
+    burst = seeded_burst(specs)
+    outcomes = {"ok": 0, "retryable": 0}
+    hints = []
+    kill_after = BURST // 4
+    fired = 0
+    killed = []
+
+    def one(request: dict) -> None:
+        with ServeClient("127.0.0.1", port, timeout_s=120.0) as client:
+            response = client.request(dict(request))
+        if response["ok"]:
+            outcomes["ok"] += 1
+            return
+        error = response["error"]
+        assert error["type"] in RETRYABLE_TYPES, (
+            f"untyped/unexpected burst failure: {error}"
+        )
+        assert error["retryable"] is True, error
+        if error["type"] == "overloaded":
+            hint = error.get("retry_after_ms")
+            assert isinstance(hint, int) and hint > 0, error
+            hints.append(hint)
+        outcomes["retryable"] += 1
+
+    with concurrent.futures.ThreadPoolExecutor(CLIENT_THREADS) as pool:
+        futures = []
+        for request in burst:
+            futures.append(pool.submit(one, request))
+            fired += 1
+            if fired == kill_after:
+                # Mid-burst chaos: SIGKILL one busy shard worker.
+                deadline = time.monotonic() + 10.0
+                while not killed and time.monotonic() < deadline:
+                    for shard in service.shards:
+                        pids = shard.worker_pids()
+                        if pids and shard.pending:
+                            os.kill(pids[0], signal.SIGKILL)
+                            killed.append(pids[0])
+                            break
+                    else:
+                        time.sleep(0.02)
+        for future in futures:
+            future.result()  # re-raise any assertion from a worker
+
+    assert outcomes["ok"] + outcomes["retryable"] == BURST
+    outcomes["killed_pid"] = killed[0] if killed else None
+    outcomes["retry_after_ms_hints"] = len(hints)
+    return outcomes
+
+
+def assert_no_lost_accepted_work(service: ExperimentService) -> int:
+    """Every journal-accepted key terminated (done or failed)."""
+    accepted = 0
+    for shard in service.shards:
+        state = shard.journal_state()
+        accepted_keys = {
+            r["key"] for r in state.records if r["event"] == "accepted"
+        }
+        accepted += len(accepted_keys)
+        dangling = accepted_keys - set(state.done) - set(state.failed)
+        assert not dangling, (
+            f"shard {shard.index} lost accepted work: {sorted(dangling)}"
+        )
+    return accepted
+
+
+def drain_workload(port: int, specs: list) -> int:
+    """A resilient client finishes every unique spec, post-chaos."""
+    retries = 0
+    breaker = CircuitBreaker(failure_threshold=5, seed=SEED)
+    with ServeClient(
+        "127.0.0.1", port, timeout_s=120.0, retries=8,
+        backoff_base_s=0.05, breaker=breaker, seed=SEED,
+    ) as client:
+        for request in specs:
+            response = client.request(dict(request), deadline_ms=120_000)
+            assert response["ok"], (
+                f"resilient client could not finish {request}: "
+                f"{response.get('error')}"
+            )
+        retries = client.retries_performed
+    return retries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=None, help="cache dir")
+    parser.add_argument("--out", default=None, help="drill summary JSON")
+    parser.add_argument(
+        "--metrics-out", default=None, help="final metrics snapshot JSON"
+    )
+    args = parser.parse_args()
+
+    scratch = Path(args.store or tempfile.mkdtemp(prefix="serve-overload-"))
+    print("== worker-width purity ==")
+    assert_worker_width_is_pure(scratch)
+
+    print("== overload + worker-death drill ==")
+    svc = ExperimentService(
+        store_root=scratch / "drill", n_shards=2, shard_workers=2,
+        service_id="overload-drill",
+        admission_policy=AdmissionPolicy(max_depth=3, seed=SEED),
+    )
+    with BackgroundServer(svc) as server:
+        outcomes = fire_burst(server.port, svc)
+        snap = svc.metrics.snapshot()["counters"]
+        sheds = snap.get("serve.overload_sheds_total", 0)
+        assert sheds > 0, "the burst never tripped admission control"
+        assert outcomes["killed_pid"] is not None, (
+            "never caught a busy worker to kill"
+        )
+        accepted = assert_no_lost_accepted_work(svc)
+
+        print(f"  burst: {outcomes['ok']} ok, "
+              f"{outcomes['retryable']} typed-retryable "
+              f"({outcomes['retry_after_ms_hints']} carried retry hints)")
+        print(f"  sheds={sheds} "
+              f"restarts={snap.get('serve.shard_restarts_total', 0)} "
+              f"killed_pid={outcomes['killed_pid']} "
+              f"accepted_keys={accepted} (none lost)")
+
+        retries = drain_workload(server.port, unique_specs())
+        print(f"  resilient client finished all "
+              f"{len(unique_specs())} unique specs "
+              f"({retries} retries spent)")
+
+        final = svc.metrics.snapshot()
+        brownout = svc.brownout.describe()
+
+    summary = {
+        "burst": BURST,
+        "outcomes": {
+            "ok": outcomes["ok"], "retryable": outcomes["retryable"],
+        },
+        "sheds": sheds,
+        "shard_restarts": final["counters"].get(
+            "serve.shard_restarts_total", 0
+        ),
+        "killed_pid": outcomes["killed_pid"],
+        "accepted_keys": accepted,
+        "resilient_client_retries": retries,
+        "brownout": brownout,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(summary, indent=2))
+        print(f"  summary -> {args.out}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(json.dumps(final, indent=2))
+        print(f"  metrics -> {args.metrics_out}")
+    print("overload drill passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

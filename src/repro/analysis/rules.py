@@ -788,6 +788,90 @@ class BlockingCallInServeRule(Rule):
                     )
 
 
+@register
+class UnboundedShardAwaitRule(Rule):
+    """Shard-future awaits in serve coroutines must be time-bounded.
+
+    A coroutine that awaits a pool future raw (``await
+    asyncio.wrap_future(f)``) or a shielded singleflight leader
+    (``await asyncio.shield(existing)``) has no way out if the
+    producer never resolves — a worker SIGKILL'd at the wrong moment,
+    a leader abandoned by cancellation. The request hangs, its client
+    hangs, and the deadline it carried is silently ignored. Every
+    such await must go through ``asyncio.wait_for`` (``timeout=None``
+    is acceptable when the request genuinely carries no deadline —
+    the point is that the bound is *decided*, not forgotten).
+
+    Flagged inside ``async def`` bodies:
+
+    - ``await asyncio.wrap_future(...)`` / ``await asyncio.shield(...)``
+      (any receiver spelling) not directly wrapped in ``wait_for``;
+    - a bare ``await <name>`` where the name contains ``fut``
+      (``future``, ``fut``, ``leader_future``, ...).
+
+    A deliberate exception carries ``# repro: noqa[SRV003]`` with a
+    justification.
+    """
+
+    id = "SRV003"
+    name = "unbounded-shard-await"
+    description = (
+        "awaits of pool/shard futures (asyncio.wrap_future, "
+        "asyncio.shield, future-named values) in src/repro/serve/ "
+        "coroutines must be bounded by asyncio.wait_for (escape "
+        "hatch: # repro: noqa[SRV003])"
+    )
+    scope = ("serve",)
+
+    _WRAPPERS = ("wrap_future", "shield")
+
+    def _unbounded_reason(self, value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Attribute):
+                attr = func.attr
+            elif isinstance(func, ast.Name):
+                attr = func.id
+            else:
+                return None
+            if attr == "wait_for":
+                return None  # the bound we require
+            if attr in self._WRAPPERS:
+                return f"asyncio.{attr}(...) awaited without a bound"
+            return None
+        if isinstance(value, ast.Name) and "fut" in value.id.lower():
+            return f"future-like name {value.id!r} awaited without a bound"
+        return None
+
+    def _scan(self, body: List[ast.stmt]) -> Iterator[ast.Await]:
+        """Awaits lexically inside this coroutine, skipping nested
+        function bodies (reported against their own def)."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Await):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(self, ctx: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for awaited in self._scan(node.body):
+                reason = self._unbounded_reason(awaited.value)
+                if reason is not None:
+                    yield self.violation(
+                        ctx, awaited,
+                        f"unbounded shard-future await in coroutine "
+                        f"{node.name!r}: {reason}; wrap it in "
+                        "asyncio.wait_for (timeout=None when no "
+                        "deadline applies; or justify with "
+                        "# repro: noqa[SRV003])",
+                    )
+
+
 __all__ = [
     "AtomicWriteRule",
     "BareExceptRule",
@@ -801,6 +885,7 @@ __all__ = [
     "PrintInLibraryRule",
     "SIM_SCOPE",
     "SetIterationRule",
+    "UnboundedShardAwaitRule",
     "UnseededRandomRule",
     "WallClockRule",
 ]

@@ -918,6 +918,9 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
     """Start the sharded async experiment service (foreground)."""
     import asyncio
 
+    import dataclasses
+
+    from repro.serve.admission import AdmissionPolicy
     from repro.serve.service import ExperimentService, ServeServer
 
     console = _console(args)
@@ -925,6 +928,17 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
         from repro.resilience import faults
 
         faults.enable(args.faults)  # exported so shard workers inherit
+    policy = AdmissionPolicy()
+    overrides = {
+        name: value
+        for name, value in (
+            ("max_depth", args.max_depth),
+            ("max_bytes", args.max_bytes),
+        )
+        if value is not None
+    }
+    if overrides:
+        policy = dataclasses.replace(policy, **overrides)
     service = ExperimentService(
         store_root=args.cache_dir,
         n_shards=args.shards,
@@ -932,6 +946,8 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
         tier0_bytes=args.tier0_bytes,
         use_cache=not args.no_cache,
         trace_requests=True if args.trace else None,
+        shard_workers=args.workers,
+        admission_policy=policy,
     )
     server = ServeServer(service, host=args.host, port=args.port)
 
@@ -978,6 +994,15 @@ def cmd_serve_status(args: argparse.Namespace) -> int:
     console.result(f"uptime     : {status['uptime_s']:.1f}s")
     console.result(f"store root : {status['store_root']}")
     console.result(f"inflight   : {status['inflight']}")
+    brownout = status.get("brownout", {})
+    admission = status.get("admission", {})
+    if brownout or admission:
+        console.result(
+            f"overload   : brownout={brownout.get('label', 'normal')} "
+            f"sheds={admission.get('sheds', 0)} "
+            f"(depth<={admission.get('max_depth')}, "
+            f"bytes<={admission.get('max_bytes')})"
+        )
     for shard in status["shards"]:
         console.result(
             f"  shard {shard['index']}: {shard['submitted']} submitted, "
@@ -1034,6 +1059,21 @@ def _render_serve_top(stats: dict) -> str:
         f"inflight={stats['inflight']}  "
         f"spans={stats.get('spans_buffered', 0)}"
     ]
+    brownout = stats.get("brownout", {})
+    admission = stats.get("admission", {})
+    counters = stats.get("counters", {})
+    if brownout or admission:
+        lines.append(
+            f"  overload: brownout={brownout.get('label', 'normal')} "
+            f"sheds={counters.get('serve.overload_sheds_total', 0)} "
+            f"(sweeps {counters.get('serve.overload_shed_sweeps_total', 0)}) "
+            f"transitions="
+            f"{counters.get('serve.overload_transitions_total', 0)} "
+            f"deadline_expired="
+            f"{counters.get('serve.deadline_expired_total', 0)} "
+            f"deadline_dropped="
+            f"{counters.get('serve.deadline_dropped_total', 0)}"
+        )
     for shard in stats.get("shards", []):
         lines.append(
             f"  shard {shard['index']}: depth={shard['queue_depth']} "
@@ -1400,6 +1440,16 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--shards", type=int, default=2,
                    help="worker shards, each owning a hash-prefix range "
                    "of the store (default 2)")
+    q.add_argument("--workers", type=int, default=1,
+                   help="pool processes per shard (default 1); a dead "
+                   "worker only triages its own claimed keys")
+    q.add_argument("--max-depth", type=int, default=None,
+                   help="admission control: per-shard pending-queue "
+                   "ceiling (default 64); requests beyond it are shed "
+                   "with a retryable 'overloaded' error")
+    q.add_argument("--max-bytes", type=int, default=None,
+                   help="admission control: per-shard queued request "
+                   "byte budget (default 4 MiB)")
     q.add_argument("--cache-dir",
                    help="store root (default: .repro-cache or "
                    "$REPRO_CACHE_DIR)")

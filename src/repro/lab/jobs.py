@@ -32,8 +32,13 @@ from repro.obs import context as _obs_context
 from repro.lab.store import ResultStore, config_digest, job_key
 from repro.obs import runtime as _obs
 from repro.pipeline.config import CoreConfig
+from repro.resilience import deadline as _deadline
 from repro.resilience import faults
-from repro.resilience.watchdog import stamp_job_start, worker_checkpoint
+from repro.resilience.watchdog import (
+    claim_job,
+    stamp_job_start,
+    worker_checkpoint,
+)
 from repro.util.rng import jittered_backoff_s
 from repro.util.timing import Stopwatch
 
@@ -48,6 +53,10 @@ class JobStatus:
     #: Not finished because the run drained on SIGINT/SIGTERM; the
     #: journal re-queues it on ``--resume``.
     INTERRUPTED = "interrupted"
+    #: Dropped unexecuted: its deadline had already passed when a
+    #: worker dequeued it (serve's dead-work cancellation — the client
+    #: stopped listening, so running it would only burn a pool slot).
+    EXPIRED = "expired"
 
 
 @dataclass(frozen=True)
@@ -450,6 +459,7 @@ def execute_job(
     store_root: Optional[str] = None,
     use_cache: bool = True,
     trace_ctx: Optional[Dict[str, str]] = None,
+    deadline_ns: Optional[int] = None,
 ) -> JobResult:
     """Run one job end to end: store lookup, retries, error capture.
 
@@ -466,9 +476,27 @@ def execute_job(
     environment + contextvar for the duration of the job — the same
     ambient pattern the obs pillars use — and the recorded spans ride
     home on ``JobResult.spans``.
+
+    ``deadline_ns`` (absolute monotonic, see
+    :mod:`repro.resilience.deadline`) is checked *before* any work:
+    expired jobs come back :data:`JobStatus.EXPIRED` without touching
+    the store or the simulator — the dequeue-time dead-work drop that
+    keeps a backlogged shard from burning slots on requests nobody is
+    waiting for. While a live job runs, the deadline is re-exported to
+    ``REPRO_DEADLINE_NS`` (same ambient pattern as the trace context).
     """
+    if deadline_ns is not None and _deadline.expired(deadline_ns):
+        return JobResult(
+            key=spec.key(),
+            label=spec.label,
+            status=JobStatus.EXPIRED,
+            error="deadline expired before execution (dropped at dequeue)",
+            attempts=0,
+            wall_s=0.0,
+        )
     if trace_ctx is None or not trace_ctx.get("trace_id"):
-        return _execute_job_impl(spec, store_root, use_cache)
+        return _execute_job_impl(spec, store_root, use_cache,
+                                 deadline_ns=deadline_ns)
     from repro.obs import context as obs_context
     from repro.obs.spans import SpanCollector
 
@@ -490,7 +518,8 @@ def execute_job(
     tokens = obs_context.activate(ctx, collector)
     obs_context.export_env(ctx)
     try:
-        result = _execute_job_impl(spec, store_root, use_cache)
+        result = _execute_job_impl(spec, store_root, use_cache,
+                                   deadline_ns=deadline_ns)
     except BaseException:
         # execute_job's contract is never-raises for job failures, so
         # this is teardown (SIGTERM, interpreter exit): close the span
@@ -514,9 +543,26 @@ def _execute_job_impl(
     spec: JobSpec,
     store_root: Optional[str] = None,
     use_cache: bool = True,
+    deadline_ns: Optional[int] = None,
 ) -> JobResult:
     worker_checkpoint(spec.label)
     key = spec.key()
+    claim_job(key)
+    if deadline_ns is not None:
+        _deadline.export_env(deadline_ns)
+    try:
+        return _execute_claimed_job(spec, store_root, use_cache, key)
+    finally:
+        if deadline_ns is not None:
+            _deadline.clear_env()
+
+
+def _execute_claimed_job(
+    spec: JobSpec,
+    store_root: Optional[str],
+    use_cache: bool,
+    key: str,
+) -> JobResult:
     if spec.timeout_s is not None:
         # Tell the pool this attempt is executing *now*: its timeout
         # clock arms from this stamp, not from submit time, so queue

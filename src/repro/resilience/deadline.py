@@ -1,0 +1,103 @@
+"""Request deadlines that survive the hop into pool workers.
+
+A serve client that attaches ``deadline_ms`` to a request is making a
+promise: *after this long I will have stopped listening*. Work executed
+past that point is pure waste — it burns a pool slot that queued,
+still-wanted work could have used. This module is the carrier that lets
+every stage along the path (event loop, shard queue, worker process)
+ask one cheap question — *is this work already dead?* — and drop it.
+
+Deadlines are **absolute monotonic nanoseconds**
+(:func:`time.monotonic_ns`). Monotonic rather than wall clock so an
+NTP step can never instantly expire (or resurrect) in-flight work; the
+monotonic clock is system-wide per boot on every platform CPython
+supports, so a deadline stamped in the service process compares
+correctly inside a shard's worker process on the same machine — the
+only place serve workers ever run.
+
+Two carriers, mirroring :mod:`repro.obs.context`:
+
+* **as data** — the deadline rides :func:`repro.lab.jobs.execute_job`'s
+  ``deadline_ns`` argument into the worker (pool workers outlive any
+  one request, so parent-side env mutation cannot reach them);
+* **as environment** — the worker re-exports it to ``REPRO_DEADLINE_NS``
+  for the duration of the job, so nested code (fault hooks, store
+  helpers) can consult :func:`from_env` without threading the value
+  through every signature.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+#: Worker-side carrier: absolute monotonic deadline in nanoseconds.
+ENV_DEADLINE_NS = "REPRO_DEADLINE_NS"
+
+_NS_PER_MS = 1_000_000
+
+
+def now_ns() -> int:
+    """The deadline clock: system-wide monotonic nanoseconds."""
+    return time.monotonic_ns()
+
+
+def deadline_from_budget_ms(budget_ms: int) -> int:
+    """Absolute deadline for a relative millisecond budget, from now."""
+    return now_ns() + int(budget_ms) * _NS_PER_MS
+
+
+def expired(deadline_ns: Optional[int]) -> bool:
+    """True when the deadline has passed (``None`` never expires)."""
+    return deadline_ns is not None and now_ns() >= deadline_ns
+
+
+def remaining_ms(deadline_ns: Optional[int]) -> Optional[float]:
+    """Milliseconds left before expiry; ``None`` for no deadline.
+
+    Clamped at 0.0 — a caller sizing a timeout from this never passes
+    a negative duration to ``wait_for``/``settimeout``.
+    """
+    if deadline_ns is None:
+        return None
+    return max(0.0, (deadline_ns - now_ns()) / _NS_PER_MS)
+
+
+def remaining_s(deadline_ns: Optional[int]) -> Optional[float]:
+    """Seconds left before expiry; ``None`` for no deadline."""
+    ms = remaining_ms(deadline_ns)
+    return None if ms is None else ms / 1000.0
+
+
+def export_env(deadline_ns: int) -> None:
+    """Write the deadline to this process's environment (worker-side)."""
+    os.environ[ENV_DEADLINE_NS] = str(int(deadline_ns))
+
+
+def clear_env() -> None:
+    os.environ.pop(ENV_DEADLINE_NS, None)
+
+
+def from_env() -> Optional[int]:
+    """The ambient deadline exported by :func:`export_env`, if any."""
+    raw = os.environ.get(ENV_DEADLINE_NS, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+__all__ = [
+    "ENV_DEADLINE_NS",
+    "clear_env",
+    "deadline_from_budget_ms",
+    "expired",
+    "export_env",
+    "from_env",
+    "now_ns",
+    "remaining_ms",
+    "remaining_s",
+]

@@ -19,7 +19,7 @@ Grammar (clauses separated by ``;``)::
     spec    := clause (";" clause)*
     clause  := "seed=" INT | site ":" action ["@" INT] ["x" (INT | "*")]
     site    := "store.write" | "store.read" | "pool.worker"
-             | "job.execute" | "cache.npz"
+             | "job.execute" | "cache.npz" | "serve.admit"
     action  := "raise" | "corrupt" | "kill" | "stop"
              | "delay(" FLOAT ")"
 
@@ -69,6 +69,7 @@ SITES: Tuple[str, ...] = (
     "pool.worker",
     "job.execute",
     "cache.npz",
+    "serve.admit",
 )
 
 ACTIONS: Tuple[str, ...] = ("raise", "corrupt", "delay", "kill", "stop")

@@ -107,6 +107,47 @@ def worker_checkpoint(label: str = "") -> None:
     faults.fault_point("pool.worker", allow_kill=True)
 
 
+_claims_writer = None
+
+
+def claim_job(key: str) -> None:
+    """Worker-side: record *this pid is now executing this key*.
+
+    Appends one line to ``<dir>/<pid>.claims.jsonl`` — an advisory,
+    pid-attributed sidecar to the shard's write-ahead journal. When a
+    multi-worker shard pool breaks, the parent intersects the dead
+    pid's claims with the shard's pending table to attribute in-flight
+    keys to *that* worker (journaled as a ``worker-death`` note), so a
+    single worker death triages only the work it was actually holding.
+
+    Advisory means no fsync: a torn tail loses at most attribution for
+    the final claim — the journal's at-least-once replay is the
+    durable safety net, not this file. A no-op outside marked workers.
+    """
+    global _claims_writer
+    if not _in_worker:
+        return
+    raw = os.environ.get(ENV_HEARTBEAT_DIR, "").strip()
+    if not raw:
+        return
+    root = Path(raw)
+    if not root.is_dir():
+        return  # torn down by the parent; the run is over
+    from repro.resilience.atomic import AppendOnlyWriter
+
+    path = root / f"{os.getpid()}.claims.jsonl"
+    if _claims_writer is None or _claims_writer.path != path:
+        if _claims_writer is not None:
+            _claims_writer.close()
+        _claims_writer = AppendOnlyWriter(path, fsync=False)
+    try:
+        _claims_writer.append(
+            {"pid": os.getpid(), "key": key, "at": time.time()}
+        )
+    except OSError:
+        pass  # advisory record; never fail the job over it
+
+
 def stamp_job_start(key: str) -> None:
     """Record the wall-clock instant a timed job attempt began executing.
 
@@ -199,6 +240,47 @@ class HeartbeatDir:
             if now - record.get("beat_at", 0.0) > age_s
         )
 
+    def claims_path(self, pid: int) -> Path:
+        return self.root / f"{pid}.claims.jsonl"
+
+    def claimed_keys(self, pid: int) -> List[str]:
+        """Keys the worker ``pid`` recorded via :func:`claim_job`.
+
+        Most-recent-first, deduplicated; a torn final line (the claim
+        being written when the worker died) is skipped, same contract
+        as the journal loader.
+        """
+        try:
+            raw = self.claims_path(pid).read_text(encoding="utf-8")
+        except OSError:
+            return []
+        keys: List[str] = []
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail
+            key = record.get("key") if isinstance(record, dict) else None
+            if isinstance(key, str):
+                keys.append(key)
+        seen = set()
+        ordered: List[str] = []
+        for key in reversed(keys):
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        return ordered
+
+    def clear_claims(self, pid: int) -> None:
+        """Drop a dead worker's claim file once it has been triaged."""
+        try:
+            self.claims_path(pid).unlink()
+        except OSError:
+            pass
+
 
 @dataclass(frozen=True)
 class WatchdogPolicy:
@@ -263,13 +345,42 @@ class Watchdog:
         return killed
 
 
+def pid_dead(pid: int) -> bool:
+    """Best-effort: is this worker pid dead (including zombie)?
+
+    A SIGKILL'd pool worker lingers as a zombie until the executor's
+    management thread reaps it, and ``os.kill(pid, 0)`` succeeds on
+    zombies — so on Linux the ``/proc`` state is consulted first
+    (``Z``/``X`` count as dead). Elsewhere, signal-0 probing is the
+    fallback: it flips to dead as soon as the executor reaps.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "r", encoding="ascii") as handle:
+            stat = handle.read()
+        # Field 2 is "(comm)" and may contain spaces; the state letter
+        # is the first token after the closing paren.
+        state = stat.rpartition(")")[2].split()[0]
+        return state in ("Z", "X", "x")
+    except (OSError, IndexError):
+        pass
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False
+    return False
+
+
 __all__ = [
     "ENV_HEARTBEAT_DIR",
     "HeartbeatDir",
     "Watchdog",
     "WatchdogPolicy",
+    "claim_job",
     "in_worker_process",
     "mark_worker_process",
+    "pid_dead",
     "stamp_job_start",
     "worker_checkpoint",
 ]

@@ -1,0 +1,204 @@
+"""Client-side circuit breaker: stop hammering an endpoint that's down.
+
+Retries alone make overload worse — a client that keeps re-sending
+into a struggling service converts one failure into a failure storm.
+The breaker is the client's half of the overload contract
+(:mod:`repro.serve.admission` is the server's): after enough
+consecutive failures against one endpoint it *opens* and fails calls
+locally, instantly, with :class:`CircuitOpenError`; after a seeded
+jittered cooldown it goes *half-open* and lets a bounded number of
+probe calls through; one probe success closes it again, one probe
+failure re-opens it with a longer cooldown.
+
+State machine per endpoint (an endpoint is whatever string the caller
+keys by — :class:`repro.serve.client.ServeClient` uses the op name)::
+
+    closed ──(failure_threshold consecutive failures)──> open
+    open ──(cooldown elapsed)──> half-open
+    half-open ──(probe success)──> closed
+    half-open ──(probe failure)──> open (cooldown doubled, jittered)
+
+Cooldowns are deterministic: ``base * 2**(opens-1)`` scaled by a
+uniform [0.5, 1.5) factor from a SplitMix stream keyed on
+``(seed, "breaker", endpoint, opens)`` — the same failure sequence
+always produces the same cooldowns, while two endpoints (or two
+clients with different seeds) never re-probe in lockstep.
+
+The clock is injectable (``clock()`` returning monotonic seconds) so
+tests drive transitions without sleeping. Thread-safe: one lock
+guards all endpoint state, and no callback runs under it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.util.rng import SplitMix, derive_seed
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker refused the call locally (endpoint circuit open).
+
+    Carries ``retry_in_s`` — how long until the breaker would go
+    half-open — so callers can schedule their next attempt instead of
+    spinning.
+    """
+
+    def __init__(self, endpoint: str, retry_in_s: float) -> None:
+        super().__init__(
+            f"circuit open for endpoint '{endpoint}'; "
+            f"retry in {retry_in_s:.3f}s"
+        )
+        self.endpoint = endpoint
+        self.retry_in_s = retry_in_s
+
+
+@dataclass
+class _EndpointState:
+    state: str = CLOSED
+    failures: int = 0
+    #: Lifetime open transitions — the cooldown jitter sequence number.
+    opens: int = 0
+    opened_at: float = 0.0
+    cooldown_s: float = 0.0
+    probes_inflight: int = 0
+    stats: Dict[str, int] = field(
+        default_factory=lambda: {"allowed": 0, "rejected": 0}
+    )
+
+
+class CircuitBreaker:
+    """Per-endpoint closed/open/half-open breaker with seeded cooldowns."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_base_s: float = 0.25,
+        cooldown_cap_s: float = 30.0,
+        half_open_probes: int = 1,
+        seed: int = 2006,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        if half_open_probes <= 0:
+            raise ValueError(
+                f"half_open_probes must be positive, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_base_s = cooldown_base_s
+        self.cooldown_cap_s = cooldown_cap_s
+        self.half_open_probes = half_open_probes
+        self.seed = seed
+        self.clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, _EndpointState] = {}
+
+    # -- the call protocol --------------------------------------------
+
+    def before_call(self, endpoint: str) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` if refused.
+
+        Every allowed call *must* be matched by exactly one
+        :meth:`record_success` or :meth:`record_failure` — half-open
+        probe accounting depends on it.
+        """
+        now = self.clock()
+        with self._lock:
+            ep = self._endpoints.setdefault(endpoint, _EndpointState())
+            if ep.state == OPEN:
+                elapsed = now - ep.opened_at
+                if elapsed < ep.cooldown_s:
+                    ep.stats["rejected"] += 1
+                    raise CircuitOpenError(endpoint, ep.cooldown_s - elapsed)
+                ep.state = HALF_OPEN
+                ep.probes_inflight = 0
+            if ep.state == HALF_OPEN:
+                if ep.probes_inflight >= self.half_open_probes:
+                    ep.stats["rejected"] += 1
+                    raise CircuitOpenError(
+                        endpoint,
+                        max(0.0, ep.cooldown_s - (now - ep.opened_at)),
+                    )
+                ep.probes_inflight += 1
+            ep.stats["allowed"] += 1
+
+    def record_success(self, endpoint: str) -> None:
+        with self._lock:
+            ep = self._endpoints.setdefault(endpoint, _EndpointState())
+            if ep.state == HALF_OPEN:
+                ep.probes_inflight = max(0, ep.probes_inflight - 1)
+            ep.state = CLOSED
+            ep.failures = 0
+
+    def record_failure(self, endpoint: str) -> None:
+        now = self.clock()
+        with self._lock:
+            ep = self._endpoints.setdefault(endpoint, _EndpointState())
+            if ep.state == HALF_OPEN:
+                # A failed probe: straight back to open, longer cooldown.
+                ep.probes_inflight = max(0, ep.probes_inflight - 1)
+                self._open_locked(endpoint, ep, now)
+                return
+            ep.failures += 1
+            if ep.state == CLOSED and ep.failures >= self.failure_threshold:
+                self._open_locked(endpoint, ep, now)
+
+    def _open_locked(
+        self, endpoint: str, ep: _EndpointState, now: float
+    ) -> None:
+        ep.opens += 1
+        ep.state = OPEN
+        ep.opened_at = now
+        ep.failures = 0
+        base = self.cooldown_base_s * (2 ** max(0, ep.opens - 1))
+        rng = SplitMix(derive_seed(self.seed, "breaker", endpoint, ep.opens))
+        ep.cooldown_s = min(
+            self.cooldown_cap_s, base * (0.5 + rng.random())
+        )
+
+    # -- introspection ------------------------------------------------
+
+    def state(self, endpoint: str) -> str:
+        """The endpoint's *effective* state (open past cooldown reads
+        as half-open: the next call would be allowed as a probe)."""
+        now = self.clock()
+        with self._lock:
+            ep = self._endpoints.get(endpoint)
+            if ep is None:
+                return CLOSED
+            if ep.state == OPEN and now - ep.opened_at >= ep.cooldown_s:
+                return HALF_OPEN
+            return ep.state
+
+    def describe(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {
+                endpoint: {
+                    "state": ep.state,
+                    "failures": ep.failures,
+                    "opens": ep.opens,
+                    "cooldown_s": round(ep.cooldown_s, 6),
+                    **ep.stats,
+                }
+                for endpoint, ep in self._endpoints.items()
+            }
+
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "HALF_OPEN",
+    "OPEN",
+]

@@ -193,9 +193,17 @@ class TieredCache:
             )
         self.tier0 = tier0
         self.backends: List[CacheBackend] = list(backends)
+        #: Brownout hook: when set, only payloads at most this many
+        #: serialized bytes are admitted into tier 0 (lookups and the
+        #: write-through to backends are unaffected). ``None`` = no cap.
+        self.tier0_admit_bytes: Optional[int] = None
         names = [TIER0_NAME] + [b.name for b in self.backends]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate cache tier names: {names}")
+
+    def _admit_tier0(self, payload: Dict[str, Any]) -> bool:
+        cap = self.tier0_admit_bytes
+        return cap is None or json_sizeof(payload) <= cap
 
     @property
     def tier_names(self) -> List[str]:
@@ -223,7 +231,8 @@ class TieredCache:
             for backend in self.backends:
                 payload = backend.get(key)
                 if payload is not None:
-                    self.tier0[key] = payload
+                    if self._admit_tier0(payload):
+                        self.tier0[key] = payload
                     return payload, backend.name
             return None, None
         ctx = obs_context.current_context()
@@ -254,7 +263,8 @@ class TieredCache:
                 key=key[:12],
             )
             if payload is not None:
-                self.tier0[key] = payload
+                if self._admit_tier0(payload):
+                    self.tier0[key] = payload
                 return payload, backend.name
         return None, None
 
@@ -266,7 +276,8 @@ class TieredCache:
     ) -> None:
         """Write-through to every tier; backend failures are absorbed
         (a result that cannot be cached is still a result)."""
-        self.tier0[key] = payload
+        if self._admit_tier0(payload):
+            self.tier0[key] = payload
         for backend in self.backends:
             try:
                 backend.put(key, payload, meta=meta)

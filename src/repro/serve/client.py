@@ -4,21 +4,61 @@ Used by the tests, the CI traffic driver, and ``repro serve status``.
 Deliberately synchronous (plain ``socket``): callers are scripts and
 test code, and a blocking client exercises the server's concurrency
 from the outside instead of sharing its event loop.
+
+Resilience (all opt-in; the zero-argument client behaves exactly like
+a bare socket with a timeout):
+
+- **Full-exchange timeout.** ``timeout_s`` bounds one *complete*
+  request/response exchange against an absolute monotonic deadline —
+  not each socket operation separately. The distinction matters: a
+  stalling server that dribbles one byte per ``timeout_s`` would keep
+  a per-operation timeout alive forever, because every ``recv`` that
+  makes progress resets it. Here every ``recv`` gets only the time
+  remaining on the exchange, so the client always unblocks on time.
+- **Retries** (``retries=N``): a transport failure or a *retryable*
+  error response is retried with a seeded jittered exponential backoff
+  — and when the server's ``overloaded`` rejection carries a
+  ``retry_after_ms`` hint, the client honours it (the delay is the
+  max of the hint and the backoff; the server knows its backlog
+  better than any client-side curve).
+- **Circuit breaker** (``breaker=CircuitBreaker(...)``): consecutive
+  failures against one endpoint (op name) open the circuit and fail
+  calls locally; see :mod:`repro.serve.breaker`. With retries left
+  and budget remaining, the client sleeps out the cooldown and probes
+  again instead of surfacing :class:`~repro.serve.breaker.
+  CircuitOpenError` immediately.
+- **Deadlines** (``deadline_ms=...`` on :meth:`ServeClient.request`,
+  :meth:`~ServeClient.simulate`, :meth:`~ServeClient.sweep`): one
+  budget bounds the *whole* round trip — connect, send, stall, every
+  retry and backoff sleep — and each attempt forwards the remaining
+  budget on the wire as the request's ``deadline_ms``, so the server
+  and its workers stop spending on the request the moment the client
+  stops waiting.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.serve import protocol
+from repro.serve.breaker import CircuitBreaker, CircuitOpenError
 from repro.serve.service import endpoint_path
+from repro.util.rng import jittered_backoff_s
+
+#: recv chunk size for the line reader.
+_RECV_BYTES = 65536
 
 
 class ServeClientError(RuntimeError):
     """Transport-level failure (connect, framing, truncated stream)."""
+
+
+class ServeClientTimeout(ServeClientError):
+    """The full-exchange (or full-request) budget ran out client-side."""
 
 
 def read_endpoint(store_root: Union[str, Path]) -> Dict[str, Any]:
@@ -36,6 +76,14 @@ def read_endpoint(store_root: Union[str, Path]) -> Dict[str, Any]:
     return record
 
 
+def retryable_error(response: Dict[str, Any]) -> bool:
+    """True when a response is an error the server marked retryable."""
+    if response.get("ok"):
+        return False
+    error = response.get("error")
+    return isinstance(error, dict) and bool(error.get("retryable"))
+
+
 class ServeClient:
     """One connection, request/response in lockstep."""
 
@@ -44,47 +92,105 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout_s: float = 60.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        breaker: Optional[CircuitBreaker] = None,
+        seed: int = 2006,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.breaker = breaker
+        self.seed = seed
+        self._sleep = sleep
+        self._clock = clock
         self._sock: Optional[socket.socket] = None
-        self._reader = None
+        self._rbuf = bytearray()
         self._sent = 0
+        self.retries_performed = 0
 
     @classmethod
     def from_store(
-        cls, store_root: Union[str, Path], timeout_s: float = 60.0
+        cls, store_root: Union[str, Path], timeout_s: float = 60.0, **kwargs
     ) -> "ServeClient":
         record = read_endpoint(store_root)
         return cls(
             host=record.get("host", "127.0.0.1"),
             port=int(record["port"]),
             timeout_s=timeout_s,
+            **kwargs,
         )
 
-    def _ensure_connected(self) -> None:
+    # -- one bounded exchange -----------------------------------------
+
+    def _ensure_connected(self, deadline_mono: float) -> None:
         if self._sock is not None:
             return
+        budget = deadline_mono - self._clock()
+        if budget <= 0:
+            raise ServeClientTimeout(
+                f"timeout connecting to serve at {self.host}:{self.port}"
+            )
         try:
             self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout_s
+                (self.host, self.port), timeout=budget
             )
+        except socket.timeout:
+            raise ServeClientTimeout(
+                f"timeout connecting to serve at {self.host}:{self.port}"
+            ) from None
         except OSError as exc:
             raise ServeClientError(
                 f"cannot connect to serve at {self.host}:{self.port}: {exc}"
             ) from None
-        self._reader = self._sock.makefile("rb")
+        self._rbuf = bytearray()
 
-    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one frame, read one frame; raises only on transport."""
-        self._ensure_connected()
-        if "id" not in obj:
-            self._sent += 1
-            obj = {**obj, "id": f"c{self._sent}"}
+    def _read_line(self, deadline_mono: float) -> bytes:
+        """One ``\\n``-terminated frame, bounded by the exchange deadline.
+
+        A hand-rolled reader instead of ``sock.makefile``: a buffered
+        reader applies the socket timeout per underlying ``recv``, so a
+        server dribbling bytes resets the clock on every drip. Here
+        each ``recv`` gets only the time left on the whole exchange.
+        """
+        while True:
+            newline = self._rbuf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._rbuf[: newline + 1])
+                del self._rbuf[: newline + 1]
+                return line
+            remaining = deadline_mono - self._clock()
+            if remaining <= 0:
+                raise socket.timeout("exchange deadline reached")
+            self._sock.settimeout(remaining)
+            chunk = self._sock.recv(_RECV_BYTES)
+            if not chunk:
+                return b""
+            self._rbuf.extend(chunk)
+
+    def _exchange(
+        self, obj: Dict[str, Any], budget_s: float
+    ) -> Dict[str, Any]:
+        """Send one frame, read one frame; the *whole* exchange —
+        connect included — is bounded by ``budget_s``."""
+        deadline_mono = self._clock() + budget_s
+        self._ensure_connected(deadline_mono)
         try:
+            self._sock.settimeout(max(0.001, deadline_mono - self._clock()))
             self._sock.sendall(protocol.encode_line(obj))
-            raw = self._reader.readline()
+            raw = self._read_line(deadline_mono)
+        except socket.timeout:
+            # The connection is mid-frame and unusable: a late response
+            # to *this* request must not be read as the answer to the
+            # next one.
+            self.close()
+            raise ServeClientTimeout(
+                f"serve exchange exceeded {budget_s:.3f}s"
+            ) from None
         except OSError as exc:
             self.close()
             raise ServeClientError(f"serve connection failed: {exc}") from None
@@ -98,6 +204,128 @@ class ServeClient:
         if not isinstance(response, dict):
             raise ServeClientError("response frame is not an object")
         return response
+
+    # -- the resilient request loop -----------------------------------
+
+    def request(
+        self,
+        obj: Dict[str, Any],
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One request with the client's full resilience stack.
+
+        Transport errors and retryable error responses consume retries
+        (``retries=0`` surfaces them immediately, preserving the plain
+        client's behaviour); non-retryable responses return as-is.
+        ``deadline_ms`` bounds everything — attempts, backoff sleeps,
+        breaker cooldowns — and each attempt forwards the *remaining*
+        budget on the wire, so queue time on the server is charged
+        against the same clock the client is watching.
+        """
+        endpoint = str(obj.get("op", "unknown"))
+        deadline_mono: Optional[float] = None
+        if deadline_ms is not None:
+            deadline_mono = self._clock() + deadline_ms / 1000.0
+        attempt = 0
+        while True:
+            try:
+                response = self._attempt(obj, endpoint, deadline_mono)
+            except CircuitOpenError as exc:
+                if attempt >= self.retries:
+                    raise
+                delay = exc.retry_in_s
+                if not self._sleep_within(delay, deadline_mono):
+                    raise
+                attempt += 1
+                self.retries_performed += 1
+                continue
+            except ServeClientError:
+                if self.breaker is not None:
+                    self.breaker.record_failure(endpoint)
+                if attempt >= self.retries:
+                    raise
+                if not self._sleep_within(
+                    self._backoff_s(endpoint, attempt), deadline_mono
+                ):
+                    raise
+                attempt += 1
+                self.retries_performed += 1
+                continue
+            retryable = retryable_error(response)
+            if self.breaker is not None:
+                if retryable:
+                    # Transport is healthy but the server is shedding
+                    # or crashed mid-job: that still counts against the
+                    # endpoint — hammering a shedding server is exactly
+                    # what the breaker exists to stop.
+                    self.breaker.record_failure(endpoint)
+                else:
+                    self.breaker.record_success(endpoint)
+            if not retryable or attempt >= self.retries:
+                return response
+            delay = max(
+                self._retry_after_s(response),
+                self._backoff_s(endpoint, attempt),
+            )
+            if not self._sleep_within(delay, deadline_mono):
+                return response
+            attempt += 1
+            self.retries_performed += 1
+
+    def _attempt(
+        self,
+        obj: Dict[str, Any],
+        endpoint: str,
+        deadline_mono: Optional[float],
+    ) -> Dict[str, Any]:
+        # Breaker accounting contract: once before_call allows the
+        # attempt, request() records exactly one success or failure
+        # for it — including the ServeClientError paths raised below.
+        if self.breaker is not None:
+            self.breaker.before_call(endpoint)
+        budget_s = self.timeout_s
+        wire = dict(obj)
+        if deadline_mono is not None:
+            remaining_s = deadline_mono - self._clock()
+            if remaining_s <= 0:
+                raise ServeClientTimeout(
+                    f"request deadline expired before attempt ({endpoint})"
+                )
+            budget_s = min(budget_s, remaining_s)
+            wire["deadline_ms"] = max(1, int(remaining_s * 1000))
+        if "id" not in wire:
+            self._sent += 1
+            wire["id"] = f"c{self._sent}"
+        return self._exchange(wire, budget_s)
+
+    def _backoff_s(self, endpoint: str, attempt: int) -> float:
+        """Seeded jittered exponential backoff for one retry."""
+        return jittered_backoff_s(
+            self.backoff_base_s, attempt, self.seed, "serve-client",
+            endpoint, self._sent,
+        )
+
+    @staticmethod
+    def _retry_after_s(response: Dict[str, Any]) -> float:
+        error = response.get("error")
+        if not isinstance(error, dict):
+            return 0.0
+        hint = error.get("retry_after_ms")
+        if isinstance(hint, bool) or not isinstance(hint, (int, float)):
+            return 0.0
+        return max(0.0, float(hint) / 1000.0)
+
+    def _sleep_within(
+        self, delay_s: float, deadline_mono: Optional[float]
+    ) -> bool:
+        """Sleep ``delay_s`` if the deadline allows; False = give up."""
+        if deadline_mono is not None:
+            remaining = deadline_mono - self._clock()
+            if delay_s >= remaining:
+                return False
+        if delay_s > 0:
+            self._sleep(delay_s)
+        return True
 
     # -- op helpers ---------------------------------------------------
 
@@ -134,6 +362,7 @@ class ServeClient:
         config: Optional[Dict[str, Any]] = None,
         trace_id: Optional[str] = None,
         parent_span: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         obj = {
             "op": "simulate",
@@ -147,7 +376,7 @@ class ServeClient:
             obj["trace_id"] = trace_id
         if parent_span is not None:
             obj["parent_span"] = parent_span
-        return self.request(obj)
+        return self.request(obj, deadline_ms=deadline_ms)
 
     def sweep(
         self,
@@ -160,6 +389,7 @@ class ServeClient:
         config: Optional[Dict[str, Any]] = None,
         trace_id: Optional[str] = None,
         parent_span: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Dict[str, Any]:
         obj = {
             "op": "sweep",
@@ -175,16 +405,14 @@ class ServeClient:
             obj["trace_id"] = trace_id
         if parent_span is not None:
             obj["parent_span"] = parent_span
-        return self.request(obj)
+        return self.request(obj, deadline_ms=deadline_ms)
 
     def close(self) -> None:
-        reader, self._reader = self._reader, None
         sock, self._sock = self._sock, None
-        for closable in (reader, sock):
-            if closable is None:
-                continue
+        self._rbuf = bytearray()
+        if sock is not None:
             try:
-                closable.close()
+                sock.close()
             except OSError:
                 pass
 
@@ -195,4 +423,10 @@ class ServeClient:
         self.close()
 
 
-__all__ = ["ServeClient", "ServeClientError", "read_endpoint"]
+__all__ = [
+    "ServeClient",
+    "ServeClientError",
+    "ServeClientTimeout",
+    "read_endpoint",
+    "retryable_error",
+]

@@ -23,9 +23,13 @@ Request shapes (``op`` discriminates)::
 Every request may additionally carry ``trace_id`` (adopt the caller's
 distributed-trace identity) and ``parent_span`` (the caller-side span
 the request span should parent to); both are optional opaque tokens
-validated by :func:`trace_fields`. ``stats`` and ``trace`` are served
-from in-memory state on the event loop — they never touch the pool or
-the store, so polling them cannot perturb coalescing.
+validated by :func:`trace_fields`. ``simulate``/``sweep`` requests may
+also carry ``deadline_ms`` — a relative budget after which the client
+stops listening; the service propagates it to workers and drops
+expired work instead of executing it (:func:`deadline_budget_ms`).
+``stats`` and ``trace`` are served from in-memory state on the event
+loop — they never touch the pool or the store, so polling them cannot
+perturb coalescing.
 
 Responses::
 
@@ -36,11 +40,17 @@ Responses::
      "error": {"type": "bad-request", "message": "...",
                "retryable": false}}
 
-``error.retryable`` is the client contract for crash semantics: a
-``shard-crashed`` error means the service accepted the work but lost
-the shard twice while executing it — the request is safe to resend
-(execution is journaled and content-addressed, so a retry either
-replays the stored result or recomputes it).
+``error.retryable`` is the client contract for crash and overload
+semantics: a ``shard-crashed`` error means the service accepted the
+work but lost the shard twice while executing it — the request is safe
+to resend (execution is journaled and content-addressed, so a retry
+either replays the stored result or recomputes it). An ``overloaded``
+error means admission control shed the request *before* accepting it
+(nothing journaled, nothing executed — always safe to resend) and
+carries ``retry_after_ms``, the service's seeded-deterministic backoff
+hint. ``deadline-exceeded`` is not retryable: the caller's own budget
+ran out. The full error × retryable × client-action table lives in
+``docs/serve.md``.
 """
 
 from __future__ import annotations
@@ -68,10 +78,16 @@ MAX_SWEEP_POINTS = 64
 DEFAULT_LENGTH = 20_000
 DEFAULT_SEED = 2006
 
+#: Ceiling on a request's ``deadline_ms`` budget (one hour): a larger
+#: value is almost certainly a unit bug on the client side.
+MAX_DEADLINE_MS = 3_600_000
+
 #: ``error.type`` values the service emits.
 ERR_BAD_REQUEST = "bad-request"
 ERR_JOB_FAILED = "job-failed"
 ERR_SHARD_CRASHED = "shard-crashed"
+ERR_OVERLOADED = "overloaded"
+ERR_DEADLINE = "deadline-exceeded"
 ERR_INTERNAL = "internal"
 
 
@@ -91,6 +107,41 @@ class ShardCrashError(RuntimeError):
 
     error_type = ERR_SHARD_CRASHED
     retryable = True
+
+
+class OverloadedError(RuntimeError):
+    """Admission control shed the request before accepting it.
+
+    Retryable by contract — nothing was journaled or executed, so
+    resending is always safe. ``retry_after_ms`` is the service's
+    seeded-deterministic backoff hint (sized from the shed shard's
+    queue depth and its service-time EWMA); well-behaved clients wait
+    at least that long, which is what turns a burst into a ramp.
+    """
+
+    error_type = ERR_OVERLOADED
+    retryable = True
+
+    def __init__(self, message: str, retry_after_ms: int = 0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = int(retry_after_ms)
+
+    def wire_extra(self) -> Dict[str, Any]:
+        return {"retry_after_ms": self.retry_after_ms}
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's ``deadline_ms`` budget ran out before completion.
+
+    *Not* retryable: the caller's budget is spent, so a mechanical
+    retry with the same deadline would just expire again. Re-issue
+    with a larger budget if the result is still wanted — accepted work
+    keeps its journal record, and a finished computation lands in the
+    content-addressed store, so the re-issue is typically a cache hit.
+    """
+
+    error_type = ERR_DEADLINE
+    retryable = False
 
 
 def encode_line(obj: Dict[str, Any]) -> bytes:
@@ -146,6 +197,26 @@ def trace_fields(obj: Dict[str, Any]) -> Tuple[Optional[str], Optional[str]]:
             )
         tokens.append(raw)
     return tokens[0], tokens[1]
+
+
+def deadline_budget_ms(obj: Dict[str, Any]) -> Optional[int]:
+    """Validate the optional ``deadline_ms`` field (relative budget).
+
+    ``None`` when absent. The budget is client-relative milliseconds;
+    the service converts it to an absolute monotonic deadline at
+    arrival (:mod:`repro.resilience.deadline`), which is what rides
+    the shard queue into workers.
+    """
+    raw = obj.get("deadline_ms")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ProtocolError("'deadline_ms' must be an integer")
+    if not 1 <= raw <= MAX_DEADLINE_MS:
+        raise ProtocolError(
+            f"'deadline_ms' must be in [1, {MAX_DEADLINE_MS}]"
+        )
+    return raw
 
 
 def _int_field(
@@ -248,15 +319,16 @@ def error_response(
     error_type: str,
     message: str,
     retryable: bool = False,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    response: Dict[str, Any] = {
-        "ok": False,
-        "error": {
-            "type": error_type,
-            "message": message,
-            "retryable": retryable,
-        },
+    error: Dict[str, Any] = {
+        "type": error_type,
+        "message": message,
+        "retryable": retryable,
     }
+    if extra:
+        error.update(extra)
+    response: Dict[str, Any] = {"ok": False, "error": error}
     if rid is not None:
         response["id"] = rid
     return response
@@ -266,16 +338,22 @@ __all__ = [
     "DEFAULT_LENGTH",
     "DEFAULT_SEED",
     "ERR_BAD_REQUEST",
+    "ERR_DEADLINE",
     "ERR_INTERNAL",
     "ERR_JOB_FAILED",
+    "ERR_OVERLOADED",
     "ERR_SHARD_CRASHED",
+    "MAX_DEADLINE_MS",
     "MAX_LENGTH",
     "MAX_LINE_BYTES",
     "MAX_SWEEP_POINTS",
     "OPS",
+    "DeadlineExceededError",
+    "OverloadedError",
     "ProtocolError",
     "TRACE_TOKEN_RE",
     "ShardCrashError",
+    "deadline_budget_ms",
     "decode_line",
     "encode_line",
     "error_response",

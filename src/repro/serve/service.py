@@ -43,7 +43,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import __version__
-from repro.lab.jobs import JobResult, SimJob
+from repro.lab.jobs import JobResult, JobStatus, SimJob
 from repro.lab.store import ResultStore
 from repro.obs import context as obs_context
 from repro.obs import runtime as obs_runtime
@@ -54,9 +54,15 @@ from repro.obs.spans import (
     fold_latency_stack_records,
     merge_span_snapshots,
 )
+from repro.resilience import deadline as deadlines
 from repro.resilience.atomic import atomic_write_json
 from repro.resilience.watchdog import WatchdogPolicy
 from repro.serve import protocol
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    BrownoutController,
+)
 from repro.serve.cache import (
     DEFAULT_TIER0_BYTES,
     DEFAULT_TIER0_ITEMS,
@@ -109,6 +115,8 @@ class ExperimentService:
         watchdog_policy: Optional[WatchdogPolicy] = None,
         trace_requests: Optional[bool] = None,
         span_clock: Optional[Callable[[], int]] = None,
+        shard_workers: int = 1,
+        admission_policy: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.store = (
             ResultStore(root=store_root) if store_root else ResultStore()
@@ -132,7 +140,13 @@ class ExperimentService:
             self.store.root / "serve" / "heartbeats" / self.service_id,
             use_cache=use_cache,
             watchdog_policy=watchdog_policy,
+            workers=shard_workers,
         )
+        self.admission_policy = admission_policy or AdmissionPolicy()
+        self.admission = AdmissionController(
+            self.admission_policy, self.metrics, n_shards
+        )
+        self.brownout = BrownoutController(self.admission_policy, self.metrics)
         #: key -> (payload, source, exec_span_id) singleflight futures.
         self._inflight: Dict[
             str, "asyncio.Future[Tuple[dict, str, Optional[str]]]"
@@ -161,6 +175,14 @@ class ExperimentService:
             "serve.pool_executions_total",
             "serve.shard_restarts_total",
             "serve.errors_total",
+            # Overload/deadline plane. The metric grammar allows one
+            # dot, so the "serve.overload.*" family is spelled with
+            # underscores: serve.overload_<noun>_total.
+            "serve.overload_sheds_total",
+            "serve.overload_shed_sweeps_total",
+            "serve.overload_transitions_total",
+            "serve.deadline_expired_total",
+            "serve.deadline_dropped_total",
         ):
             self.metrics.counter(name)
         for tier in self.cache.tier_names:
@@ -172,8 +194,20 @@ class ExperimentService:
         # OBS002's static check vets each one. (``serve.inflight`` as
         # named in planning would fail the subsystem.noun_unit pattern —
         # no unit suffix — hence ``serve.inflight_requests``.)
+        # serve.queue_depth stays the lifetime high-watermark
+        # (set_max); serve.queue_depth_current is the live sampled
+        # depth the admission controller and `repro serve top` act on.
         self.metrics.gauge("serve.queue_depth")
+        self.metrics.gauge("serve.queue_depth_current")
         self.metrics.gauge("serve.inflight_requests")
+        self.metrics.gauge("serve.brownout_level")
+        # Per-shard current-depth gauges; the f-string names follow
+        # the same subsystem.noun_unit grammar the registry enforces
+        # at runtime (e.g. serve.shard0_queue_depth).
+        self._shard_depth_gauges = [
+            self.metrics.gauge(f"serve.shard{i}_queue_depth")
+            for i in range(n_shards)
+        ]
         self.metrics.histogram(
             "serve.simulate_latency_milliseconds", edges=LATENCY_EDGES_MS
         )
@@ -231,6 +265,10 @@ class ExperimentService:
     # -- dispatch -----------------------------------------------------
 
     def _tracing_on(self) -> bool:
+        # Brownout level 1+ overrides even a pinned --trace: tracing is
+        # the first luxury overload pays with, by design.
+        if not self.brownout.tracing_allowed():
+            return False
         if self.trace_requests is not None:
             return self.trace_requests
         return obs_runtime.tracing_enabled()
@@ -240,13 +278,27 @@ class ExperimentService:
 
         Pure memory — reading ``len`` of per-shard pending tables and
         the inflight map — so sampling at request milestones is safe on
-        the loop and cheap enough to leave always on.
+        the loop and cheap enough to leave always on. Each sample also
+        feeds the brownout controller (pressure = the worst shard's
+        budget fraction) and applies its tier-0 admission cap.
         """
         per_shard = [len(shard.pending) for shard in self.shards]
         depth = sum(per_shard)
         inflight = len(self._inflight)
         self.metrics.gauge("serve.queue_depth").set_max(depth)
+        self.metrics.gauge("serve.queue_depth_current").set(depth)
         self.metrics.gauge("serve.inflight_requests").set_max(inflight)
+        for gauge, shard_depth in zip(self._shard_depth_gauges, per_shard):
+            gauge.set(shard_depth)
+        pressure = max(
+            (
+                self.admission.pressure(index, shard_depth)
+                for index, shard_depth in enumerate(per_shard)
+            ),
+            default=0.0,
+        )
+        level = self.brownout.observe(pressure)
+        self.cache.tier0_admit_bytes = self.brownout.tier0_admit_bytes()
         self._telemetry_seq += 1
         self._telemetry.append(
             {
@@ -254,6 +306,8 @@ class ExperimentService:
                 "queue_depth": depth,
                 "inflight": inflight,
                 "shards": per_shard,
+                "pressure": round(pressure, 4),
+                "brownout": level,
             }
         )
 
@@ -307,18 +361,27 @@ class ExperimentService:
                     rid, "stopping", {"service_id": self.service_id}
                 )
             elif op == "simulate":
-                response = await self._simulate(rid, obj)
+                response = await self._simulate(
+                    rid, obj, self._deadline_of(obj)
+                )
             else:  # sweep (request_op already validated the set)
-                response = await self._sweep(rid, obj)
-        except protocol.ProtocolError as exc:
+                if self.brownout.shed_sweeps():
+                    # Brownout level 3: one sweep fans out to dozens of
+                    # pool jobs; under sustained pressure the service
+                    # keeps the cheaper `simulate` promise instead.
+                    self._shed_sweep()
+                response = await self._sweep(rid, obj, self._deadline_of(obj))
+        except (protocol.ProtocolError, protocol.ShardCrashError,
+                protocol.DeadlineExceededError) as exc:
             self.metrics.counter("serve.errors_total").inc()
             response = protocol.error_response(
                 rid, exc.error_type, str(exc), exc.retryable
             )
-        except protocol.ShardCrashError as exc:
+        except protocol.OverloadedError as exc:
             self.metrics.counter("serve.errors_total").inc()
             response = protocol.error_response(
-                rid, exc.error_type, str(exc), exc.retryable
+                rid, exc.error_type, str(exc), exc.retryable,
+                extra=exc.wire_extra(),
             )
         except Exception as exc:  # the front door absorbs everything
             self.metrics.counter("serve.errors_total").inc()
@@ -365,12 +428,40 @@ class ExperimentService:
         for component, ns in stack.items():
             hists[component].add(ns / 1e6)
 
+    def _deadline_of(self, obj: Dict[str, Any]) -> Optional[int]:
+        """The request's absolute monotonic deadline (ns), or None.
+
+        Converted from the wire's relative ``deadline_ms`` budget the
+        moment the request is picked up — everything downstream
+        (coalesce waits, shard dispatch, the worker process) compares
+        against this one absolute instant, so queueing time is charged
+        against the budget instead of resetting it.
+        """
+        budget = protocol.deadline_budget_ms(obj)
+        if budget is None:
+            return None
+        return deadlines.deadline_from_budget_ms(budget)
+
+    def _shed_sweep(self) -> None:
+        """Brownout level 3: reject this sweep with a retry hint."""
+        self.metrics.counter("serve.overload_shed_sweeps_total").inc()
+        per_shard = [len(shard.pending) for shard in self.shards]
+        worst = max(range(len(per_shard)), key=per_shard.__getitem__)
+        self.admission.shed_now(
+            worst, per_shard[worst], "brownout-shed-sweeps"
+        ).raise_overloaded()
+
     async def _simulate(
-        self, rid: Optional[str], obj: Dict[str, Any]
+        self,
+        rid: Optional[str],
+        obj: Dict[str, Any],
+        deadline: Optional[int],
     ) -> Dict[str, Any]:
         spec = protocol.sim_job_from(obj)
         key = spec.key()
-        payload, source, coalesced = await self._result_for(key, spec, obj)
+        payload, source, coalesced = await self._result_for(
+            key, spec, obj, deadline
+        )
         collector = obs_context.current_collector()
         ctx = obs_context.current_context() if collector is not None else None
         t0 = collector.now() if collector is not None else 0
@@ -394,12 +485,15 @@ class ExperimentService:
         return response
 
     async def _sweep(
-        self, rid: Optional[str], obj: Dict[str, Any]
+        self,
+        rid: Optional[str],
+        obj: Dict[str, Any],
+        deadline: Optional[int],
     ) -> Dict[str, Any]:
         specs = protocol.sweep_jobs_from(obj)
         points = await asyncio.gather(
             *(
-                self._result_for(spec.key(), spec, obj)
+                self._result_for(spec.key(), spec, obj, deadline)
                 for spec in specs
             )
         )
@@ -433,8 +527,40 @@ class ExperimentService:
 
     # -- the singleflight + cache + shard core ------------------------
 
+    async def _await_leader(
+        self,
+        existing: "asyncio.Future[Tuple[dict, str, Optional[str]]]",
+        key: str,
+        deadline: Optional[int],
+    ) -> Tuple[Dict[str, Any], str, Optional[str]]:
+        """A coalesced waiter's bounded wait on the leader's future.
+
+        Shielded — the shared computation must survive one waiter's
+        cancellation — and bounded by *this waiter's* deadline: a
+        short-budget follower gets its own deadline error without
+        cancelling work its siblings (and the leader) still want. The
+        asymmetry is deliberate: the pool job runs under the leader's
+        deadline, each waiter only bounds how long it will stand in
+        line for the shared result.
+        """
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(existing),
+                timeout=deadlines.remaining_s(deadline),
+            )
+        except asyncio.TimeoutError:
+            self.metrics.counter("serve.deadline_expired_total").inc()
+            raise protocol.DeadlineExceededError(
+                "deadline expired while waiting on the coalesced "
+                f"computation of {key[:12]}"
+            ) from None
+
     async def _result_for(
-        self, key: str, spec: SimJob, request: Dict[str, Any]
+        self,
+        key: str,
+        spec: SimJob,
+        request: Dict[str, Any],
+        deadline: Optional[int],
     ) -> Tuple[Dict[str, Any], str, bool]:
         """``(payload, source, coalesced)`` for one content address.
 
@@ -450,7 +576,9 @@ class ExperimentService:
             if collector is not None:
                 ctx = obs_context.current_context()
                 t0 = collector.now()
-                payload, source, exec_span = await asyncio.shield(existing)
+                payload, source, exec_span = await self._await_leader(
+                    existing, key, deadline
+                )
                 # The waiter span parents to the *leader's* pool_execute
                 # span when there was one — that is the cross-request
                 # edge that makes a coalesced burst one legible tree.
@@ -462,7 +590,9 @@ class ExperimentService:
                     key=key[:12],
                 )
             else:
-                payload, source, _ = await asyncio.shield(existing)
+                payload, source, _ = await self._await_leader(
+                    existing, key, deadline
+                )
             return payload, source, True
         leader: "asyncio.Future[Tuple[dict, str, Optional[str]]]" = (
             asyncio.get_running_loop().create_future()
@@ -475,7 +605,9 @@ class ExperimentService:
         )
         self._inflight[key] = leader
         try:
-            payload, source, exec_span = await self._compute(key, spec, request)
+            payload, source, exec_span = await self._compute(
+                key, spec, request, deadline
+            )
         except Exception as exc:
             leader.set_exception(exc)
             raise
@@ -483,10 +615,24 @@ class ExperimentService:
             leader.set_result((payload, source, exec_span))
             return payload, source, False
         finally:
+            # A cancelled leader (CancelledError skips the except
+            # clause above) must not strand shielded followers on a
+            # future nobody will ever resolve.
+            if not leader.done():
+                leader.set_exception(
+                    protocol.ShardCrashError(
+                        "computation abandoned before completion; "
+                        "the request is safe to retry"
+                    )
+                )
             self._inflight.pop(key, None)
 
     async def _compute(
-        self, key: str, spec: SimJob, request: Dict[str, Any]
+        self,
+        key: str,
+        spec: SimJob,
+        request: Dict[str, Any],
+        deadline: Optional[int],
     ) -> Tuple[Dict[str, Any], str, Optional[str]]:
         if self.use_cache:
             # ``to_thread`` copies the contextvars context, so the
@@ -496,7 +642,9 @@ class ExperimentService:
                 self.metrics.counter(f"serve.cache_hits_{tier}_total").inc()
                 return payload, tier, None
         self.metrics.counter("serve.cache_misses_total").inc()
-        payload, exec_span = await self._run_on_shard(key, spec, request)
+        payload, exec_span = await self._run_on_shard(
+            key, spec, request, deadline
+        )
         if self.use_cache:
             collector = obs_context.current_collector()
             if collector is not None:
@@ -519,21 +667,43 @@ class ExperimentService:
         return payload, "pool", exec_span
 
     async def _run_on_shard(
-        self, key: str, spec: SimJob, request: Dict[str, Any]
+        self,
+        key: str,
+        spec: SimJob,
+        request: Dict[str, Any],
+        deadline: Optional[int],
     ) -> Tuple[Dict[str, Any], Optional[str]]:
         """Execute on the owning shard with crash-recovery semantics.
 
         Returns ``(payload, pool_execute span id)`` — the span id is
         what coalesced waiters parent their ``coalesce_wait`` spans to.
+
+        Admission control lives here, *below* the cache and coalescing
+        layers on purpose: warm and duplicate requests cost nothing to
+        answer, so only work that would actually occupy a queue slot
+        and a pool worker can be shed.
         """
         shard = self.shards.route(key)
-        self.metrics.counter("serve.pool_executions_total").inc()
+        if deadlines.expired(deadline):
+            # The budget was spent upstream (wire, cache probes); do
+            # not burn a queue slot on a request nobody is waiting for.
+            self.metrics.counter("serve.deadline_expired_total").inc()
+            raise protocol.DeadlineExceededError(
+                f"deadline expired before dispatch of {spec.label}"
+            )
         wire_request = {
             k: v for k, v in request.items() if k in (
                 "op", "workload", "length", "seed", "core", "config",
                 "parameter", "values",
             )
         }
+        cost = json_sizeof(wire_request)
+        decision = self.admission.try_admit(
+            shard.index, len(shard.pending), cost
+        )
+        if decision is not None:
+            decision.raise_overloaded()
+        self.metrics.counter("serve.pool_executions_total").inc()
         collector = obs_context.current_collector()
         ctx = obs_context.current_context() if collector is not None else None
         exec_span = None
@@ -551,64 +721,158 @@ class ExperimentService:
                 "parent_span": exec_span.span_id,
             }
         exec_span_id = exec_span.span_id if exec_span is not None else None
-        future = await asyncio.to_thread(
-            shard.submit, key, spec, wire_request, trace_ctx
-        )
-        self._sample_queues()
-        for attempt in (1, 2):
+        service_ms: Optional[float] = None
+        pool_watch = Stopwatch()
+        try:
+            generation = shard.generation
             try:
-                result: JobResult = await asyncio.wrap_future(future)
+                future = await asyncio.to_thread(
+                    shard.submit, key, spec, wire_request, trace_ctx, deadline
+                )
             except BrokenExecutor:
-                self.metrics.counter("serve.shard_restarts_total").inc()
-                await asyncio.to_thread(shard.restart)
-                # Journal triage: work that finished before the crash
-                # replays from the store; everything else gets exactly
-                # one resubmission (at-least-once, then fail retryable).
-                state = await asyncio.to_thread(shard.journal_state)
-                if state.classify(key) == "complete" and self.use_cache:
-                    payload = await asyncio.to_thread(self.store.get, key)
-                    if payload is not None:
-                        shard.pending.pop(key, None)
-                        shard.pending_ctx.pop(key, None)
-                        if collector is not None and exec_span is not None:
-                            collector.finish(
-                                exec_span, status="ok", replayed=True
-                            )
-                        return payload, exec_span_id
-                if attempt == 2:
-                    break
-                future = await asyncio.to_thread(shard.resubmit, key)
-                if future is None:
-                    break
-                continue
-            if result.ok and result.payload is not None:
-                await asyncio.to_thread(shard.complete, key, result)
+                # The pool was already broken when this request arrived
+                # (a corpse nobody has observed yet, or one mid-triage
+                # by an earlier waiter — recover() blocks on the shard
+                # lock either way). Rebuild and submit once on the
+                # fresh pool; a second break is the crash path proper.
+                recovered = await asyncio.to_thread(
+                    shard.recover, generation
+                )
+                if recovered is not None:
+                    self.metrics.counter("serve.shard_restarts_total").inc()
+                try:
+                    future = await asyncio.to_thread(
+                        shard.submit, key, spec, wire_request, trace_ctx,
+                        deadline,
+                    )
+                except BrokenExecutor:
+                    await asyncio.to_thread(
+                        shard.fail, key, "shard pool broken at submit"
+                    )
+                    if collector is not None and exec_span is not None:
+                        collector.finish(
+                            exec_span, status="aborted",
+                            abort_reason="shard-crashed",
+                        )
+                    raise protocol.ShardCrashError(
+                        f"shard {shard.index} pool broke before "
+                        f"{spec.label} could be submitted; the request "
+                        "is safe to retry"
+                    ) from None
+            # Captured *after* submit: if the pool breaks under us,
+            # recover() restarts it only for the first observer whose
+            # generation still matches — the guard against N waiters
+            # serially killing each other's fresh pools.
+            generation = shard.generation
+            self._sample_queues()
+            for attempt in (1, 2):
+                try:
+                    result: JobResult = await asyncio.wait_for(
+                        asyncio.wrap_future(future),
+                        timeout=deadlines.remaining_s(deadline),
+                    )
+                except asyncio.TimeoutError:
+                    self.metrics.counter("serve.deadline_dropped_total").inc()
+                    await asyncio.to_thread(
+                        shard.fail, key,
+                        "deadline expired while executing",
+                    )
+                    if collector is not None and exec_span is not None:
+                        collector.finish(
+                            exec_span, status="aborted",
+                            abort_reason="deadline-exceeded",
+                        )
+                    raise protocol.DeadlineExceededError(
+                        f"deadline expired while executing {spec.label}"
+                    ) from None
+                except BrokenExecutor:
+                    recovered = await asyncio.to_thread(
+                        shard.recover, generation
+                    )
+                    if recovered is not None:
+                        # First observer of this corpse: the restart
+                        # (and the worker-death triage) ran on our
+                        # watch. Later observers see None and skip
+                        # straight to resubmission on the fresh pool.
+                        self.metrics.counter(
+                            "serve.shard_restarts_total"
+                        ).inc()
+                    generation = shard.generation
+                    # Journal triage: work that finished before the
+                    # crash replays from the store; everything else
+                    # gets exactly one resubmission (at-least-once,
+                    # then fail retryable).
+                    state = await asyncio.to_thread(shard.journal_state)
+                    if state.classify(key) == "complete" and self.use_cache:
+                        payload = await asyncio.to_thread(self.store.get, key)
+                        if payload is not None:
+                            shard.pending.pop(key, None)
+                            shard.pending_ctx.pop(key, None)
+                            shard.pending_deadline.pop(key, None)
+                            if collector is not None and exec_span is not None:
+                                collector.finish(
+                                    exec_span, status="ok", replayed=True
+                                )
+                            return payload, exec_span_id
+                    if attempt == 2:
+                        break
+                    future = await asyncio.to_thread(shard.resubmit, key)
+                    if future is None:
+                        break
+                    continue
+                if result.status == JobStatus.EXPIRED:
+                    # The worker dropped it unexecuted at dequeue —
+                    # the budget died in the shard queue.
+                    self.metrics.counter("serve.deadline_dropped_total").inc()
+                    await asyncio.to_thread(
+                        shard.fail, key, result.error or "deadline expired"
+                    )
+                    if collector is not None and exec_span is not None:
+                        collector.finish(
+                            exec_span, status="aborted",
+                            abort_reason="deadline-exceeded",
+                        )
+                    raise protocol.DeadlineExceededError(
+                        f"deadline expired before {spec.label} reached a "
+                        "worker (dropped at dequeue)"
+                    )
+                if result.ok and result.payload is not None:
+                    service_ms = pool_watch.elapsed * 1000.0
+                    await asyncio.to_thread(shard.complete, key, result)
+                    if collector is not None and exec_span is not None:
+                        # Adopt the worker-process spans (worker_execute,
+                        # store reads/writes) into this request's tree.
+                        collector.absorb(result.spans)
+                        collector.finish(exec_span, status="ok")
+                    return result.payload, exec_span_id
+                error = (result.error or "job failed with no payload").strip()
+                await asyncio.to_thread(shard.fail, key, error)
                 if collector is not None and exec_span is not None:
-                    # Adopt the worker-process spans (worker_execute,
-                    # store reads/writes) into this request's tree.
                     collector.absorb(result.spans)
-                    collector.finish(exec_span, status="ok")
-                return result.payload, exec_span_id
-            error = (result.error or "job failed with no payload").strip()
-            await asyncio.to_thread(shard.fail, key, error)
-            if collector is not None and exec_span is not None:
-                collector.absorb(result.spans)
-                collector.finish(exec_span, status="error")
-            last = error.splitlines()[-1] if error else "job failed"
-            raise _job_failure(last)
-        await asyncio.to_thread(
-            shard.fail, key, "shard crashed while executing"
-        )
-        if collector is not None and exec_span is not None:
-            # The worker died with the job: its spans are gone, so the
-            # dispatch span is force-closed rather than left dangling.
-            collector.finish(
-                exec_span, status="aborted", abort_reason="shard-crashed"
+                    collector.finish(exec_span, status="error")
+                last = error.splitlines()[-1] if error else "job failed"
+                raise _job_failure(last)
+            await asyncio.to_thread(
+                shard.fail, key, "shard crashed while executing"
             )
-        raise protocol.ShardCrashError(
-            f"shard {shard.index} crashed while executing {spec.label}; "
-            "the request is safe to retry"
-        )
+            if collector is not None and exec_span is not None:
+                # The worker died with the job: its spans are gone, so
+                # the dispatch span is force-closed rather than left
+                # dangling.
+                collector.finish(
+                    exec_span, status="aborted", abort_reason="shard-crashed"
+                )
+            raise protocol.ShardCrashError(
+                f"shard {shard.index} crashed while executing {spec.label}; "
+                "the request is safe to retry"
+            )
+        finally:
+            # Bytes come back whatever happened; the EWMA only learns
+            # from completed pool executions (service_ms stays None on
+            # every error path).
+            self.admission.release(
+                shard.index, cost, service_time_ms=service_ms
+            )
 
     # -- introspection ------------------------------------------------
 
@@ -625,6 +889,8 @@ class ExperimentService:
             "cache": self.cache.stats(),
             "tiers": self.cache.tier_names,
             "inflight": len(self._inflight),
+            "admission": self.admission.describe(),
+            "brownout": self.brownout.describe(),
             "metrics": self.metrics.snapshot(),
         }
 
@@ -643,6 +909,8 @@ class ExperimentService:
             "uptime_s": self._uptime.elapsed,
             "tracing": self._tracing_on(),
             "inflight": len(self._inflight),
+            "admission": self.admission.describe(),
+            "brownout": self.brownout.describe(),
             "shards": [
                 {
                     "index": shard.index,

@@ -8,9 +8,11 @@ each shard's journal/heartbeat state is disjoint by construction.
 
 Each :class:`Shard` owns:
 
-- a single-worker ``ProcessPoolExecutor`` whose initializer is the
-  lab's :func:`repro.resilience.watchdog.mark_worker_process` — the
-  worker writes heartbeats (with a mid-job pulse) and honours the
+- a ``ProcessPoolExecutor`` of ``workers`` processes (>= 1) whose
+  initializer is the lab's
+  :func:`repro.resilience.watchdog.mark_worker_process` — workers
+  write heartbeats (with a mid-job pulse), record per-pid *claim*
+  files naming the key they are executing, and honour the
   ``pool.worker`` fault site, exactly like batch pool workers;
 - a write-ahead :class:`repro.resilience.journal.RunJournal` under the
   store's ``runs/`` directory (``<service>-shard<i>.journal.jsonl``):
@@ -21,14 +23,41 @@ Each :class:`Shard` owns:
 - restart bookkeeping the service's watchdog loop and ``status`` op
   report.
 
+**Multi-worker crash triage.** ``ProcessPoolExecutor`` semantics make
+one worker's death break the *whole* pool: every in-flight future
+raises ``BrokenExecutor``, even for workers that were healthy. Two
+mechanisms keep the journal's at-least-once story exact anyway:
+
+- *worker attribution*: each worker claims its key in
+  ``<heartbeats>/<pid>.claims.jsonl`` before executing. At recovery
+  the dead pid's claims are intersected with the pending table and
+  journaled as a ``worker-death`` note — so the journal records which
+  keys the dead worker was actually holding, not merely "everything
+  in flight on the shard". Keys held by workers that were alive at
+  the crash are *not* attributed to the death; their requests recover
+  through the ordinary resubmit path (and usually replay from the
+  store, since those workers often finished and published before the
+  pool tore down).
+- *generation-guarded restart*: with N workers, N awaiting requests
+  see ``BrokenExecutor`` nearly simultaneously. Each captured the
+  shard's ``generation`` at submit; :meth:`Shard.recover` restarts
+  the pool only for the first observer whose generation still
+  matches — later observers see the bump, skip the (destructive)
+  restart, and go straight to resubmission on the fresh pool. Without
+  the guard, the second restart would SIGKILL the pool the first one
+  just built, along with any work already resubmitted onto it.
+
 Shards are synchronous objects; the async service drives them through
 ``asyncio.to_thread`` / ``asyncio.wrap_future`` so the event loop
-never blocks on executor management.
+never blocks on executor management. Executor-management state
+(generation, restart) is serialized by a per-shard lock because those
+``to_thread`` hops land on different threads.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -39,6 +68,7 @@ from repro.resilience.watchdog import (
     HeartbeatDir,
     WatchdogPolicy,
     mark_worker_process,
+    pid_dead,
 )
 
 
@@ -61,15 +91,27 @@ class Shard:
         heartbeat_root: Union[str, Path],
         use_cache: bool = True,
         watchdog_policy: Optional[WatchdogPolicy] = None,
+        workers: int = 1,
     ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
         self.index = index
         self.run_id = f"{run_id}-shard{index}"
         self.store_root = str(store_root) if store_root else None
         self.use_cache = use_cache
+        self.workers = workers
         self.journal = RunJournal(runs_dir, self.run_id)
         self.heartbeats = HeartbeatDir(Path(heartbeat_root) / f"shard{index}")
         self.policy = watchdog_policy or WatchdogPolicy()
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Serializes executor lifecycle (start/restart/recover): the
+        #: async service reaches these methods from to_thread workers,
+        #: so concurrent BrokenExecutor observers race without it.
+        self._lock = threading.Lock()
+        #: Bumped on every restart; observers capture it at submit and
+        #: present it to :meth:`recover`, which restarts only for the
+        #: first observer of a given generation's corpse.
+        self.generation = 0
         self.restarts = 0
         self.submitted = 0
         #: key -> spec for accepted-but-unfinished work (replay source
@@ -79,35 +121,100 @@ class Shard:
         #: replay after a crash keeps the span tree of the original
         #: request instead of starting an orphan.
         self.pending_ctx: Dict[str, Dict[str, str]] = {}
+        #: key -> absolute monotonic deadline (ns) for pending work;
+        #: rides into the worker so resubmissions keep the original
+        #: request's budget.
+        self.pending_deadline: Dict[str, int] = {}
 
     # -- lifecycle ----------------------------------------------------
 
     def start(self) -> None:
+        with self._lock:
+            self._start_locked()
+
+    def _start_locked(self) -> None:
         if self._executor is not None:
             return
         self.heartbeats.root.mkdir(parents=True, exist_ok=True)
         self._executor = ProcessPoolExecutor(
-            max_workers=1,
+            max_workers=self.workers,
             initializer=mark_worker_process,
             initargs=(str(self.heartbeats.root), self.policy.worker_pulse_s),
         )
 
     def restart(self) -> None:
         """Tear down a (possibly broken) executor and start fresh."""
+        with self._lock:
+            self._restart_locked()
+
+    def _restart_locked(self) -> None:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
-        # Stale beat files would make the old (dead) pid look current.
+        # Stale beat files would make the old (dead) pids look current.
         for path in self.heartbeats.root.glob("*.json"):
             try:
                 path.unlink()
             except OSError:
                 continue
+        self.generation += 1
         self.restarts += 1
-        self.start()
+        self._start_locked()
+
+    def recover(self, observed_generation: int) -> Optional[Dict[int, List[str]]]:
+        """Crash triage for one ``BrokenExecutor`` observer.
+
+        Returns ``None`` when another observer already recovered this
+        corpse (the caller should skip straight to resubmission);
+        otherwise triages dead workers (journaling ``worker-death``
+        notes attributing each dead pid's claimed in-flight keys),
+        restarts the pool, and returns the ``{pid: [keys]}``
+        attribution map.
+        """
+        with self._lock:
+            if observed_generation != self.generation:
+                return None
+            attribution = self._triage_dead_workers_locked()
+            self._restart_locked()
+            return attribution
+
+    def _triage_dead_workers_locked(self) -> Dict[int, List[str]]:
+        """Attribute in-flight keys to dead workers, via their claims.
+
+        A pid is *dead* when its process is gone or a zombie
+        (:func:`repro.resilience.watchdog.pid_dead`); its attributed
+        keys are its claims intersected with the pending table (claims
+        from already-completed work are stale and dropped by the
+        intersection). Each dead pid gets one ``worker-death`` journal
+        note — the worker attribution the multi-worker at-least-once
+        proof rests on.
+        """
+        attribution: Dict[int, List[str]] = {}
+        for record in self.heartbeats.beats():
+            pid = record.get("pid")
+            if not isinstance(pid, int) or pid == os.getpid():
+                continue
+            if not pid_dead(pid):
+                continue
+            keys = [
+                key
+                for key in self.heartbeats.claimed_keys(pid)
+                if key in self.pending
+            ]
+            attribution[pid] = keys
+            self.journal.note(
+                "worker-death",
+                pid=pid,
+                keys=keys,
+                shard=self.index,
+                generation=self.generation,
+            )
+            self.heartbeats.clear_claims(pid)
+        return attribution
 
     def close(self) -> None:
-        executor, self._executor = self._executor, None
+        with self._lock:
+            executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
         self.journal.close()
@@ -120,8 +227,9 @@ class Shard:
         spec: JobSpec,
         request: Dict[str, Any],
         trace_ctx: Optional[Dict[str, str]] = None,
+        deadline_ns: Optional[int] = None,
     ) -> Future:
-        """Journal the job (write-ahead), then hand it to the worker.
+        """Journal the job (write-ahead), then hand it to a worker.
 
         The ``accepted`` note carries the client request verbatim so a
         future service generation could rebuild the spec from the
@@ -129,7 +237,9 @@ class Shard:
         records :class:`JournalState` classifies. ``trace_ctx``
         (``{"trace_id": ..., "parent_span": ...}``) rides into the
         journal and the worker as data — pool workers outlive any one
-        request, so parent-side env mutation cannot carry it.
+        request, so parent-side env mutation cannot carry it — and
+        ``deadline_ns`` rides the same way so the worker can drop
+        already-expired work at dequeue.
         """
         if self._executor is None:
             self.start()
@@ -142,11 +252,13 @@ class Shard:
             self.pending[key] = spec
             if trace_ctx:
                 self.pending_ctx[key] = dict(trace_ctx)
+            if deadline_ns is not None:
+                self.pending_deadline[key] = int(deadline_ns)
         self.journal.started(self.submitted, key)
         self.submitted += 1
         return self._executor.submit(
             execute_job, spec, self.store_root, self.use_cache,
-            trace_ctx=trace_ctx,
+            trace_ctx=trace_ctx, deadline_ns=deadline_ns,
         )
 
     def resubmit(self, key: str) -> Optional[Future]:
@@ -166,6 +278,7 @@ class Shard:
         return self._executor.submit(
             execute_job, spec, self.store_root, self.use_cache,
             trace_ctx=trace_ctx,
+            deadline_ns=self.pending_deadline.get(key),
         )
 
     def complete(self, key: str, result: JobResult) -> None:
@@ -173,6 +286,7 @@ class Shard:
 
         self.pending.pop(key, None)
         self.pending_ctx.pop(key, None)
+        self.pending_deadline.pop(key, None)
         self.journal.done(
             self.submitted,
             key,
@@ -184,6 +298,7 @@ class Shard:
     def fail(self, key: str, error: str) -> None:
         self.pending.pop(key, None)
         self.pending_ctx.pop(key, None)
+        self.pending_deadline.pop(key, None)
         self.journal.failed(self.submitted, key, error, attempts=1)
 
     def journal_state(self) -> JournalState:
@@ -203,6 +318,8 @@ class Shard:
         return {
             "index": self.index,
             "run_id": self.run_id,
+            "workers": self.workers,
+            "generation": self.generation,
             "submitted": self.submitted,
             "pending": len(self.pending),
             "restarts": self.restarts,
@@ -222,6 +339,7 @@ class ShardSet:
         heartbeat_root: Union[str, Path],
         use_cache: bool = True,
         watchdog_policy: Optional[WatchdogPolicy] = None,
+        workers: int = 1,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -234,6 +352,7 @@ class ShardSet:
                 heartbeat_root,
                 use_cache=use_cache,
                 watchdog_policy=watchdog_policy,
+                workers=workers,
             )
             for i in range(n_shards)
         ]

@@ -1,0 +1,42 @@
+"""Shard dispatch with seeded SRV003 violations (unbounded awaits).
+
+Each unbounded pool-future await has a ``wait_for``-bounded twin
+right next to it so the tests cover false-positive behaviour too,
+not just detection.
+"""
+
+import asyncio
+
+
+class Dispatcher:
+    def __init__(self):
+        self.inflight = {}
+
+    async def run_raw(self, pool_future):
+        return await asyncio.wrap_future(pool_future)  # seeded: SRV003
+
+    async def run_bounded(self, pool_future, remaining_s):
+        return await asyncio.wait_for(
+            asyncio.wrap_future(pool_future), timeout=remaining_s
+        )
+
+    async def follow_raw(self, key):
+        existing = self.inflight[key]
+        return await asyncio.shield(existing)  # seeded: SRV003
+
+    async def follow_bounded(self, key, remaining_s):
+        existing = self.inflight[key]
+        return await asyncio.wait_for(
+            asyncio.shield(existing), timeout=remaining_s
+        )
+
+    async def join_raw(self, leader_future):
+        return await leader_future  # seeded: SRV003
+
+    async def join_justified(self, leader_future):
+        # Teardown-only path: the producer is resolved above us.
+        return await leader_future  # repro: noqa[SRV003]
+
+    async def join_event(self, barrier):
+        # Not future-named and not a pool wrapper: out of scope.
+        return await barrier

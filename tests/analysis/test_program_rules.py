@@ -71,7 +71,8 @@ def test_no_unseeded_findings_on_corpus(corpus_report):
 
 
 @pytest.mark.parametrize(
-    "rule", ["RACE001", "RACE002", "SRV002", "RES002", "DET001", "OBS003"]
+    "rule",
+    ["RACE001", "RACE002", "SRV002", "SRV003", "RES002", "DET001", "OBS003"],
 )
 def test_each_program_rule_is_exercised(corpus_report, rule):
     rules_seen = {v.rule for v in corpus_report.violations}

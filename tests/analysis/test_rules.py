@@ -460,3 +460,62 @@ def test_srv_noqa_escape_hatch():
         "    return cache.get(key)  # repro: noqa[SRV001]  in-memory\n"
     )
     assert "SRV001" not in rules_hit(source, "src/repro/serve/service.py")
+
+
+# ---------------------------------------------------------------- SRV003
+
+
+def test_srv3_flags_unbounded_future_awaits():
+    source = (
+        "import asyncio\n"
+        "async def run(future, inflight, key):\n"
+        "    a = await asyncio.wrap_future(future)\n"
+        "    b = await asyncio.shield(inflight[key])\n"
+        "    c = await future\n"
+    )
+    hits = rules_hit(source, "src/repro/serve/service.py")
+    assert hits.count("SRV003") == 3
+
+
+def test_srv3_allows_wait_for_bounded_awaits():
+    source = (
+        "import asyncio\n"
+        "async def run(future, existing, remaining_s):\n"
+        "    a = await asyncio.wait_for(\n"
+        "        asyncio.wrap_future(future), timeout=remaining_s\n"
+        "    )\n"
+        "    b = await asyncio.wait_for(\n"
+        "        asyncio.shield(existing), timeout=None\n"
+        "    )\n"
+        "    c = await asyncio.to_thread(len, [])\n"
+    )
+    assert "SRV003" not in rules_hit(source, "src/repro/serve/service.py")
+
+
+def test_srv3_ignores_non_future_names():
+    source = (
+        "async def run(barrier, response):\n"
+        "    await barrier\n"
+        "    return await response\n"
+    )
+    assert "SRV003" not in rules_hit(source, "src/repro/serve/service.py")
+
+
+def test_srv3_scoped_to_serve():
+    source = (
+        "import asyncio\n"
+        "async def run(future):\n"
+        "    return await asyncio.wrap_future(future)\n"
+    )
+    assert "SRV003" not in rules_hit(source, "src/repro/lab/pool.py")
+    assert "SRV003" in rules_hit(source, "src/repro/serve/shards.py")
+
+
+def test_srv3_noqa_escape_hatch():
+    source = (
+        "import asyncio\n"
+        "async def run(future):\n"
+        "    return await asyncio.wrap_future(future)"
+        "  # repro: noqa[SRV003]  teardown\n"
+    )
+    assert "SRV003" not in rules_hit(source, "src/repro/serve/service.py")

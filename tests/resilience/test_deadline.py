@@ -1,0 +1,83 @@
+"""The deadline carrier: budgets, expiry, and the env hop to workers."""
+
+import os
+
+import pytest
+
+from repro.lab.jobs import JobStatus, SimJob, execute_job
+from repro.resilience import deadline
+
+
+class TestDeadlineMath:
+    def test_budget_becomes_absolute_monotonic_instant(self):
+        before = deadline.now_ns()
+        dl = deadline.deadline_from_budget_ms(250)
+        after = deadline.now_ns()
+        assert before + 250_000_000 <= dl <= after + 250_000_000
+
+    def test_none_never_expires(self):
+        assert deadline.expired(None) is False
+        assert deadline.remaining_ms(None) is None
+        assert deadline.remaining_s(None) is None
+
+    def test_expiry_and_clamped_remaining(self):
+        past = deadline.now_ns() - 1
+        assert deadline.expired(past) is True
+        assert deadline.remaining_ms(past) == 0.0
+        assert deadline.remaining_s(past) == 0.0
+        future = deadline.deadline_from_budget_ms(60_000)
+        assert deadline.expired(future) is False
+        remaining = deadline.remaining_ms(future)
+        assert 0.0 < remaining <= 60_000.0
+
+    def test_remaining_s_is_remaining_ms_scaled(self):
+        future = deadline.deadline_from_budget_ms(1_000)
+        ms = deadline.remaining_ms(future)
+        s = deadline.remaining_s(future)
+        assert s == pytest.approx(ms / 1000.0, rel=0.5)
+
+
+class TestEnvCarrier:
+    def test_export_roundtrip_and_clear(self, monkeypatch):
+        monkeypatch.delenv(deadline.ENV_DEADLINE_NS, raising=False)
+        assert deadline.from_env() is None
+        dl = deadline.deadline_from_budget_ms(500)
+        deadline.export_env(dl)
+        assert os.environ[deadline.ENV_DEADLINE_NS] == str(dl)
+        assert deadline.from_env() == dl
+        deadline.clear_env()
+        assert deadline.ENV_DEADLINE_NS not in os.environ
+        assert deadline.from_env() is None
+
+    def test_garbage_env_reads_as_no_deadline(self, monkeypatch):
+        monkeypatch.setenv(deadline.ENV_DEADLINE_NS, "not-a-number")
+        assert deadline.from_env() is None
+
+
+class TestExecuteJobDeadline:
+    def test_expired_job_is_dropped_at_dequeue(self, tmp_path):
+        spec = SimJob(workload="gzip", length=500)
+        result = execute_job(
+            spec,
+            store_root=str(tmp_path / "cache"),
+            deadline_ns=deadline.now_ns() - 1,
+        )
+        assert result.status == JobStatus.EXPIRED
+        assert result.ok is False
+        assert result.payload is None
+        assert result.attempts == 0
+        assert "dropped at dequeue" in result.error
+        # Dropped means *dropped*: nothing was computed or stored.
+        assert not list((tmp_path / "cache").rglob("*.json"))
+
+    def test_live_deadline_executes_normally(self, tmp_path):
+        spec = SimJob(workload="gzip", length=500)
+        result = execute_job(
+            spec,
+            store_root=str(tmp_path / "cache"),
+            deadline_ns=deadline.deadline_from_budget_ms(120_000),
+        )
+        assert result.ok
+        assert result.payload is not None
+        # The ambient export is scoped to the job: cleaned up after.
+        assert deadline.ENV_DEADLINE_NS not in os.environ
